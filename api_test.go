@@ -1,0 +1,133 @@
+package hinfs_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hinfs"
+)
+
+// TestPublicAPIQuickstart is the README quickstart, verified.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev, err := hinfs.NewDevice(hinfs.DeviceConfig{
+		Size:           64 << 20,
+		WriteLatency:   200 * time.Nanosecond,
+		WriteBandwidth: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+
+	f, err := fs.Create("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("hello, NVMM"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello, NVMM" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestPublicAPIBaselines mounts every baseline constructor on a fresh
+// device and round-trips data through the shared FileSystem interface.
+func TestPublicAPIBaselines(t *testing.T) {
+	constructors := map[string]func(*hinfs.Device) (hinfs.FileSystem, error){
+		"pmfs": func(d *hinfs.Device) (hinfs.FileSystem, error) {
+			return hinfs.NewPMFS(d, hinfs.PMFSOptions{MaxInodes: 512})
+		},
+		"ext2": func(d *hinfs.Device) (hinfs.FileSystem, error) {
+			return hinfs.NewExt2(d, hinfs.ExtOptions{MaxInodes: 512})
+		},
+		"ext4": func(d *hinfs.Device) (hinfs.FileSystem, error) {
+			return hinfs.NewExt4(d, hinfs.ExtOptions{MaxInodes: 512})
+		},
+		"ext4-dax": func(d *hinfs.Device) (hinfs.FileSystem, error) {
+			return hinfs.NewExt4DAX(d, hinfs.ExtOptions{MaxInodes: 512})
+		},
+	}
+	for name, mk := range constructors {
+		t.Run(name, func(t *testing.T) {
+			dev, err := hinfs.NewDevice(hinfs.DefaultDeviceConfig(64 << 20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := mk(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fs.Unmount()
+			f, err := fs.Create("/x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			payload := bytes.Repeat([]byte{0x7E}, 9000)
+			if _, err := f.WriteAt(payload, 123); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Fsync(); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(payload))
+			if _, err := f.ReadAt(got, 123); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("round trip failed")
+			}
+		})
+	}
+}
+
+// TestPublicAPIImagePersistence saves a device image and reopens it.
+func TestPublicAPIImagePersistence(t *testing.T) {
+	dev, _ := hinfs.NewDevice(hinfs.DefaultDeviceConfig(64 << 20))
+	fs, err := hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/keep")
+	f.WriteAt([]byte("saved"), 0)
+	f.Close()
+	fs.Unmount()
+
+	var img bytes.Buffer
+	if err := dev.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := hinfs.LoadDevice(&img, hinfs.DeviceConfig{WriteLatency: 200 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := hinfs.Mount(dev2, hinfs.Options{BufferBlocks: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+	g, err := fs2.Open("/keep", hinfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got := make([]byte, 5)
+	g.ReadAt(got, 0)
+	if string(got) != "saved" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Command hinfs-bench regenerates the paper's evaluation figures on the
+// emulated NVMM testbed.
+//
+// Usage:
+//
+//	hinfs-bench -fig 7            # regenerate Figure 7
+//	hinfs-bench -fig all          # every figure
+//	hinfs-bench -fig 9 -quick     # trimmed sweep
+//	hinfs-bench -fig 8 -ops 500 -latency 400ns -device 512
+//
+// Figures 3-5 are design diagrams with no measurements and are not
+// regenerated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hinfs/internal/harness"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "all", "figure to regenerate: 1,2,6,7,8,9,10,11,12,13 or 'all'")
+		quick     = flag.Bool("quick", false, "trim sweeps to fewer points")
+		ops       = flag.Int("ops", 0, "override per-thread op count (0 = per-figure default)")
+		threads   = flag.Int("threads", 0, "override thread count (0 = per-figure default)")
+		latency   = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency per cacheline")
+		bandwidth = flag.Int64("bandwidth", 1<<30, "NVMM write bandwidth (bytes/s)")
+		device    = flag.Int64("device", 256, "emulated device size (MiB)")
+		buffer    = flag.Int("buffer", 0, "HiNFS DRAM buffer in 4 KiB blocks (0 = calibrated default)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		DeviceSize:     *device << 20,
+		WriteLatency:   *latency,
+		WriteBandwidth: *bandwidth,
+		BufferBlocks:   *buffer,
+	}
+	opts := harness.Opts{Ops: *ops, Threads: *threads, Quick: *quick}
+
+	type figFn func(harness.Config, harness.Opts) (*harness.Figure, error)
+	figures := map[string]figFn{
+		"1":  harness.Figure1,
+		"2":  harness.Figure2,
+		"6":  harness.Figure6,
+		"7":  harness.Figure7,
+		"8":  harness.Figure8,
+		"9":  harness.Figure9,
+		"10": harness.Figure10,
+		"11": harness.Figure11,
+		"12": harness.Figure12,
+		"13": harness.Figure13,
+	}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13"}
+
+	if *figFlag == "list" {
+		fmt.Println("available figures:", order)
+		fmt.Println("figures 3-5 are design diagrams with no measurements")
+		return
+	}
+
+	run := func(name string) {
+		fn, ok := figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hinfs-bench: unknown figure %q (have 1,2,6,7,8,9,10,11,12,13)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fig, err := fn(cfg, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hinfs-bench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fig.Table.Fprint(os.Stdout)
+		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *figFlag == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*figFlag)
+}

@@ -1,0 +1,277 @@
+// Command hinfs-shell is an interactive shell over a HiNFS instance on an
+// emulated NVMM device — handy for poking at the file system and watching
+// the DRAM write buffer and Buffer Benefit Model at work.
+//
+//	$ go run ./cmd/hinfs-shell
+//	hinfs> help
+//	hinfs> write /a.txt hello world
+//	hinfs> stats
+//
+// Commands: ls, mkdir, rmdir, touch, write, append, cat, rm, mv, stat,
+// truncate, fsync, sync, stats, help, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hinfs"
+)
+
+func main() {
+	var (
+		device  = flag.Int64("device", 64, "device size (MiB)")
+		buffer  = flag.Int("buffer", 2048, "DRAM buffer (4 KiB blocks)")
+		latency = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency")
+		image   = flag.String("image", "", "device image file: loaded if present, saved on quit")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "hinfs-shell:", err)
+		os.Exit(1)
+	}
+	cfg := hinfs.DeviceConfig{
+		Size:           *device << 20,
+		WriteLatency:   *latency,
+		WriteBandwidth: 1 << 30,
+	}
+	var dev *hinfs.Device
+	var fs *hinfs.FS
+	if *image != "" {
+		if in, err := os.Open(*image); err == nil {
+			cfg.Size = 0 // take the image's size
+			dev, err = hinfs.LoadDevice(in, cfg)
+			in.Close()
+			if err != nil {
+				fail(err)
+			}
+			fs, err = hinfs.Mount(dev, hinfs.Options{BufferBlocks: *buffer})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("hinfs-shell: loaded image %s"+"\n", *image)
+		}
+	}
+	if fs == nil {
+		var err error
+		dev, err = hinfs.NewDevice(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fs, err = hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: *buffer})
+		if err != nil {
+			fail(err)
+		}
+	}
+	defer func() {
+		fs.Unmount()
+		if *image != "" {
+			out, err := os.Create(*image)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hinfs-shell: save:", err)
+				return
+			}
+			if err := dev.Save(out); err != nil {
+				fmt.Fprintln(os.Stderr, "hinfs-shell: save:", err)
+			}
+			out.Close()
+			fmt.Printf("saved image to %s"+"\n", *image)
+		}
+	}()
+
+	fmt.Printf("hinfs-shell: %d MiB NVMM, %d-block DRAM buffer. Type 'help'.\n", *device, *buffer)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("hinfs> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if err := run(fs, dev, args); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func run(fs *hinfs.FS, dev *hinfs.Device, args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("%s: need %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "quit", "exit":
+		return errQuit
+	case "help":
+		fmt.Println(`ls [dir]            list directory
+mkdir <dir>         create directory
+rmdir <dir>         remove empty directory
+touch <file>        create empty file
+write <file> <txt>  replace file contents
+append <file> <txt> append to file
+cat <file>          print file contents
+rm <file>           unlink file
+mv <a> <b>          rename
+stat <path>         file info
+truncate <file> <n> resize file
+fsync <file>        persist file to NVMM
+sync                flush the whole DRAM buffer
+fsck                check on-device consistency
+stats               device/buffer/model statistics
+quit                exit`)
+	case "ls":
+		dir := "/"
+		if len(rest) > 0 {
+			dir = rest[0]
+		}
+		ents, err := fs.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Mkdir(rest[0])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Rmdir(rest[0])
+	case "touch":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := fs.Open(rest[0], hinfs.OCreate|hinfs.ORdwr)
+		if err != nil {
+			return err
+		}
+		return f.Close()
+	case "write", "append":
+		if err := need(2); err != nil {
+			return err
+		}
+		flags := hinfs.OCreate | hinfs.ORdwr
+		if cmd == "write" {
+			flags |= hinfs.OTrunc
+		} else {
+			flags |= hinfs.OAppend
+		}
+		f, err := fs.Open(rest[0], flags)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.WriteAt([]byte(strings.Join(rest[1:], " ")+"\n"), 0)
+		return err
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := fs.Open(rest[0], hinfs.ORdonly)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, f.Size())
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		os.Stdout.Write(buf)
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return fs.Unlink(rest[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return fs.Rename(rest[0], rest[1])
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fi, err := fs.Stat(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: size=%d dir=%v blocks=%d\n", fi.Name, fi.Size, fi.IsDir, fi.Blocks)
+	case "truncate":
+		if err := need(2); err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		f, err := fs.Open(rest[0], hinfs.ORdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return f.Truncate(n)
+	case "fsync":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := fs.Open(rest[0], hinfs.ORdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return f.Fsync()
+	case "sync":
+		return fs.Sync()
+	case "fsck":
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		if errs := fs.Fsck(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Println("fsck:", e)
+			}
+			return fmt.Errorf("%d problem(s) found", len(errs))
+		}
+		fmt.Println("clean")
+	case "stats":
+		ds := dev.Stats()
+		ps := fs.Pool().Stats()
+		acc, total := fs.Model().Accuracy()
+		fmt.Printf("device:  read=%dB written=%dB flushed=%dB flushes=%d\n",
+			ds.BytesRead, ds.BytesWritten, ds.BytesFlushed, ds.Flushes)
+		fmt.Printf("buffer:  hits=%d misses=%d evictions=%d drops=%d dirty=%d free=%d/%d\n",
+			ps.WriteHits, ps.WriteMisses, ps.Evictions, ps.Drops,
+			fs.Pool().DirtyBlocks(), fs.Pool().FreeBlocks(), fs.Pool().Capacity())
+		fmt.Printf("clfw:    lines fetched=%d flushed=%d\n", ps.LinesFetched, ps.LinesFlushed)
+		fmt.Printf("model:   accuracy=%d/%d ghost=%d\n", acc, total, fs.Model().GhostLen())
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return nil
+}

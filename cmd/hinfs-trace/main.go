@@ -1,0 +1,107 @@
+// Command hinfs-trace generates and replays system-call-level I/O traces
+// (paper §5.3).
+//
+//	hinfs-trace -gen usr0 -ops 20000 > usr0.trace    # synthesize to stdout
+//	hinfs-trace -replay usr0.trace -system hinfs     # replay a trace file
+//	hinfs-trace -replay - -system pmfs < usr0.trace  # replay from stdin
+//	hinfs-trace -gen facebook -replay - -system hinfs-wb
+//
+// Replay reports the per-class time breakdown (read/write/unlink/fsync)
+// that the paper's Figure 12 is built from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hinfs/internal/harness"
+	"hinfs/internal/trace"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "", "synthesize a trace: usr0, usr1, lasr, facebook")
+		ops    = flag.Int("ops", 20000, "ops for -gen")
+		replay = flag.String("replay", "", "trace file to replay ('-' = stdin; with -gen, replay the generated trace)")
+		system = flag.String("system", "hinfs", "system under test: hinfs, hinfs-nclfw, hinfs-wb, pmfs, ext4-dax, ext2-nvmmbd, ext4-nvmmbd")
+		device = flag.Int64("device", 256, "device size (MiB)")
+		scale  = flag.Float64("timescale", 16, "delay time scale")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "hinfs-trace:", err)
+		os.Exit(1)
+	}
+
+	var tr *trace.Trace
+	if *gen != "" {
+		var err error
+		tr, err = trace.ByName(*gen, *ops)
+		if err != nil {
+			fail(err)
+		}
+		if *replay == "" {
+			if err := tr.Write(os.Stdout); err != nil {
+				fail(err)
+			}
+			return
+		}
+	}
+	if *replay == "" {
+		fmt.Fprintln(os.Stderr, "hinfs-trace: nothing to do (use -gen and/or -replay)")
+		os.Exit(2)
+	}
+	if tr == nil {
+		in := os.Stdin
+		if *replay != "-" {
+			f, err := os.Open(*replay)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		tr, err = trace.Parse(in)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	cfg := harness.Config{DeviceSize: *device << 20, TimeScale: *scale}
+	inst, err := harness.NewInstance(harness.System(*system), cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer inst.Close()
+	if err := tr.Prepare(inst.FS); err != nil {
+		fail(err)
+	}
+	res, err := tr.Replay(inst.FS)
+	if err != nil {
+		fail(err)
+	}
+	total := res.Total()
+	fmt.Printf("trace %s on %s: %d ops in %v\n", tr.Name, *system, len(tr.Ops), total.Round(time.Millisecond))
+	for _, k := range []trace.Kind{trace.Read, trace.Write, trace.Unlink, trace.Fsync} {
+		d := res.TimeFor(k)
+		p := 0.0
+		if total > 0 {
+			p = 100 * float64(d) / float64(total)
+		}
+		fmt.Printf("  %-6s %8d ops  %10v  %5.1f%%\n", k, res.Counts[k], d.Round(time.Microsecond), p)
+	}
+	fmt.Printf("  read %d B, wrote %d B, fsync bytes %d (%.1f%%)\n",
+		res.BytesRead, res.BytesWritten, res.FsyncBytes,
+		100*float64(res.FsyncBytes)/float64(max64(res.BytesWritten, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Mailserver: a Varmail-style application (paper Table 1) showing the
+// Eager-Persistent Write Checker in action. Mailboxes are append-fsync
+// files; after a few delivery-sync cycles the Buffer Benefit Model learns
+// that buffering such blocks cannot help (every write is flushed by the
+// next fsync) and routes subsequent appends directly to NVMM, skipping the
+// double copy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hinfs"
+)
+
+func main() {
+	dev, err := hinfs.NewDevice(hinfs.DeviceConfig{
+		Size:           128 << 20,
+		WriteLatency:   200 * time.Nanosecond,
+		WriteBandwidth: 1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Unmount()
+	dev.ResetStats() // count only the application's I/O below
+
+	if err := fs.Mkdir("/mail"); err != nil {
+		log.Fatal(err)
+	}
+
+	users := []string{"alice", "bob", "carol"}
+	boxes := make(map[string]hinfs.File)
+	for _, u := range users {
+		f, err := fs.Open("/mail/"+u, hinfs.OCreate|hinfs.ORdwr|hinfs.OAppend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		boxes[u] = f
+	}
+
+	// Deliver mail: append + fsync, the mail server's durability contract.
+	deliver := func(user, from, body string) error {
+		msg := fmt.Sprintf("From: %s\n\n%s\n.\n", from, body)
+		f := boxes[user]
+		if _, err := f.WriteAt([]byte(msg), 0); err != nil {
+			return err
+		}
+		return f.Fsync() // the message is durable when delivery returns
+	}
+
+	for round := 0; round < 50; round++ {
+		for _, u := range users {
+			if err := deliver(u, "list@example.com",
+				fmt.Sprintf("newsletter issue %d for %s", round, u)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// The model has been watching each block's sync behaviour.
+	acc, total := fs.Model().Accuracy()
+	ps := fs.Pool().Stats()
+	fmt.Printf("deliveries:        %d (all fsynced)\n", 50*len(users))
+	fmt.Printf("model decisions:   %d (%d consistent with the previous sync)\n", total, acc)
+	fmt.Printf("buffered writes:   %d hits + %d misses\n", ps.WriteHits, ps.WriteMisses)
+	fmt.Printf("NVMM flushed:      %.1f KiB (mail + metadata, all eager)\n", float64(dev.Stats().BytesFlushed)/(1<<10))
+	fmt.Printf("dirty DRAM blocks: %d (eager-persistent appends bypass the buffer)\n",
+		fs.Pool().DirtyBlocks())
+
+	// Mailbox contents survive: read one back.
+	fi, _ := fs.Stat("/mail/alice")
+	fmt.Printf("/mail/alice:       %d bytes of durable mail\n", fi.Size)
+}

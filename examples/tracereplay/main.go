@@ -1,0 +1,48 @@
+// Tracereplay: replay the same synthesized desktop I/O trace (Usr0,
+// paper §5.3) against HiNFS and PMFS and compare where the time goes —
+// a miniature of the paper's Figure 12.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hinfs/internal/harness"
+	"hinfs/internal/trace"
+)
+
+func main() {
+	cfg := harness.Config{DeviceSize: 256 << 20}
+
+	fmt.Println("replaying the usr0 trace (8000 ops) on two systems:")
+	var pmfsTotal time.Duration
+	for _, sys := range []harness.System{harness.PMFS, harness.HiNFS} {
+		tr := trace.Usr0(8000)
+		inst, err := harness.NewInstance(sys, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Prepare(inst.FS); err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Replay(inst.FS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst.Close()
+
+		total := res.Total()
+		if sys == harness.PMFS {
+			pmfsTotal = total
+		}
+		fmt.Printf("\n%s: total %v\n", sys, total.Round(time.Millisecond))
+		for _, k := range []trace.Kind{trace.Read, trace.Write, trace.Unlink, trace.Fsync} {
+			fmt.Printf("  %-6s %10v\n", k, res.TimeFor(k).Round(time.Microsecond))
+		}
+		if sys == harness.HiNFS && pmfsTotal > 0 {
+			fmt.Printf("\nHiNFS replay time = %.0f%% of PMFS (paper: ~63%% on Usr0)\n",
+				100*float64(total)/float64(pmfsTotal))
+		}
+	}
+}

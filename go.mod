@@ -1,0 +1,3 @@
+module hinfs
+
+go 1.24

@@ -1,0 +1,153 @@
+// Package hinfs is a userspace reproduction of HiNFS, the high
+// performance file system for non-volatile main memory from EuroSys 2016
+// (Ou, Shu, Lu), together with every system its evaluation depends on.
+//
+// HiNFS hides NVMM's long write latency by buffering lazy-persistent
+// writes in a DRAM write buffer managed at cacheline granularity, while
+// eliminating double-copy overheads with direct access for reads and for
+// eager-persistent writes, classified online by a Buffer Benefit Model.
+//
+// The package is a facade over the internal implementation:
+//
+//   - New/Mkfs/Mount create HiNFS instances on an emulated NVMM Device.
+//   - NewPMFS, NewExt2, NewExt4, NewExt4DAX build the paper's baseline
+//     systems (Table 3) on the same Device abstraction.
+//   - The FileSystem/File interfaces are shared by every system, so any
+//     workload runs unmodified against any of them.
+//
+// Quickstart:
+//
+//	dev, _ := hinfs.NewDevice(hinfs.DeviceConfig{
+//		Size:           256 << 20,
+//		WriteLatency:   200 * time.Nanosecond, // emulated NVMM
+//		WriteBandwidth: 1 << 30,
+//	})
+//	fs, _ := hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: 8192})
+//	defer fs.Unmount()
+//	f, _ := fs.Create("/hello.txt")
+//	f.WriteAt([]byte("hello, NVMM"), 0)
+//	f.Fsync()
+package hinfs
+
+import (
+	"io"
+
+	"hinfs/internal/blockdev"
+	"hinfs/internal/core"
+	"hinfs/internal/extfs"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+// Core file-system surface shared by every system in the repository.
+type (
+	// FileSystem is a mounted file system instance.
+	FileSystem = vfs.FileSystem
+	// File is an open file handle.
+	File = vfs.File
+	// FileInfo describes a file.
+	FileInfo = vfs.FileInfo
+	// DirEntry is a directory listing entry.
+	DirEntry = vfs.DirEntry
+)
+
+// Open flags.
+const (
+	ORdonly = vfs.ORdonly
+	OWronly = vfs.OWronly
+	ORdwr   = vfs.ORdwr
+	OCreate = vfs.OCreate
+	OTrunc  = vfs.OTrunc
+	OAppend = vfs.OAppend
+	OSync   = vfs.OSync
+)
+
+// Common errors.
+var (
+	ErrNotExist = vfs.ErrNotExist
+	ErrExist    = vfs.ErrExist
+	ErrIsDir    = vfs.ErrIsDir
+	ErrNotDir   = vfs.ErrNotDir
+	ErrNotEmpty = vfs.ErrNotEmpty
+	ErrNoSpace  = vfs.ErrNoSpace
+	ErrClosed   = vfs.ErrClosed
+	ErrInvalid  = vfs.ErrInvalid
+)
+
+// Device is an emulated NVMM device (DRAM-backed, with the paper's
+// latency/bandwidth model).
+type Device = nvmm.Device
+
+// DeviceConfig configures an emulated device.
+type DeviceConfig = nvmm.Config
+
+// DeviceStats snapshots device counters.
+type DeviceStats = nvmm.Stats
+
+// NewDevice creates an emulated NVMM device.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return nvmm.New(cfg) }
+
+// LoadDevice restores a device image previously written with Device.Save,
+// applying cfg's performance model.
+func LoadDevice(r io.Reader, cfg DeviceConfig) (*Device, error) { return nvmm.Load(r, cfg) }
+
+// DefaultDeviceConfig returns the paper's Table-2 device (200 ns write
+// latency, 1 GB/s write bandwidth) at the given capacity.
+func DefaultDeviceConfig(size int64) DeviceConfig { return nvmm.DefaultConfig(size) }
+
+// Options configures a HiNFS mount (DRAM buffer size, variants, policy
+// knobs).
+type Options = core.Options
+
+// FS is a mounted HiNFS instance (it implements FileSystem and exposes
+// buffer/model statistics).
+type FS = core.FS
+
+// Mkfs formats dev and mounts HiNFS on it.
+func Mkfs(dev *Device, opts Options) (*FS, error) { return core.Mkfs(dev, opts) }
+
+// Mount mounts HiNFS on a formatted device, running journal recovery.
+func Mount(dev *Device, opts Options) (*FS, error) { return core.Mount(dev, opts) }
+
+// PMFSOptions tunes the PMFS substrate/baseline format.
+type PMFSOptions = pmfs.Options
+
+// NewPMFS formats dev as the PMFS baseline: direct access for all
+// operations, no DRAM buffer.
+func NewPMFS(dev *Device, opts PMFSOptions) (FileSystem, error) {
+	return pmfs.Mkfs(dev, opts)
+}
+
+// MountPMFS mounts an existing PMFS image with journal recovery.
+func MountPMFS(dev *Device) (FileSystem, error) { return pmfs.Mount(dev) }
+
+// ExtOptions tunes the block-based baselines.
+type ExtOptions = extfs.Options
+
+// BlockConfig tunes the emulated generic block layer.
+type BlockConfig = blockdev.Config
+
+// NewExt2 builds the EXT2+NVMMBD baseline: a non-journaling block file
+// system through the OS page cache and the generic block layer.
+func NewExt2(dev *Device, opts ExtOptions) (FileSystem, error) {
+	opts.Journal = false
+	opts.DAX = false
+	return extfs.Mkfs(dev, opts)
+}
+
+// NewExt4 builds the EXT4+NVMMBD baseline: EXT2 plus JBD2-style
+// ordered-mode metadata journaling.
+func NewExt4(dev *Device, opts ExtOptions) (FileSystem, error) {
+	opts.Journal = true
+	opts.DAX = false
+	return extfs.Mkfs(dev, opts)
+}
+
+// NewExt4DAX builds the EXT4-DAX baseline: file data bypasses the page
+// cache (direct NVMM copies) while metadata keeps the EXT4 cache path.
+func NewExt4DAX(dev *Device, opts ExtOptions) (FileSystem, error) {
+	opts.Journal = true
+	opts.DAX = true
+	return extfs.Mkfs(dev, opts)
+}

@@ -1,0 +1,182 @@
+package benefit
+
+import (
+	"testing"
+	"time"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
+)
+
+func model(t *testing.T) (*Model, *clock.Fake) {
+	t.Helper()
+	fk := clock.NewFake(time.Unix(100, 0))
+	return NewModel(fk, Config{GhostBlocks: 8}), fk
+}
+
+func TestNewBlocksStartLazy(t *testing.T) {
+	m, fk := model(t)
+	if m.IsEager(1, 0, fk.Now()) {
+		t.Fatal("untracked block eager")
+	}
+	m.RecordWrite(1, 0, cacheline.Full)
+	if m.IsEager(1, 0, fk.Now()) {
+		t.Fatal("freshly written block eager before any sync")
+	}
+}
+
+func TestSyncEveryWriteTurnsEager(t *testing.T) {
+	m, fk := model(t)
+	// N_cw == N_cf: 64 writes, all 64 flushed at sync → inequality fails.
+	m.RecordWrite(1, 0, cacheline.Full)
+	m.OnSync(1)
+	if !m.IsEager(1, 0, fk.Now()) {
+		t.Fatal("sync-every-write block not eager")
+	}
+}
+
+func TestCoalescedWritesStayLazy(t *testing.T) {
+	m, fk := model(t)
+	// Many overwrites of the same line between syncs: N_cw = 100, N_cf = 1.
+	for i := 0; i < 100; i++ {
+		m.RecordWrite(1, 0, cacheline.RangeMask(0, 64))
+	}
+	m.OnSync(1)
+	if m.IsEager(1, 0, fk.Now()) {
+		t.Fatal("highly coalesced block marked eager")
+	}
+}
+
+func TestInequalityBoundary(t *testing.T) {
+	// With L_dram=25, L_nvmm=200: buffering wins iff 25·Ncw + 200·Ncf <
+	// 200·Ncw, i.e. Ncf < 0.875·Ncw.
+	// Each case writes the same ncf-line mask `writes` times, so
+	// N_cw = writes·ncf and N_cf = ncf at sync.
+	cases := []struct {
+		ncf, writes int
+		eager       bool
+	}{
+		{64, 1, true},   // 64·25+64·200 !< 64·200
+		{1, 1, true},    // 25+200 !< 200
+		{1, 100, false}, // 2500+200 < 20000
+		{4, 2, false},   // 200+800 < 1600
+		{8, 1, true},    // one-shot full-flush block
+	}
+	for _, c := range cases {
+		fk := clock.NewFake(time.Unix(0, 0))
+		m := NewModel(fk, Config{GhostBlocks: 8})
+		mask := cacheline.RangeMask(0, c.ncf*cacheline.Size)
+		for i := 0; i < c.writes; i++ {
+			m.RecordWrite(1, 0, mask)
+		}
+		m.OnSync(1)
+		if got := m.IsEager(1, 0, fk.Now()); got != c.eager {
+			t.Errorf("ncf=%d writes=%d: eager=%v, want %v", c.ncf, c.writes, got, c.eager)
+		}
+	}
+}
+
+func TestEagerDecay(t *testing.T) {
+	m, fk := model(t)
+	m.RecordWrite(1, 0, cacheline.Full)
+	m.OnSync(1)
+	lastSync := fk.Now()
+	if !m.IsEager(1, 0, lastSync) {
+		t.Fatal("precondition")
+	}
+	fk.Advance(6 * time.Second)
+	if m.IsEager(1, 0, lastSync) {
+		t.Fatal("no decay after 6 s quiet period")
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	m, _ := model(t)
+	// Three identical sync rounds → after the first, each subsequent one
+	// is an accurate prediction.
+	for i := 0; i < 3; i++ {
+		m.RecordWrite(1, 0, cacheline.Full)
+		m.OnSync(1)
+	}
+	acc, total := m.Accuracy()
+	if total != 2 || acc != 2 {
+		t.Fatalf("accuracy %d/%d, want 2/2", acc, total)
+	}
+	// Now flip behaviour: heavy coalescing → decision changes → inaccurate.
+	for i := 0; i < 64*8; i++ {
+		m.RecordWrite(1, 0, cacheline.RangeMask(0, 64))
+	}
+	m.OnSync(1)
+	acc, total = m.Accuracy()
+	if total != 3 || acc != 2 {
+		t.Fatalf("accuracy %d/%d, want 2/3", acc, total)
+	}
+}
+
+func TestGhostBufferBounded(t *testing.T) {
+	m, _ := model(t)
+	for i := int64(0); i < 100; i++ {
+		m.RecordWrite(1, i, cacheline.Full)
+	}
+	if got := m.GhostLen(); got > 8 {
+		t.Fatalf("ghost holds %d entries, cap 8", got)
+	}
+}
+
+func TestGhostEvictionExcludesFromNcf(t *testing.T) {
+	m, fk := model(t)
+	// Write block 0, then 8 more blocks to evict it from the ghost.
+	m.RecordWrite(1, 0, cacheline.Full)
+	for i := int64(1); i <= 8; i++ {
+		m.RecordWrite(1, i, cacheline.RangeMask(0, 64))
+	}
+	// At sync, block 0's ghost entry is gone → N_cf = 0 → buffering wins
+	// despite N_cw == flush-everything behaviour.
+	m.OnSync(1)
+	if m.IsEager(1, 0, fk.Now()) {
+		t.Fatal("ghost-evicted block counted background flushes as N_cf")
+	}
+}
+
+func TestMarkEagerAndDropFile(t *testing.T) {
+	m, fk := model(t)
+	m.MarkEager(7, []int64{0, 1, 2})
+	for i := int64(0); i < 3; i++ {
+		if !m.IsEager(7, i, fk.Now()) {
+			t.Fatalf("block %d not eager after MarkEager", i)
+		}
+	}
+	m.DropFile(7)
+	if m.IsEager(7, 0, fk.Now()) {
+		t.Fatal("state survives DropFile")
+	}
+	if m.GhostLen() != 0 {
+		t.Fatal("ghost entries survive DropFile")
+	}
+}
+
+func TestPerBlockIndependence(t *testing.T) {
+	m, fk := model(t)
+	m.RecordWrite(1, 0, cacheline.Full) // sync-heavy block
+	for i := 0; i < 100; i++ {
+		m.RecordWrite(1, 1, cacheline.RangeMask(0, 64)) // coalesced block
+	}
+	m.OnSync(1)
+	if !m.IsEager(1, 0, fk.Now()) {
+		t.Fatal("block 0 should be eager")
+	}
+	if m.IsEager(1, 1, fk.Now()) {
+		t.Fatal("block 1 should stay lazy")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := NewModel(clock.Real{}, Config{})
+	c := m.Config()
+	if c.DRAMWriteLatency != 25*time.Nanosecond || c.NVMMWriteLatency != 200*time.Nanosecond {
+		t.Fatalf("latency defaults: %+v", c)
+	}
+	if c.EagerDecay != 5*time.Second || c.GhostBlocks != 4096 {
+		t.Fatalf("policy defaults: %+v", c)
+	}
+}

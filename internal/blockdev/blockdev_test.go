@@ -1,0 +1,74 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hinfs/internal/nvmm"
+)
+
+func TestReadWriteBlock(t *testing.T) {
+	nv, _ := nvmm.New(nvmm.Config{Size: 1 << 20})
+	d := New(nv, Config{})
+	blk := bytes.Repeat([]byte{0xAB}, BlockSize)
+	d.WriteBlock(blk, 3)
+	got := make([]byte, BlockSize)
+	d.ReadBlock(got, 3)
+	if !bytes.Equal(got, blk) {
+		t.Fatal("round trip failed")
+	}
+	s := d.Stats()
+	if s.Requests != 2 || s.BytesWritten != BlockSize || s.BytesRead != BlockSize {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestWriteIsDurable(t *testing.T) {
+	nv, _ := nvmm.New(nvmm.Config{Size: 1 << 20, TrackPersistence: true})
+	d := New(nv, Config{})
+	d.WriteBlock(bytes.Repeat([]byte{7}, BlockSize), 1)
+	nv.Crash()
+	got := make([]byte, BlockSize)
+	d.ReadBlock(got, 1)
+	if got[0] != 7 {
+		t.Fatal("block write not durable at completion")
+	}
+}
+
+func TestRequestOverheadCharged(t *testing.T) {
+	nv, _ := nvmm.New(nvmm.Config{Size: 1 << 20})
+	d := New(nv, Config{RequestOverhead: 200 * time.Microsecond})
+	start := time.Now()
+	buf := make([]byte, BlockSize)
+	d.ReadBlock(buf, 0)
+	if time.Since(start) < 200*time.Microsecond {
+		t.Fatal("block layer overhead not charged")
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	nv, _ := nvmm.New(nvmm.Config{Size: 1 << 20})
+	d := New(nv, Config{})
+	for _, f := range []func(){
+		func() { d.ReadBlock(make([]byte, 10), 0) },
+		func() { d.WriteBlock(make([]byte, BlockSize), 1<<40) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	nv, _ := nvmm.New(nvmm.Config{Size: 1 << 20})
+	d := New(nv, Config{})
+	if d.Blocks() != 256 {
+		t.Fatalf("Blocks = %d", d.Blocks())
+	}
+}

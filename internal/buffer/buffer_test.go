@@ -1,0 +1,332 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
+	"hinfs/internal/nvmm"
+)
+
+func testPool(t testing.TB, blocks int, clfw bool) (*Pool, *nvmm.Device) {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(dev, clock.Real{}, Config{Blocks: blocks, CLFW: clfw})
+	t.Cleanup(p.Close)
+	return p, dev
+}
+
+func TestWriteThenReadMerge(t *testing.T) {
+	p, _ := testPool(t, 8, true)
+	fb := p.NewFile()
+	const addr = 1 << 20
+	data := []byte("hello buffer")
+	fb.Write(0, 0, data, addr, false)
+	got := make([]byte, len(data))
+	if !fb.ReadMerge(0, 0, got, addr) {
+		t.Fatal("block not buffered")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCLFWFetchesOnlyPartialLines(t *testing.T) {
+	p, dev := testPool(t, 8, true)
+	// Pre-populate NVMM block.
+	const addr = 1 << 20
+	nv := bytes.Repeat([]byte{0xBB}, BlockSize)
+	dev.Write(nv, addr)
+	fb := p.NewFile()
+	// Write 0..112: line 0 fully covered (no fetch), line 1 partially
+	// covered (fetch). This is the paper's §3.2.1 example.
+	fb.Write(0, 0, make([]byte, 112), addr, true)
+	if got := p.Stats().LinesFetched; got != 1 {
+		t.Fatalf("fetched %d lines, want 1", got)
+	}
+	// The merged read of line 1 must combine the write and the fetched
+	// NVMM bytes.
+	got := make([]byte, 128)
+	fb.ReadMerge(0, 0, got, addr)
+	for i := 0; i < 112; i++ {
+		if got[i] != 0 {
+			t.Fatalf("written byte %d = %#x", i, got[i])
+		}
+	}
+	for i := 112; i < 128; i++ {
+		if got[i] != 0xBB {
+			t.Fatalf("fetched byte %d = %#x, want 0xBB", i, got[i])
+		}
+	}
+}
+
+func TestNCLFWFetchesWholeBlock(t *testing.T) {
+	p, dev := testPool(t, 8, false)
+	const addr = 1 << 20
+	dev.Write(bytes.Repeat([]byte{0xCC}, BlockSize), addr)
+	fb := p.NewFile()
+	fb.Write(0, 0, []byte("x"), addr, true)
+	if got := p.Stats().LinesFetched; got != cacheline.PerBlock-1 && got != cacheline.PerBlock {
+		t.Fatalf("fetched %d lines, want whole block", got)
+	}
+}
+
+func TestReadMergeUnbufferedLinesFromNVMM(t *testing.T) {
+	p, dev := testPool(t, 8, true)
+	const addr = 2 << 20
+	dev.Write(bytes.Repeat([]byte{0x55}, BlockSize), addr)
+	fb := p.NewFile()
+	// Buffer only lines 4..7 (aligned write).
+	patch := bytes.Repeat([]byte{0x66}, 4*cacheline.Size)
+	fb.Write(0, 4*cacheline.Size, patch, addr, true)
+	got := make([]byte, BlockSize)
+	fb.ReadMerge(0, 0, got, addr)
+	for i := 0; i < BlockSize; i++ {
+		want := byte(0x55)
+		if i >= 4*cacheline.Size && i < 8*cacheline.Size {
+			want = 0x66
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestFlushWritesOnlyDirtyRuns(t *testing.T) {
+	p, dev := testPool(t, 8, true)
+	fb := p.NewFile()
+	const addr = 1 << 20
+	// Two aligned single-line writes far apart.
+	fb.Write(0, 0, make([]byte, cacheline.Size), addr, false)
+	fb.Write(0, 32*cacheline.Size, make([]byte, cacheline.Size), addr, false)
+	dev.ResetStats()
+	n := fb.Flush()
+	if n != 2 {
+		t.Fatalf("flushed %d lines, want 2", n)
+	}
+	if got := dev.Stats().BytesFlushed; got != 2*cacheline.Size {
+		t.Fatalf("device flushed %d bytes, want %d", got, 2*cacheline.Size)
+	}
+	// Second flush is a no-op.
+	if n := fb.Flush(); n != 0 {
+		t.Fatalf("re-flush wrote %d lines", n)
+	}
+}
+
+func TestEvictionWritesBackAndFrees(t *testing.T) {
+	p, dev := testPool(t, 4, true)
+	fb := p.NewFile()
+	// Overcommit the pool: 16 distinct blocks through 4 slots.
+	for i := int64(0); i < 16; i++ {
+		fb.Write(i, 0, bytes.Repeat([]byte{byte(i + 1)}, BlockSize), (1<<20)+i*BlockSize, false)
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+	// Every block's data must be readable: buffered or already on NVMM.
+	for i := int64(0); i < 16; i++ {
+		got := make([]byte, BlockSize)
+		addr := int64(1<<20) + i*BlockSize
+		if !fb.ReadMerge(i, 0, got, addr) {
+			dev.Read(got, addr)
+		}
+		if got[0] != byte(i+1) || got[BlockSize-1] != byte(i+1) {
+			t.Fatalf("block %d lost: %#x", i, got[0])
+		}
+	}
+}
+
+func TestDropDiscardsDirtyData(t *testing.T) {
+	p, dev := testPool(t, 8, true)
+	fb := p.NewFile()
+	fb.Write(0, 0, bytes.Repeat([]byte{0xAD}, BlockSize), 1<<20, false)
+	dev.ResetStats()
+	fb.Drop()
+	if got := dev.Stats().BytesFlushed; got != 0 {
+		t.Fatalf("drop flushed %d bytes", got)
+	}
+	if p.Stats().Drops != 1 {
+		t.Fatalf("drops = %d", p.Stats().Drops)
+	}
+	if p.FreeBlocks() != 8 {
+		t.Fatalf("free = %d, want 8", p.FreeBlocks())
+	}
+}
+
+func TestInvalidateFlushesDirtyBeforeDropping(t *testing.T) {
+	p, dev := testPool(t, 8, true)
+	fb := p.NewFile()
+	const addr = 1 << 20
+	fb.Write(0, 0, bytes.Repeat([]byte{0x77}, 2*cacheline.Size), addr, false)
+	fb.Invalidate(0, 0, cacheline.Size)
+	// The dirty covered line was flushed to NVMM before invalidation.
+	got := make([]byte, cacheline.Size)
+	dev.Read(got, addr)
+	if got[0] != 0x77 {
+		t.Fatal("invalidate lost dirty data")
+	}
+	// Line 0 now reads from NVMM (invalid in DRAM); line 1 still DRAM.
+	buf := make([]byte, 2*cacheline.Size)
+	if !fb.ReadMerge(0, 0, buf, addr) {
+		t.Fatal("block gone entirely")
+	}
+	if buf[0] != 0x77 || buf[cacheline.Size] != 0x77 {
+		t.Fatal("merge after invalidate broken")
+	}
+}
+
+func TestLRWOrderEvictsOldestWritten(t *testing.T) {
+	p, _ := testPool(t, 4, true)
+	fb := p.NewFile()
+	base := int64(1 << 20)
+	for i := int64(0); i < 4; i++ {
+		fb.Write(i, 0, []byte{1}, base+i*BlockSize, false)
+	}
+	// Rewrite block 0 → it becomes MRW; block 1 is now LRW.
+	fb.Write(0, 64, []byte{2}, base, false)
+	// Force one eviction.
+	fb.Write(4, 0, []byte{3}, base+4*BlockSize, false)
+	if fb.Buffered(1) {
+		// Block 1 should have been the LRW victim.
+		t.Fatal("LRW policy evicted the wrong block")
+	}
+	if !fb.Buffered(0) {
+		t.Fatal("recently rewritten block was evicted")
+	}
+}
+
+func TestWriteStallsWaitForReclaim(t *testing.T) {
+	p, _ := testPool(t, 2, true)
+	fb := p.NewFile()
+	for i := int64(0); i < 50; i++ {
+		fb.Write(i, 0, []byte{byte(i)}, (1<<20)+i*BlockSize, false)
+	}
+	if p.Stats().Stalls == 0 {
+		t.Skip("no stall observed (writeback kept up); nothing to assert")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	p, _ := testPool(t, 16, true)
+	fa := p.NewFile()
+	fbb := p.NewFile()
+	fa.Write(0, 0, []byte{1}, 1<<20, false)
+	fbb.Write(0, 0, []byte{2}, 2<<20, false)
+	if n := p.FlushAll(); n != 2 {
+		t.Fatalf("FlushAll flushed %d lines, want 2", n)
+	}
+	if p.DirtyBlocks() != 0 {
+		t.Fatal("dirty blocks remain")
+	}
+}
+
+func TestAgedFlushWithFakeClock(t *testing.T) {
+	fk := clock.NewFake(time.Unix(0, 0))
+	dev, _ := nvmm.New(nvmm.Config{Size: 16 << 20})
+	p := NewPool(dev, fk, Config{Blocks: 8, CLFW: true,
+		FlushPeriod: 5 * time.Second, MaxDirtyAge: 30 * time.Second})
+	defer p.Close()
+	fb := p.NewFile()
+	fb.Write(0, 0, []byte{9}, 1<<20, false)
+	// Before the age threshold, periodic wakeups must not flush.
+	fk.Advance(10 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if p.DirtyBlocks() != 1 {
+		t.Fatal("young block flushed early")
+	}
+	for i := 0; i < 10; i++ {
+		fk.Advance(5 * time.Second)
+		time.Sleep(5 * time.Millisecond)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.DirtyBlocks() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("aged block never flushed")
+		}
+		fk.Advance(5 * time.Second)
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBlockIndices(t *testing.T) {
+	p, _ := testPool(t, 8, true)
+	fb := p.NewFile()
+	for _, i := range []int64{5, 1, 3} {
+		fb.Write(i, 0, []byte{1}, (1<<20)+i*BlockSize, false)
+	}
+	got := fb.BlockIndices()
+	want := []int64{1, 3, 5}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("indices %v", got)
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	p, _ := testPool(t, 8, true)
+	fb := p.NewFile()
+	fb.Write(0, 0, make([]byte, 3*cacheline.Size), 1<<20, false)
+	if got := fb.DirtyLines(0); got != 3 {
+		t.Fatalf("dirty lines = %d, want 3", got)
+	}
+	if got := fb.DirtyLines(9); got != 0 {
+		t.Fatalf("missing block dirty lines = %d", got)
+	}
+}
+
+func TestFIFOPolicyIgnoresRewrites(t *testing.T) {
+	dev, _ := nvmm.New(nvmm.Config{Size: 16 << 20})
+	p := NewPool(dev, clock.Real{}, Config{Blocks: 4, CLFW: true, Policy: FIFO})
+	defer p.Close()
+	fb := p.NewFile()
+	base := int64(1 << 20)
+	for i := int64(0); i < 4; i++ {
+		fb.Write(i, 0, []byte{1}, base+i*BlockSize, false)
+	}
+	// Rewrite block 0; under FIFO it must NOT be refreshed, so it is
+	// still the first victim.
+	fb.Write(0, 64, []byte{2}, base, false)
+	fb.Write(4, 0, []byte{3}, base+4*BlockSize, false)
+	if fb.Buffered(0) {
+		t.Fatal("FIFO kept the rewritten block")
+	}
+	if !fb.Buffered(1) {
+		t.Fatal("FIFO evicted the wrong block")
+	}
+}
+
+func TestLFWPolicyKeepsHotBlocks(t *testing.T) {
+	dev, _ := nvmm.New(nvmm.Config{Size: 16 << 20})
+	p := NewPool(dev, clock.Real{}, Config{Blocks: 4, CLFW: true, Policy: LFW})
+	defer p.Close()
+	fb := p.NewFile()
+	base := int64(1 << 20)
+	for i := int64(0); i < 4; i++ {
+		fb.Write(i, 0, []byte{1}, base+i*BlockSize, false)
+	}
+	// Make blocks 1..3 hot; block 0 stays cold (1 write).
+	for r := 0; r < 5; r++ {
+		for i := int64(1); i < 4; i++ {
+			fb.Write(i, 64, []byte{2}, base+i*BlockSize, false)
+		}
+	}
+	fb.Write(4, 0, []byte{3}, base+4*BlockSize, false)
+	if fb.Buffered(0) {
+		t.Fatal("LFW kept the cold block")
+	}
+	for i := int64(1); i < 4; i++ {
+		if !fb.Buffered(i) {
+			t.Fatalf("LFW evicted hot block %d", i)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRW.String() != "lrw" || FIFO.String() != "fifo" || LFW.String() != "lfw" {
+		t.Fatal("policy names")
+	}
+}

@@ -1,0 +1,370 @@
+package buffer
+
+import (
+	"runtime"
+	"sort"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/journal"
+)
+
+// FileBuf is the per-file view of the pool: the DRAM Block Index mapping
+// file block indices to buffered DRAM blocks (paper Fig. 5). HiNFS holds
+// one FileBuf per inode with buffered data.
+//
+// Same-file write/read exclusion is provided by the owning file system's
+// inode lock; FileBuf coordinates with the pool's writeback threads via
+// the pool mutex, per-block pins and the per-block flush mutex.
+type FileBuf struct {
+	pool   *Pool
+	blocks map[int64]*block // guarded by pool.mu
+}
+
+// NewFile returns an empty per-file buffer view.
+func (p *Pool) NewFile() *FileBuf {
+	return &FileBuf{pool: p, blocks: make(map[int64]*block)}
+}
+
+// lookupPin finds the buffered block for idx and pins it; the caller must
+// unpin. Returns nil if the block is not buffered.
+func (fb *FileBuf) lookupPin(idx int64, touch bool) *block {
+	p := fb.pool
+	p.mu.Lock()
+	b := fb.blocks[idx]
+	if b != nil {
+		b.pins.Add(1)
+		if touch {
+			p.touch(b)
+		}
+	}
+	p.mu.Unlock()
+	return b
+}
+
+// Write buffers data at byte offset blkOff within file block idx. addr is
+// the NVMM device address of the backing block (used for CLFW fetch and
+// later writeback). blockExists reports whether the NVMM block held data
+// before this write (false for newly allocated blocks, whose unwritten
+// bytes are zero). txs are ordered-mode transactions whose commit must
+// wait for this block's persistence; they are registered on the block.
+//
+// It returns the number of cachelines the write covered (the Buffer
+// Benefit Model's N_cw contribution).
+func (fb *FileBuf) Write(idx int64, blkOff int, data []byte, addr int64, blockExists bool, txs ...*journal.Tx) int {
+	if len(data) == 0 || blkOff+len(data) > BlockSize {
+		panic("buffer: bad write range")
+	}
+	p := fb.pool
+	b := fb.lookupPin(idx, true)
+	if b == nil {
+		nb := p.allocBlock()
+		p.mu.Lock()
+		if cur := fb.blocks[idx]; cur != nil {
+			// Defensive: installed concurrently (should not happen under
+			// the inode lock).
+			cur.pins.Add(1)
+			p.touch(cur)
+			p.mu.Unlock()
+			p.releaseBlock(nb)
+			b = cur
+		} else {
+			nb.fb = fb
+			nb.idx = idx
+			nb.addr = addr
+			nb.pins.Add(1)
+			fb.blocks[idx] = nb
+			p.pushMRW(nb)
+			p.mu.Unlock()
+			b = nb
+		}
+		p.writeMisses.Add(1)
+	} else {
+		p.writeHits.Add(1)
+	}
+	b.fmu.Lock()
+	valid := b.validMap()
+	mask := cacheline.RangeMask(blkOff, len(data))
+	// CLFW fetch: bring in only the cachelines this write partially covers
+	// and that are not yet valid (§3.2.1). Without CLFW the whole block is
+	// fetched on a miss.
+	fetchMask := cacheline.Bitmap(0)
+	if p.cfg.CLFW {
+		first, last := cacheline.LinesCovering(blkOff, len(data))
+		if blkOff%cacheline.Size != 0 && !valid.Test(first) {
+			fetchMask.Set(first)
+		}
+		if (blkOff+len(data))%cacheline.Size != 0 && !valid.Test(last) {
+			fetchMask.Set(last)
+		}
+	} else {
+		fetchMask = ^valid
+	}
+	if fetchMask.Any() {
+		runs := fetchMask.Runs(nil, 0, cacheline.PerBlock-1)
+		for _, r := range runs {
+			if !r.Set {
+				continue
+			}
+			if blockExists {
+				p.dev.Read(b.data[r.Off:r.Off+r.Len], b.addr+int64(r.Off))
+				p.linesFetched.Add(int64(r.Len / cacheline.Size))
+			} else {
+				// Backing block is fresh: the missing lines are zero.
+				zero(b.data[r.Off : r.Off+r.Len])
+			}
+		}
+	}
+	if !p.cfg.CLFW {
+		valid = cacheline.Full
+	}
+	copy(b.data[blkOff:], data)
+	b.valid.Store(uint64(valid | mask))
+	b.dirty.Store(uint64(b.dirtyMap() | mask))
+	b.lastWrite.Store(p.clk.Now().UnixNano())
+	if len(txs) > 0 {
+		b.txs = append(b.txs, txs...)
+	}
+	b.fmu.Unlock()
+	b.pins.Add(-1)
+	return mask.Count()
+}
+
+func zero(s []byte) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// ReadMerge copies the byte range [blkOff, blkOff+len(dst)) of file block
+// idx into dst, taking each cacheline from DRAM if the buffered block
+// holds it valid and from NVMM (at addr) otherwise — the paper's
+// read-consistency merge (§3.3.1). One copy is issued per run of
+// consecutive same-source cachelines. It reports whether the block was
+// buffered; if not it copies nothing and the caller reads NVMM directly.
+func (fb *FileBuf) ReadMerge(idx int64, blkOff int, dst []byte, addr int64) bool {
+	if len(dst) == 0 {
+		return false
+	}
+	b := fb.lookupPin(idx, false)
+	if b == nil {
+		return false
+	}
+	defer b.pins.Add(-1)
+	first, last := cacheline.LinesCovering(blkOff, len(dst))
+	runs := b.validMap().Runs(nil, first, last)
+	for _, r := range runs {
+		lo, hi := r.Off, r.Off+r.Len
+		if lo < blkOff {
+			lo = blkOff
+		}
+		if hi > blkOff+len(dst) {
+			hi = blkOff + len(dst)
+		}
+		if lo >= hi {
+			continue
+		}
+		if r.Set {
+			copy(dst[lo-blkOff:hi-blkOff], b.data[lo:hi])
+		} else if addr == 0 {
+			// The block is a hole on NVMM; unbuffered lines read zero.
+			zero(dst[lo-blkOff : hi-blkOff])
+		} else {
+			fb.pool.dev.Read(dst[lo-blkOff:hi-blkOff], addr+int64(lo))
+		}
+	}
+	return true
+}
+
+// DropBlock discards block idx without writeback (truncate: the NVMM
+// block is about to be freed, so its buffered data must never be flushed).
+// Gated transactions are released.
+func (fb *FileBuf) DropBlock(idx int64) {
+	p := fb.pool
+	for {
+		p.mu.Lock()
+		b := fb.blocks[idx]
+		if b == nil {
+			p.mu.Unlock()
+			return
+		}
+		if b.pins.Load() != 0 {
+			p.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		p.detachLocked(b)
+		p.mu.Unlock()
+		b.fmu.Lock()
+		if b.dirtyMap().Any() {
+			p.drops.Add(1)
+		}
+		b.dirty.Store(0)
+		notifyTxsLocked(b)
+		b.fmu.Unlock()
+		p.releaseBlock(b)
+		return
+	}
+}
+
+// Buffered reports whether file block idx is in the DRAM buffer.
+func (fb *FileBuf) Buffered(idx int64) bool {
+	p := fb.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fb.blocks[idx] != nil
+}
+
+// DirtyLines returns the number of dirty cachelines buffered for block
+// idx (0 if not buffered).
+func (fb *FileBuf) DirtyLines(idx int64) int {
+	p := fb.pool
+	p.mu.Lock()
+	b := fb.blocks[idx]
+	p.mu.Unlock()
+	if b == nil {
+		return 0
+	}
+	return b.dirtyMap().Count()
+}
+
+// Flush writes back every dirty block of the file (the fsync path) and
+// returns the number of cachelines flushed — the Buffer Benefit Model's
+// N_cf as performed by the synchronization process itself. Blocks stay
+// cached clean.
+func (fb *FileBuf) Flush() int {
+	p := fb.pool
+	flushed := 0
+	var victims []*block
+	p.mu.Lock()
+	for _, b := range fb.blocks {
+		if b.dirtyMap().Any() {
+			b.pins.Add(1)
+			victims = append(victims, b)
+		}
+	}
+	p.mu.Unlock()
+	for _, b := range victims {
+		b.fmu.Lock()
+		flushed += b.dirtyMap().Count()
+		p.flushBlockLocked(b)
+		b.fmu.Unlock()
+		b.pins.Add(-1)
+	}
+	return flushed
+}
+
+// EvictBlock flushes block idx if dirty and removes it from the buffer
+// (the paper's case-1 eager-persistent consistency path: write to the
+// DRAM block, then explicitly evict it before returning).
+func (fb *FileBuf) EvictBlock(idx int64) {
+	p := fb.pool
+	for {
+		p.mu.Lock()
+		b := fb.blocks[idx]
+		if b == nil {
+			p.mu.Unlock()
+			return
+		}
+		if b.pins.Load() != 0 {
+			p.mu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		p.detachLocked(b)
+		p.mu.Unlock()
+		p.flushBlock(b)
+		p.releaseBlock(b)
+		return
+	}
+}
+
+// Invalidate drops the valid/dirty state of every cacheline overlapping
+// [blkOff, blkOff+n) of block idx, flushing first if any covered line is
+// dirty. HiNFS calls it when an eager-persistent write goes directly to
+// NVMM so stale DRAM lines cannot shadow the new data.
+func (fb *FileBuf) Invalidate(idx int64, blkOff, n int) {
+	b := fb.lookupPin(idx, false)
+	if b == nil {
+		return
+	}
+	mask := cacheline.RangeMask(blkOff, n)
+	b.fmu.Lock()
+	if (b.dirtyMap() & mask).Any() {
+		fb.pool.flushBlockLocked(b)
+	}
+	b.valid.Store(uint64(b.validMap() &^ mask))
+	b.dirty.Store(uint64(b.dirtyMap() &^ mask))
+	b.fmu.Unlock()
+	b.pins.Add(-1)
+	if !b.validMap().Any() {
+		fb.dropIfEmpty(idx)
+	}
+}
+
+// dropIfEmpty releases block idx if it holds no valid lines.
+func (fb *FileBuf) dropIfEmpty(idx int64) {
+	p := fb.pool
+	p.mu.Lock()
+	b := fb.blocks[idx]
+	if b == nil || b.pins.Load() != 0 || b.validMap().Any() {
+		p.mu.Unlock()
+		return
+	}
+	p.detachLocked(b)
+	p.mu.Unlock()
+	p.flushBlock(b) // releases any gated transactions; dirty is empty
+	p.releaseBlock(b)
+}
+
+// Drop discards every buffered block of the file without writing it back:
+// the file was deleted, so its dirty data never needs to reach NVMM (§1's
+// "writes to files that are later deleted do not need to be performed").
+// Ordered-mode transactions gated on dropped blocks are released.
+func (fb *FileBuf) Drop() {
+	p := fb.pool
+	for {
+		var victim *block
+		p.mu.Lock()
+		for _, b := range fb.blocks {
+			if b.pins.Load() == 0 {
+				victim = b
+				break
+			}
+		}
+		if victim != nil {
+			p.detachLocked(victim)
+		}
+		done := len(fb.blocks) == 0
+		p.mu.Unlock()
+		if victim != nil {
+			victim.fmu.Lock()
+			if victim.dirtyMap().Any() {
+				p.drops.Add(1)
+			}
+			victim.dirty.Store(0)
+			notifyTxsLocked(victim)
+			victim.fmu.Unlock()
+			p.releaseBlock(victim)
+		}
+		if done {
+			return
+		}
+		if victim == nil {
+			runtime.Gosched()
+		}
+	}
+}
+
+// BlockIndices returns the sorted file block indices currently buffered
+// (diagnostics and tests).
+func (fb *FileBuf) BlockIndices() []int64 {
+	p := fb.pool
+	p.mu.Lock()
+	out := make([]int64, 0, len(fb.blocks))
+	for idx := range fb.blocks {
+		out = append(out, idx)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

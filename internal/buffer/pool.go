@@ -1,0 +1,547 @@
+// Package buffer implements HiNFS's NVMM-aware DRAM write buffer
+// (paper §3.2).
+//
+// The buffer holds 4 KB DRAM blocks managed with the LRW (Least Recently
+// Written) replacement policy. Each block carries two cacheline bitmaps:
+// valid (which 64 B lines hold up-to-date data in DRAM) and dirty (which
+// lines must be written back to NVMM). The Cacheline Level Fetch/Writeback
+// scheme (CLFW, §3.2.1) fetches only the cachelines a partial write needs
+// and writes back only dirty cachelines, run by run.
+//
+// Background writeback threads reclaim blocks when free space drops below
+// Low_f (until it exceeds High_f), wake every FlushPeriod, and write back
+// dirty blocks older than MaxDirtyAge. Ordered-mode journaling is
+// supported by per-block transaction references: when a block's dirty
+// lines reach NVMM, every registered transaction is notified so its commit
+// record can be written (paper §4.1).
+//
+// Concurrency model: the pool mutex guards the LRW list, the free list and
+// the per-file block indices; a per-block pin count keeps a block from
+// being detached or reclaimed while in use; a per-block flush mutex
+// serializes content mutation (write-copy, writeback, invalidate); and the
+// bitmaps are atomics so scans read consistent snapshots without locks.
+// Same-file writer/reader exclusion is provided by the owning file
+// system's inode lock.
+//
+// The paper indexes buffered blocks with a per-file B-tree reused from
+// PMFS and notes (§3.2) that the index structure is not performance
+// critical — "there will be little performance difference between the
+// index implementations of B-tree and other structures". We use Go's map
+// as the per-file DRAM Block Index accordingly.
+package buffer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
+	"hinfs/internal/journal"
+	"hinfs/internal/nvmm"
+)
+
+// BlockSize is the DRAM buffer block size (equal to the FS block size).
+const BlockSize = cacheline.BlockSize
+
+// Config tunes the buffer pool. Zero fields take the paper's defaults.
+type Config struct {
+	// Blocks is the pool capacity in 4 KB blocks. Required.
+	Blocks int
+	// LowFree is the free-block fraction that wakes the writeback threads
+	// (default 0.05, the paper's Low_f).
+	LowFree float64
+	// HighFree is the free-block fraction reclamation aims for
+	// (default 0.20, the paper's High_f).
+	HighFree float64
+	// FlushPeriod is the periodic writeback wake interval (default 5 s).
+	FlushPeriod time.Duration
+	// MaxDirtyAge writes back blocks not written for this long
+	// (default 30 s).
+	MaxDirtyAge time.Duration
+	// WritebackThreads is the number of background flusher goroutines
+	// (default 4; the paper creates "multiple independent kernel threads").
+	WritebackThreads int
+	// CLFW enables Cacheline Level Fetch/Writeback. When false (the
+	// paper's HiNFS-NCLFW ablation), whole blocks are fetched on a partial
+	// miss and whole blocks are written back.
+	CLFW bool
+	// Policy selects the replacement policy. The paper uses LRW and notes
+	// other policies (LFU, ARC, 2Q) could be integrated; LRW, FIFO and a
+	// simple LFW are provided for the ablation benches.
+	Policy Policy
+}
+
+// Policy is a buffer replacement policy.
+type Policy int
+
+// Replacement policies.
+const (
+	// LRW evicts the Least Recently Written block (paper default).
+	LRW Policy = iota
+	// FIFO evicts in insertion order (rewrites do not refresh position).
+	FIFO
+	// LFW evicts the Least Frequently Written block (LRW tiebreak).
+	LFW
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRW:
+		return "lrw"
+	case FIFO:
+		return "fifo"
+	case LFW:
+		return "lfw"
+	}
+	return "unknown"
+}
+
+func (c *Config) fill() {
+	if c.LowFree == 0 {
+		c.LowFree = 0.05
+	}
+	if c.HighFree == 0 {
+		c.HighFree = 0.20
+	}
+	if c.FlushPeriod == 0 {
+		c.FlushPeriod = 5 * time.Second
+	}
+	if c.MaxDirtyAge == 0 {
+		c.MaxDirtyAge = 30 * time.Second
+	}
+	if c.WritebackThreads == 0 {
+		c.WritebackThreads = 4
+	}
+}
+
+// Stats aggregates pool counters.
+type Stats struct {
+	// WriteHits counts buffered writes that found their block in DRAM.
+	WriteHits int64
+	// WriteMisses counts buffered writes that allocated a new DRAM block.
+	WriteMisses int64
+	// LinesFetched counts cachelines fetched NVMM→DRAM for partial writes.
+	LinesFetched int64
+	// LinesFlushed counts cachelines written back DRAM→NVMM.
+	LinesFlushed int64
+	// Evictions counts blocks reclaimed by the writeback threads.
+	Evictions int64
+	// Stalls counts foreground waits for free blocks.
+	Stalls int64
+	// Drops counts dirty blocks discarded because their file was deleted —
+	// writes that never had to reach NVMM.
+	Drops int64
+}
+
+// block is one DRAM buffer block. Its data is owned by the pool slab.
+type block struct {
+	data []byte
+	fb   *FileBuf
+	idx  int64 // file block index
+	addr int64 // NVMM device byte address of the backing block
+
+	valid atomic.Uint64 // cacheline.Bitmap: up-to-date lines in DRAM
+	dirty atomic.Uint64 // cacheline.Bitmap: lines needing writeback
+
+	lastWrite atomic.Int64 // unix nanos of the last buffered write
+	writes    atomic.Int64 // buffered write count (LFW policy)
+
+	fmu sync.Mutex    // serializes content mutation: write, flush, invalidate
+	txs []*journal.Tx // ordered-mode commits gated on this block (under fmu)
+
+	pins atomic.Int32 // >0: block must not be detached or reclaimed
+
+	prev, next *block // LRW list links (head = MRW, tail = LRW)
+}
+
+func (b *block) validMap() cacheline.Bitmap { return cacheline.Bitmap(b.valid.Load()) }
+func (b *block) dirtyMap() cacheline.Bitmap { return cacheline.Bitmap(b.dirty.Load()) }
+
+// Pool is the shared DRAM buffer.
+type Pool struct {
+	dev *nvmm.Device
+	clk clock.Clock
+	cfg Config
+
+	mu     sync.Mutex
+	free   []*block
+	total  int
+	head   *block // most recently written
+	tail   *block // least recently written
+	inUse  int
+	closed bool
+
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	writeHits    atomic.Int64
+	writeMisses  atomic.Int64
+	linesFetched atomic.Int64
+	linesFlushed atomic.Int64
+	evictions    atomic.Int64
+	stalls       atomic.Int64
+	drops        atomic.Int64
+}
+
+// NewPool creates a pool of cfg.Blocks DRAM blocks over dev and starts the
+// background writeback threads.
+func NewPool(dev *nvmm.Device, clk clock.Clock, cfg Config) *Pool {
+	cfg.fill()
+	if cfg.Blocks <= 0 {
+		panic("buffer: Config.Blocks must be positive")
+	}
+	p := &Pool{dev: dev, clk: clk, cfg: cfg, total: cfg.Blocks,
+		wake: make(chan struct{}, 1), quit: make(chan struct{})}
+	slab := make([]byte, cfg.Blocks*BlockSize)
+	p.free = make([]*block, cfg.Blocks)
+	for i := 0; i < cfg.Blocks; i++ {
+		p.free[i] = &block{data: slab[i*BlockSize : (i+1)*BlockSize]}
+	}
+	for i := 0; i < cfg.WritebackThreads; i++ {
+		p.wg.Add(1)
+		go p.writebackLoop()
+	}
+	return p
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		WriteHits:    p.writeHits.Load(),
+		WriteMisses:  p.writeMisses.Load(),
+		LinesFetched: p.linesFetched.Load(),
+		LinesFlushed: p.linesFlushed.Load(),
+		Evictions:    p.evictions.Load(),
+		Stalls:       p.stalls.Load(),
+		Drops:        p.drops.Load(),
+	}
+}
+
+// FreeBlocks returns the current number of free DRAM blocks.
+func (p *Pool) FreeBlocks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Capacity returns the pool size in blocks.
+func (p *Pool) Capacity() int { return p.total }
+
+// Config returns the pool configuration after defaulting.
+func (p *Pool) Config() Config { return p.cfg }
+
+// DirtyBlocks returns the number of buffered blocks with dirty lines.
+func (p *Pool) DirtyBlocks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for b := p.head; b != nil; b = b.next {
+		if b.dirtyMap().Any() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close flushes every dirty block to NVMM and stops the writeback threads
+// (the paper flushes all DRAM blocks at unmount).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+	for {
+		p.mu.Lock()
+		var victim *block
+		for b := p.tail; b != nil; b = b.prev {
+			if b.pins.Load() == 0 {
+				victim = b
+				break
+			}
+		}
+		if victim != nil {
+			p.detachLocked(victim)
+		}
+		empty := p.head == nil
+		p.mu.Unlock()
+		if victim == nil {
+			if empty {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		p.flushBlock(victim)
+		p.releaseBlock(victim)
+	}
+}
+
+// --- LRW list management (callers hold p.mu) ---
+
+func (p *Pool) pushMRW(b *block) {
+	b.prev = nil
+	b.next = p.head
+	if p.head != nil {
+		p.head.prev = b
+	}
+	p.head = b
+	if p.tail == nil {
+		p.tail = b
+	}
+}
+
+func (p *Pool) unlinkList(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		p.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		p.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (p *Pool) touch(b *block) {
+	b.writes.Add(1)
+	if p.cfg.Policy == FIFO {
+		return // insertion order is preserved
+	}
+	p.unlinkList(b)
+	p.pushMRW(b)
+}
+
+// detachLocked removes b from its file index and the LRW list; the caller
+// then owns the block exclusively (pins must be zero).
+func (p *Pool) detachLocked(b *block) {
+	p.unlinkList(b)
+	delete(b.fb.blocks, b.idx)
+	b.fb = nil
+	p.inUse--
+}
+
+// releaseBlock resets b and returns it to the free list.
+func (p *Pool) releaseBlock(b *block) {
+	b.valid.Store(0)
+	b.dirty.Store(0)
+	b.writes.Store(0)
+	b.idx, b.addr = 0, 0
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}
+
+// notifyTxsLocked tells every transaction gated on b that its data
+// persisted. Caller holds b.fmu.
+func notifyTxsLocked(b *block) {
+	for _, tx := range b.txs {
+		tx.BlockPersisted()
+	}
+	b.txs = nil
+}
+
+// flushBlock writes b's dirty lines back to NVMM. With CLFW only dirty
+// runs are copied and flushed; without it the whole block is written. The
+// caller must hold a pin or have detached the block.
+func (p *Pool) flushBlock(b *block) {
+	b.fmu.Lock()
+	defer b.fmu.Unlock()
+	p.flushBlockLocked(b)
+}
+
+func (p *Pool) flushBlockLocked(b *block) {
+	dirty := b.dirtyMap()
+	if !dirty.Any() {
+		notifyTxsLocked(b)
+		return
+	}
+	if p.cfg.CLFW {
+		runs := dirty.Runs(nil, 0, cacheline.PerBlock-1)
+		for _, r := range runs {
+			if !r.Set {
+				continue
+			}
+			p.dev.Write(b.data[r.Off:r.Off+r.Len], b.addr+int64(r.Off))
+			p.dev.Flush(b.addr+int64(r.Off), r.Len)
+			p.linesFlushed.Add(int64(r.Len / cacheline.Size))
+		}
+	} else {
+		p.dev.Write(b.data, b.addr)
+		p.dev.Flush(b.addr, BlockSize)
+		p.linesFlushed.Add(cacheline.PerBlock)
+	}
+	p.dev.Fence()
+	b.dirty.Store(0)
+	notifyTxsLocked(b)
+}
+
+// FlushAll writes back every dirty block in the pool (the sync(2) path)
+// and returns the number of cachelines flushed. Blocks stay cached clean.
+func (p *Pool) FlushAll() int {
+	var victims []*block
+	p.mu.Lock()
+	for b := p.head; b != nil; b = b.next {
+		if b.pins.Load() == 0 && b.dirtyMap().Any() {
+			b.pins.Add(1)
+			victims = append(victims, b)
+		}
+	}
+	p.mu.Unlock()
+	flushed := 0
+	for _, b := range victims {
+		b.fmu.Lock()
+		flushed += b.dirtyMap().Count()
+		p.flushBlockLocked(b)
+		b.fmu.Unlock()
+		b.pins.Add(-1)
+	}
+	return flushed
+}
+
+// lowWater and highWater are the reclamation thresholds in blocks.
+func (p *Pool) lowWater() int  { return int(float64(p.total) * p.cfg.LowFree) }
+func (p *Pool) highWater() int { return int(float64(p.total) * p.cfg.HighFree) }
+
+// writebackLoop is the background flusher (§3.2): it reclaims blocks from
+// the LRW position when free space is low, and periodically writes back
+// aged dirty blocks.
+func (p *Pool) writebackLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.wake:
+			p.reclaim()
+			p.flushAged()
+		case <-p.clk.After(p.cfg.FlushPeriod):
+			p.flushAged()
+			if p.needReclaim() {
+				p.reclaim()
+			}
+		}
+	}
+}
+
+func (p *Pool) needReclaim() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free) < p.lowWater()
+}
+
+// reclaim evicts LRW-position blocks until free space exceeds High_f.
+func (p *Pool) reclaim() {
+	for {
+		p.mu.Lock()
+		if len(p.free) >= p.highWater() {
+			p.mu.Unlock()
+			return
+		}
+		victim := p.victimLocked()
+		if victim == nil {
+			p.mu.Unlock()
+			return
+		}
+		p.detachLocked(victim)
+		p.mu.Unlock()
+		p.flushBlock(victim)
+		p.evictions.Add(1)
+		p.releaseBlock(victim)
+	}
+}
+
+// victimLocked picks the eviction victim per the configured policy from
+// unpinned blocks; nil if none. Caller holds p.mu.
+func (p *Pool) victimLocked() *block {
+	if p.cfg.Policy == LFW {
+		var victim *block
+		min := int64(1) << 62
+		for b := p.tail; b != nil; b = b.prev {
+			if b.pins.Load() != 0 {
+				continue
+			}
+			if w := b.writes.Load(); w < min {
+				min, victim = w, b
+			}
+		}
+		return victim
+	}
+	for b := p.tail; b != nil; b = b.prev {
+		if b.pins.Load() == 0 {
+			return b
+		}
+	}
+	return nil
+}
+
+// flushAged writes back dirty blocks older than MaxDirtyAge without
+// evicting them; they stay cached clean.
+func (p *Pool) flushAged() {
+	cutoff := p.clk.Now().Add(-p.cfg.MaxDirtyAge).UnixNano()
+	var victims []*block
+	p.mu.Lock()
+	for b := p.tail; b != nil; b = b.prev {
+		if b.pins.Load() == 0 && b.dirtyMap().Any() && b.lastWrite.Load() < cutoff {
+			b.pins.Add(1)
+			victims = append(victims, b)
+		}
+	}
+	p.mu.Unlock()
+	for _, b := range victims {
+		p.flushBlock(b)
+		b.pins.Add(-1)
+	}
+}
+
+// Kick nudges the background writeback threads without blocking.
+func (p *Pool) Kick() { p.kickWriteback() }
+
+// kickWriteback nudges the background threads without blocking.
+func (p *Pool) kickWriteback() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// allocBlock takes a free block. If the pool is exhausted the caller
+// stalls (the paper's foreground stall behaviour): it kicks the writeback
+// threads and, as a liveness fallback, evicts one LRW block inline.
+func (p *Pool) allocBlock() *block {
+	p.mu.Lock()
+	for len(p.free) == 0 {
+		p.stalls.Add(1)
+		p.kickWriteback()
+		victim := p.victimLocked()
+		if victim != nil {
+			p.detachLocked(victim)
+			p.mu.Unlock()
+			p.flushBlock(victim)
+			p.evictions.Add(1)
+			p.releaseBlock(victim)
+		} else {
+			p.mu.Unlock()
+			time.Sleep(10 * time.Microsecond)
+		}
+		p.mu.Lock()
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	if len(p.free) < p.highWater() {
+		p.kickWriteback()
+	}
+	p.inUse++
+	p.mu.Unlock()
+	return b
+}

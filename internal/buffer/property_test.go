@@ -1,0 +1,125 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hinfs/internal/clock"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/workload"
+)
+
+// TestReadMergeConsistencyProperty is the §3.3.1 invariant as a property:
+// after any sequence of buffered writes, flushes, invalidates and evictions
+// on one block, the merged view (DRAM valid lines + NVMM for the rest)
+// must equal a plain shadow array that saw the same writes.
+func TestReadMergeConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		dev, err := nvmm.New(nvmm.Config{Size: 4 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPool(dev, clock.Real{}, Config{Blocks: 2, CLFW: true})
+		defer p.Close()
+		fb := p.NewFile()
+		rng := workload.NewRand(seed)
+
+		const addr = 1 << 20
+		shadow := make([]byte, BlockSize)
+		buf := make([]byte, BlockSize)
+		blockExists := false
+
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(10) {
+			case 0: // flush the file (block becomes clean, NVMM catches up)
+				fb.Flush()
+			case 1: // invalidate a random line range
+				off := rng.Intn(BlockSize)
+				n := 1 + rng.Intn(BlockSize-off)
+				fb.Invalidate(0, off, n)
+			case 2: // evict (flush + drop)
+				fb.EvictBlock(0)
+			default: // buffered write of a random range
+				off := rng.Intn(BlockSize)
+				n := 1 + rng.Intn(BlockSize-off)
+				data := buf[:n]
+				for i := range data {
+					data[i] = byte(rng.Uint64())
+				}
+				fb.Write(0, off, data, addr, blockExists)
+				copy(shadow[off:], data)
+				blockExists = true
+			}
+			// The merged view must equal the shadow at all times. Bytes
+			// never written are zero in the shadow; the device block was
+			// never pre-populated, so unwritten NVMM bytes are zero too.
+			got := make([]byte, BlockSize)
+			if !fb.ReadMerge(0, 0, got, addr) {
+				dev.Read(got, addr)
+			}
+			if !blockExists {
+				continue
+			}
+			if !bytes.Equal(got, shadow) {
+				for i := range got {
+					if got[i] != shadow[i] {
+						t.Logf("seed %d op %d: byte %d (line %d): got %#x want %#x",
+							seed, op, i, i/64, got[i], shadow[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiBlockMergeProperty extends the invariant across several blocks
+// competing for a tiny pool (constant eviction churn).
+func TestMultiBlockMergeProperty(t *testing.T) {
+	dev, err := nvmm.New(nvmm.Config{Size: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(dev, clock.Real{}, Config{Blocks: 3, CLFW: true})
+	defer p.Close()
+	fb := p.NewFile()
+	rng := workload.NewRand(77)
+
+	const nBlocks = 8
+	base := int64(1 << 20)
+	shadows := make([][]byte, nBlocks)
+	exists := make([]bool, nBlocks)
+	for i := range shadows {
+		shadows[i] = make([]byte, BlockSize)
+	}
+	data := make([]byte, BlockSize)
+	for op := 0; op < 600; op++ {
+		blk := rng.Intn(nBlocks)
+		addr := base + int64(blk)*BlockSize
+		off := rng.Intn(BlockSize)
+		n := 1 + rng.Intn(BlockSize-off)
+		for i := 0; i < n; i++ {
+			data[i] = byte(rng.Uint64())
+		}
+		fb.Write(int64(blk), off, data[:n], addr, exists[blk])
+		copy(shadows[blk][off:], data[:n])
+		exists[blk] = true
+
+		probe := rng.Intn(nBlocks)
+		if !exists[probe] {
+			continue
+		}
+		got := make([]byte, BlockSize)
+		if !fb.ReadMerge(int64(probe), 0, got, base+int64(probe)*BlockSize) {
+			dev.Read(got, base+int64(probe)*BlockSize)
+		}
+		if !bytes.Equal(got, shadows[probe]) {
+			t.Fatalf("op %d: block %d diverged from shadow", op, probe)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package cacheline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeMask(t *testing.T) {
+	cases := []struct {
+		off, n int
+		want   Bitmap
+	}{
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 3},
+		{63, 2, 3},
+		{64, 64, 2},
+		{0, BlockSize, Full},
+		{4032, 64, 1 << 63},
+		{100, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RangeMask(c.off, c.n); got != c.want {
+			t.Errorf("RangeMask(%d,%d) = %b, want %b", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRangeMaskPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range mask")
+		}
+	}()
+	RangeMask(4090, 100)
+}
+
+func TestSetClearTest(t *testing.T) {
+	var b Bitmap
+	for i := 0; i < PerBlock; i++ {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in zero bitmap", i)
+		}
+	}
+	b.Set(0)
+	b.Set(63)
+	if !b.Test(0) || !b.Test(63) || b.Count() != 2 {
+		t.Fatalf("set/test broken: %b", b)
+	}
+	b.Clear(0)
+	if b.Test(0) || b.Count() != 1 {
+		t.Fatalf("clear broken: %b", b)
+	}
+}
+
+func TestSetRangeMatchesMask(t *testing.T) {
+	f := func(off uint16, n uint16) bool {
+		o := int(off) % BlockSize
+		ln := int(n) % (BlockSize - o)
+		var b Bitmap
+		b.SetRange(o, ln)
+		return b == RangeMask(o, ln)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsPartitionProperty(t *testing.T) {
+	// Property: for any bitmap and bounds, the runs exactly tile the
+	// requested line range, alternate in Set value, and agree with Test.
+	f := func(bits uint64, a, b uint8) bool {
+		lo := int(a) % PerBlock
+		hi := int(b) % PerBlock
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		bm := Bitmap(bits)
+		runs := bm.Runs(nil, lo, hi)
+		pos := lo * Size
+		for i, r := range runs {
+			if r.Off != pos || r.Len <= 0 || r.Len%Size != 0 {
+				return false
+			}
+			if i > 0 && runs[i-1].Set == r.Set {
+				return false
+			}
+			for l := r.Off / Size; l < (r.Off+r.Len)/Size; l++ {
+				if bm.Test(l) != r.Set {
+					return false
+				}
+			}
+			pos += r.Len
+		}
+		return pos == (hi+1)*Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesCovering(t *testing.T) {
+	first, last := LinesCovering(0, 64)
+	if first != 0 || last != 0 {
+		t.Fatalf("got %d,%d", first, last)
+	}
+	first, last = LinesCovering(63, 2)
+	if first != 0 || last != 1 {
+		t.Fatalf("got %d,%d", first, last)
+	}
+	first, last = LinesCovering(0, BlockSize)
+	if first != 0 || last != PerBlock-1 {
+		t.Fatalf("got %d,%d", first, last)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	cases := []struct {
+		off  int64
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{1, 64, 2},
+		{0, 4096, 64},
+		{63, 1, 1},
+		{63, 2, 2},
+	}
+	for _, c := range cases {
+		if got := LineCount(c.off, c.n); got != c.want {
+			t.Errorf("LineCount(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package clock abstracts time for components with time-dependent policy:
+// the background writeback threads (5 s period, 30 s age-out) and the
+// Buffer Benefit Model's 5 s Eager→Lazy decay. Production code uses the
+// real clock; tests use a fake clock to drive those policies
+// deterministically.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timed waits.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced clock for tests. The zero value is not ready
+// for use; call NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFake returns a fake clock starting at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// clock past the deadline.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{deadline: f.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- f.now
+		return w.ch
+	}
+	f.waiters = append(f.waiters, w)
+	return w.ch
+}
+
+// Advance moves the clock forward by d, firing any waiters whose deadlines
+// are reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var remaining []*fakeWaiter
+	var fired []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}

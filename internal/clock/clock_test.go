@@ -1,0 +1,84 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake(time.Unix(50, 0))
+	if !f.Now().Equal(time.Unix(50, 0)) {
+		t.Fatalf("Now = %v", f.Now())
+	}
+	f.Advance(3 * time.Second)
+	if !f.Now().Equal(time.Unix(53, 0)) {
+		t.Fatalf("Now = %v after advance", f.Now())
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired before deadline")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("never fired")
+	}
+}
+
+func TestFakeAfterZeroFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("zero-delay After did not fire")
+	}
+}
+
+func TestFakeMultipleWaiters(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	a := f.After(1 * time.Second)
+	b := f.After(5 * time.Second)
+	f.Advance(2 * time.Second)
+	select {
+	case <-a:
+	default:
+		t.Fatal("first waiter not fired")
+	}
+	select {
+	case <-b:
+		t.Fatal("second waiter fired early")
+	default:
+	}
+	f.Advance(3 * time.Second)
+	select {
+	case <-b:
+	default:
+		t.Fatal("second waiter not fired")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+	if !c.Now().After(t0) {
+		t.Fatal("time did not advance")
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+// trackedFS builds HiNFS on a persistence-tracking device so tests can
+// simulate power loss and observe exactly what a real NVMM would retain.
+func trackedFS(t *testing.T) (*FS, *nvmm.Device) {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 64 << 20, TrackPersistence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(dev, Options{BufferBlocks: 256, PMFS: pmfs.Options{MaxInodes: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+// TestOrderedModeCrashBeforeWriteback is the §4.1 guarantee: a lazy-
+// persistent write's metadata commit record is withheld until its data
+// blocks are durable. Crashing while the data is still only in DRAM must
+// roll the metadata back — the file never points at unwritten blocks.
+func TestOrderedModeCrashBeforeWriteback(t *testing.T) {
+	fs, dev := trackedFS(t)
+	// A durable reference file.
+	ref, _ := fs.Create("/ref")
+	ref.WriteAt(bytes.Repeat([]byte{0xAA}, 4096), 0)
+	ref.Fsync()
+	// A never-synced file: its writes are lazy-persistent, living only in
+	// the DRAM buffer with their metadata transaction commit withheld.
+	f, err := fs.Create("/ordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(bytes.Repeat([]byte{0xBB}, 8192), 0)
+	// Power loss before any writeback or fsync.
+	dev.Crash()
+
+	base, rolled, err := pmfs.MountRecover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled == 0 {
+		t.Fatal("recovery rolled back no transactions")
+	}
+	g, err := base.Open("/ordered", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uncommitted lazy write must be gone: size reverted to 0, so the
+	// file never points at blocks whose data was lost with DRAM.
+	if got := g.Size(); got != 0 {
+		t.Fatalf("size after crash = %d, want 0 (uncommitted write visible)", got)
+	}
+	// The durable reference survives intact.
+	r, err := base.Open("/ref", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	r.ReadAt(buf, 0)
+	for i, b := range buf {
+		if b != 0xAA {
+			t.Fatalf("durable data corrupted at %d: %#x", i, b)
+		}
+	}
+}
+
+// TestCrashAfterFsyncKeepsData: once fsync returns, the data and its
+// metadata survive power loss.
+func TestCrashAfterFsyncKeepsData(t *testing.T) {
+	fs, dev := trackedFS(t)
+	f, _ := fs.Create("/durable")
+	payload := bytes.Repeat([]byte{0xCD}, 3*4096)
+	f.WriteAt(payload, 0)
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+
+	base, _, err := pmfs.MountRecover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := base.Open("/durable", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != int64(len(payload)) {
+		t.Fatalf("size = %d", g.Size())
+	}
+	got := make([]byte, len(payload))
+	g.ReadAt(got, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fsynced data lost in crash")
+	}
+}
+
+// TestCrashAfterEagerWriteKeepsData: eager-persistent (O_SYNC) writes are
+// durable at return, like PMFS writes.
+func TestCrashAfterEagerWriteKeepsData(t *testing.T) {
+	fs, dev := trackedFS(t)
+	f, err := fs.Open("/sync", vfs.OCreate|vfs.ORdwr|vfs.OSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("eager-persistent"), 0)
+	dev.Crash()
+
+	base, _, err := pmfs.MountRecover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := base.Open("/sync", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	g.ReadAt(got, 0)
+	if string(got) != "eager-persistent" {
+		t.Fatalf("O_SYNC write lost: %q", got)
+	}
+}
+
+// TestCrashDuringChurnStaysConsistent runs mixed operations, crashes
+// without any flush, and verifies the recovered file system is mountable
+// and internally consistent (all pre-crash fsynced data intact).
+func TestCrashDuringChurnStaysConsistent(t *testing.T) {
+	fs, dev := trackedFS(t)
+	// Durable phase.
+	for i := 0; i < 8; i++ {
+		f, _ := fs.Create(pathN(i))
+		f.WriteAt(bytes.Repeat([]byte{byte(i + 1)}, 2048), 0)
+		f.Fsync()
+		f.Close()
+	}
+	// Volatile churn phase: writes, truncates, deletes — none synced.
+	for i := 0; i < 8; i += 2 {
+		f, _ := fs.Open(pathN(i), vfs.ORdwr)
+		f.WriteAt(bytes.Repeat([]byte{0xFF}, 8192), 0)
+		f.Close()
+	}
+	fs.Unlink(pathN(1))
+	fs.Unlink(pathN(3))
+	dev.Crash()
+
+	base, _, err := pmfs.MountRecover(dev)
+	if err != nil {
+		t.Fatalf("recovered mount failed: %v", err)
+	}
+	// Every surviving file must be readable; fsynced content of files
+	// never touched after their fsync must be intact.
+	for i := 5; i < 8; i += 2 {
+		f, err := base.Open(pathN(i), vfs.ORdonly)
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		buf := make([]byte, 2048)
+		f.ReadAt(buf, 0)
+		if buf[0] != byte(i+1) || buf[2047] != byte(i+1) {
+			t.Fatalf("file %d content corrupted", i)
+		}
+		f.Close()
+	}
+	// The recovered FS must support further writes.
+	g, err := base.Create("/post-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte("alive"), 0); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+}
+
+func pathN(i int) string {
+	return "/churn" + string(rune('a'+i))
+}

@@ -1,0 +1,459 @@
+// Package core implements HiNFS — the paper's primary contribution: a
+// high-performance NVMM file system that hides NVMM's long write latency
+// behind a DRAM write buffer without reintroducing double-copy overheads.
+//
+// HiNFS layers three components over the PMFS-like persistent substrate
+// (internal/pmfs):
+//
+//   - the NVMM-aware Write Buffer (internal/buffer): lazy-persistent
+//     writes land in DRAM and are written back by background threads
+//     (§3.2), at cacheline granularity (CLFW, §3.2.1);
+//   - the Eager-Persistent Write Checker (internal/benefit): O_SYNC /
+//     sync-mount writes (case 1) and writes to blocks the Buffer Benefit
+//     Model marked Eager-Persistent (case 2) bypass the buffer and go
+//     directly to NVMM with non-temporal stores (§3.3.2);
+//   - direct reads: reads copy straight from DRAM and/or NVMM to the user
+//     buffer, merged per cacheline with the DRAM Block Index + Cacheline
+//     Bitmap (§3.3.1) — never through an intermediate cache page.
+//
+// The Variant knobs reproduce the paper's ablations: HiNFS-NCLFW disables
+// cacheline-level fetch/writeback, and HiNFS-WB disables the eager checker
+// so every write is buffered ("simply using DRAM as a write buffer").
+package core
+
+import (
+	"sync"
+	"time"
+
+	"hinfs/internal/benefit"
+	"hinfs/internal/buffer"
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+// BlockSize is the file system block size.
+const BlockSize = pmfs.BlockSize
+
+// Options configures a HiNFS mount.
+type Options struct {
+	// BufferBlocks is the DRAM write buffer capacity in 4 KB blocks.
+	// Required (the paper mounts with a 2 GB buffer for microbenchmarks).
+	BufferBlocks int
+	// DisableCLFW turns off Cacheline Level Fetch/Writeback — the paper's
+	// HiNFS-NCLFW variant (Fig. 9).
+	DisableCLFW bool
+	// DisableEagerChecker buffers every write — the paper's HiNFS-WB
+	// variant (Figs. 12, 13).
+	DisableEagerChecker bool
+	// SyncMount emulates mounting with the sync option: every write is
+	// eager-persistent case 1.
+	SyncMount bool
+	// Buffer overrides write-buffer tuning; Blocks and CLFW are set from
+	// the fields above.
+	Buffer buffer.Config
+	// Benefit overrides Buffer Benefit Model tuning.
+	Benefit benefit.Config
+	// Clock substitutes the time source (tests). Defaults to the wall
+	// clock.
+	Clock clock.Clock
+	// PMFS tunes the persistent substrate's format parameters (Mkfs only).
+	PMFS pmfs.Options
+}
+
+// FS is a mounted HiNFS instance. It implements vfs.FileSystem.
+type FS struct {
+	*pmfs.FS
+	pool  *buffer.Pool
+	model *benefit.Model
+	clk   clock.Clock
+	opts  Options
+
+	mu    sync.Mutex
+	files map[pmfs.Ino]*buffer.FileBuf
+}
+
+// Mkfs formats dev and mounts HiNFS on it.
+func Mkfs(dev *nvmm.Device, opts Options) (*FS, error) {
+	base, err := pmfs.Mkfs(dev, opts.PMFS)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(base, dev, opts), nil
+}
+
+// Mount mounts HiNFS on a formatted device, running journal recovery.
+func Mount(dev *nvmm.Device, opts Options) (*FS, error) {
+	base, err := pmfs.Mount(dev)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(base, dev, opts), nil
+}
+
+func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	base.SetClock(opts.Clock)
+	bcfg := opts.Buffer
+	bcfg.Blocks = opts.BufferBlocks
+	bcfg.CLFW = !opts.DisableCLFW
+	mcfg := opts.Benefit
+	if mcfg.GhostBlocks == 0 {
+		mcfg.GhostBlocks = opts.BufferBlocks
+	}
+	if mcfg.NVMMWriteLatency == 0 {
+		mcfg.NVMMWriteLatency = dev.Config().WriteLatency
+	}
+	fs := &FS{
+		FS:    base,
+		pool:  buffer.NewPool(dev, opts.Clock, bcfg),
+		model: benefit.NewModel(opts.Clock, mcfg),
+		clk:   opts.Clock,
+		opts:  opts,
+		files: make(map[pmfs.Ino]*buffer.FileBuf),
+	}
+	// Under journal space pressure, drain deferred (ordered-mode) commits
+	// by flushing the write buffer.
+	base.Journal().SetPressure(func() { fs.pool.FlushAll() })
+	return fs
+}
+
+// Fsck validates the persistent image (see pmfs.FS.Check). Flush the
+// buffer first (Sync) for a meaningful result; buffered-but-unflushed
+// lazy writes legitimately hold uncommitted transactions.
+func (fs *FS) Fsck() []error { return fs.FS.Check() }
+
+// Pool exposes the DRAM write buffer (stats, tests).
+func (fs *FS) Pool() *buffer.Pool { return fs.pool }
+
+// Model exposes the Buffer Benefit Model (stats, tests).
+func (fs *FS) Model() *benefit.Model { return fs.model }
+
+// fileBuf returns the shared per-inode buffer view.
+func (fs *FS) fileBuf(ino pmfs.Ino) *buffer.FileBuf {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fb := fs.files[ino]
+	if fb == nil {
+		fb = fs.pool.NewFile()
+		fs.files[ino] = fb
+	}
+	return fb
+}
+
+// dropFile discards all buffered and model state for ino.
+func (fs *FS) dropFile(ino pmfs.Ino) {
+	fs.mu.Lock()
+	fb := fs.files[ino]
+	delete(fs.files, ino)
+	fs.mu.Unlock()
+	if fb != nil {
+		fb.Drop()
+	}
+	fs.model.DropFile(uint64(ino))
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(path string) (vfs.File, error) {
+	return fs.Open(path, vfs.OCreate|vfs.ORdwr)
+}
+
+// Open implements vfs.FileSystem.
+func (fs *FS) Open(path string, flags int) (vfs.File, error) {
+	// O_TRUNC is handled here, not by the substrate, so buffered blocks
+	// are dropped under the inode lock before their NVMM blocks are freed.
+	pf, err := fs.FS.OpenFile(path, flags&^vfs.OTrunc)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{fs: fs, pf: pf, fb: fs.fileBuf(pf.Ino()), flags: flags}
+	if flags&vfs.OTrunc != 0 {
+		if err := f.Truncate(0); err != nil {
+			pf.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Unlink implements vfs.FileSystem. The dentry is removed first; then the
+// file's buffered dirty blocks are discarded (writes to short-lived files
+// never pay NVMM cost, §1), and only then is the NVMM storage freed —
+// background writeback can never touch freed blocks.
+func (fs *FS) Unlink(path string) error {
+	ino, reclaim, err := fs.FS.UnlinkKeepStorage(path)
+	if err != nil {
+		return err
+	}
+	if reclaim != nil {
+		fs.dropFile(ino)
+		reclaim()
+	}
+	return nil
+}
+
+// Rename implements vfs.FileSystem. A replaced target's buffered blocks
+// are discarded before its storage is freed.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	replaced, reclaim, err := fs.FS.RenameKeepStorage(oldpath, newpath)
+	if err != nil {
+		return err
+	}
+	if reclaim != nil {
+		fs.dropFile(replaced)
+		reclaim()
+	}
+	return nil
+}
+
+// Sync implements vfs.FileSystem: flush the whole DRAM buffer to NVMM.
+func (fs *FS) Sync() error {
+	fs.pool.FlushAll()
+	return fs.FS.Sync()
+}
+
+// Unmount implements vfs.FileSystem: flush all DRAM blocks to NVMM (§3.2)
+// and stop the writeback threads before unmounting the substrate.
+func (fs *FS) Unmount() error {
+	fs.pool.Close()
+	return fs.FS.Unmount()
+}
+
+// File is an open HiNFS file handle.
+type File struct {
+	fs    *FS
+	pf    *pmfs.File
+	fb    *buffer.FileBuf
+	flags int
+
+	mapped bool
+}
+
+// Size implements vfs.File.
+func (f *File) Size() int64 { return f.pf.Size() }
+
+// Ino returns the file's inode number.
+func (f *File) Ino() pmfs.Ino { return f.pf.Ino() }
+
+// ReadAt implements vfs.File: a single copy to the user buffer, merged per
+// cacheline between DRAM and NVMM (§3.3.1).
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	f.pf.RLock()
+	defer f.pf.RUnlock()
+	size := f.pf.SizeLocked()
+	if off >= size {
+		return 0, nil
+	}
+	n := len(p)
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	read := 0
+	for read < n {
+		pos := off + int64(read)
+		idx := pos / BlockSize
+		bo := int(pos % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > n-read {
+			chunk = n - read
+		}
+		dst := p[read : read+chunk]
+		addr := f.pf.BlockAddrLocked(idx)
+		if !f.fb.ReadMerge(idx, bo, dst, addr) {
+			// Not buffered: read NVMM directly (or a hole).
+			if addr == 0 {
+				for i := range dst {
+					dst[i] = 0
+				}
+			} else {
+				f.fs.Device().Read(dst, addr+int64(bo))
+			}
+		}
+		read += chunk
+	}
+	return n, nil
+}
+
+// WriteAt implements vfs.File: the Eager-Persistent Write Checker routes
+// each touched block either to the DRAM buffer (lazy-persistent) or
+// directly to NVMM (eager-persistent).
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.pf.Lock()
+	defer f.pf.Unlock()
+	if f.flags&vfs.OAppend != 0 {
+		off = f.pf.SizeLocked()
+	}
+	plan, err := f.pf.PrepareWriteLocked(off, len(p), false)
+	if err != nil {
+		return 0, err
+	}
+	tx := plan.Tx
+	dev := f.fs.Device()
+	ino := uint64(f.pf.Ino())
+	case1 := f.fs.opts.SyncMount || f.flags&vfs.OSync != 0 || f.mapped
+	lastSync := f.pf.LastSync()
+
+	written := 0
+	pendingBlocks := 0
+	anyDirect := false
+	for _, e := range plan.Extents {
+		blkOff := 0
+		if e.Index == off/BlockSize {
+			blkOff = int(off % BlockSize)
+		}
+		chunk := BlockSize - blkOff
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		data := p[written : written+chunk]
+		mask := cacheline.RangeMask(blkOff, chunk)
+		f.fs.model.RecordWrite(ino, e.Index, mask)
+
+		eager := case1
+		if !eager && !f.fs.opts.DisableEagerChecker {
+			eager = f.fs.model.IsEager(ino, e.Index, lastSync)
+		}
+		switch {
+		case eager && case1 && f.fb.Buffered(e.Index):
+			// Case-1 consistency (§3.3.2): the block is already in DRAM;
+			// write it there, then explicitly evict it before returning.
+			f.fb.Write(e.Index, blkOff, data, e.Addr, !e.Created)
+			f.fb.EvictBlock(e.Index)
+			anyDirect = true
+		case eager:
+			// Direct NVMM write; invalidate any stale buffered lines so
+			// reads cannot see old data (case-2 blocks are clean since
+			// their last sync, so this drops no dirty state).
+			f.fb.Invalidate(e.Index, blkOff, chunk)
+			dev.WriteNT(data, e.Addr+int64(blkOff))
+			anyDirect = true
+		default:
+			f.fb.Write(e.Index, blkOff, data, e.Addr, !e.Created, tx)
+			pendingBlocks++
+		}
+		written += chunk
+	}
+	if anyDirect {
+		dev.Fence()
+	}
+	// Ordered-mode commit: the transaction's commit record is written when
+	// its last buffered block persists; with no buffered blocks it commits
+	// now (data already durable via WriteNT).
+	tx.AddPending(pendingBlocks)
+	tx.Seal()
+	return written, nil
+}
+
+// Fsync implements vfs.File: flush the file's dirty DRAM blocks to NVMM,
+// fence, and let the Buffer Benefit Model re-evaluate block states.
+func (f *File) Fsync() error {
+	f.pf.Lock()
+	f.fb.Flush()
+	f.fs.Device().Fence()
+	f.pf.Unlock()
+	f.fs.model.OnSync(uint64(f.pf.Ino()))
+	f.pf.MarkSynced(f.fs.clk.Now())
+	return nil
+}
+
+// Truncate implements vfs.File. Buffered blocks beyond the new size are
+// discarded before the substrate frees their NVMM blocks.
+func (f *File) Truncate(size int64) error {
+	if size < 0 {
+		return vfs.ErrInvalid
+	}
+	f.pf.Lock()
+	defer f.pf.Unlock()
+	old := f.pf.SizeLocked()
+	if size < old {
+		boundary := size / BlockSize
+		for _, idx := range f.fb.BlockIndices() {
+			if idx > boundary || (idx == boundary && size%BlockSize == 0) {
+				f.fb.DropBlock(idx)
+			}
+		}
+		if size%BlockSize != 0 && f.fb.Buffered(boundary) {
+			// Zero the buffered tail of the boundary block so a later
+			// re-extension reads zeros from DRAM too.
+			tail := int(BlockSize - size%BlockSize)
+			zeros := make([]byte, tail)
+			addr := f.pf.BlockAddrLocked(boundary)
+			f.fb.Write(boundary, int(size%BlockSize), zeros, addr, addr != 0)
+		}
+	}
+	return f.pf.TruncateLocked(size)
+}
+
+// Close implements vfs.File. If this close reclaims an unlinked file, its
+// buffered blocks are discarded first.
+func (f *File) Close() error {
+	if f.pf.CloseWillReclaim() {
+		f.fs.dropFile(f.pf.Ino())
+	}
+	return f.pf.Close()
+}
+
+// Mmap emulates direct memory-mapped I/O for one file block (§4.2): the
+// file's dirty DRAM blocks are flushed, its blocks switch to
+// Eager-Persistent until Munmap, and the returned slice aliases NVMM.
+func (f *File) Mmap(index int64) ([]byte, error) {
+	f.pf.Lock()
+	f.fb.Flush()
+	f.pf.Unlock()
+	size := f.pf.Size()
+	nblocks := (size + BlockSize - 1) / BlockSize
+	if index >= nblocks {
+		nblocks = index + 1
+	}
+	indices := make([]int64, 0, nblocks)
+	for i := int64(0); i < nblocks; i++ {
+		indices = append(indices, i)
+	}
+	f.fs.model.MarkEager(uint64(f.pf.Ino()), indices)
+	f.mapped = true
+	m, err := f.pf.MmapBlock(index)
+	if err != nil {
+		return nil, err
+	}
+	// Reads must not see stale DRAM lines for the mapped block.
+	f.fb.EvictBlock(index)
+	return m, nil
+}
+
+// Msync persists stores made through the Mmap slice of block index.
+func (f *File) Msync(index int64) error {
+	f.pf.RLock()
+	addr := f.pf.BlockAddrLocked(index)
+	f.pf.RUnlock()
+	if addr == 0 {
+		return vfs.ErrInvalid
+	}
+	f.fs.Device().Flush(addr, BlockSize)
+	f.fs.Device().Fence()
+	return nil
+}
+
+// Munmap ends the mapping; blocks decay back to Lazy-Persistent via the
+// benefit model's normal 5 s rule.
+func (f *File) Munmap() error {
+	f.mapped = false
+	return nil
+}
+
+// LastSyncAge returns how long ago the file was last fsynced (tests).
+func (f *File) LastSyncAge(now time.Time) time.Duration {
+	return now.Sub(f.pf.LastSync())
+}

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hinfs/internal/buffer"
+	"hinfs/internal/clock"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+func testFS(t testing.TB, opts Options) (*FS, *nvmm.Device) {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.BufferBlocks == 0 {
+		opts.BufferBlocks = 512
+	}
+	opts.PMFS.MaxInodes = 1024
+	fs, err := Mkfs(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Unmount() })
+	return fs, dev
+}
+
+// mustFile creates path and returns the concrete HiNFS file handle.
+func mustFile(t *testing.T, fs *FS, path string) *File {
+	t.Helper()
+	v, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.(*File)
+}
+
+func TestBufferedWriteReadBack(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := []byte("buffered in DRAM")
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The write must be in DRAM, not yet flushed.
+	if fs.Pool().DirtyBlocks() == 0 {
+		t.Fatal("lazy write did not land in the DRAM buffer")
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadMergesDRAMAndNVMM(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f, _ := fs.Create("/m")
+	defer f.Close()
+	// First fill a block and fsync so it is entirely on NVMM and clean.
+	base := bytes.Repeat([]byte{0x11}, BlockSize)
+	f.WriteAt(base, 0)
+	f.Fsync()
+	// Overwrite a middle slice; it stays dirty in DRAM.
+	patch := bytes.Repeat([]byte{0x22}, 200)
+	f.WriteAt(patch, 1000)
+	got := make([]byte, BlockSize)
+	f.ReadAt(got, 0)
+	want := append([]byte(nil), base...)
+	copy(want[1000:], patch)
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged read does not combine DRAM and NVMM data")
+	}
+}
+
+func TestFsyncPersistsAndCleans(t *testing.T) {
+	fs, dev := testFS(t, Options{})
+	f, _ := fs.Create("/s")
+	defer f.Close()
+	f.WriteAt(bytes.Repeat([]byte{7}, 3*BlockSize), 0)
+	before := dev.Stats().BytesFlushed
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().BytesFlushed == before {
+		t.Fatal("fsync flushed nothing to NVMM")
+	}
+	if n := fs.Pool().DirtyBlocks(); n != 0 {
+		t.Fatalf("%d dirty blocks after fsync", n)
+	}
+}
+
+func TestUnmountFlushesEverything(t *testing.T) {
+	dev, _ := nvmm.New(nvmm.Config{Size: 64 << 20})
+	fs, err := Mkfs(dev, Options{BufferBlocks: 512, PMFS: pmfs.Options{MaxInodes: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/persist")
+	payload := bytes.Repeat([]byte("hinfs!"), 1000)
+	f.WriteAt(payload, 0)
+	f.Close()
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	// Remount with plain PMFS: data must be on NVMM.
+	base, err := pmfs.Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := base.Open("/persist", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	g.ReadAt(got, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("buffered data lost at unmount")
+	}
+}
+
+func TestUnlinkDropsDirtyBuffers(t *testing.T) {
+	fs, dev := testFS(t, Options{})
+	f, _ := fs.Create("/shortlived")
+	f.WriteAt(bytes.Repeat([]byte{9}, 16*BlockSize), 0)
+	f.Close()
+	flushedBefore := dev.Stats().BytesFlushed
+	if err := fs.Unlink("/shortlived"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Pool().Stats().Drops; got == 0 {
+		t.Fatal("no dirty blocks dropped on unlink")
+	}
+	// The dropped data must not be flushed afterwards.
+	fs.Sync()
+	flushedAfter := dev.Stats().BytesFlushed
+	// Sync may flush metadata-unrelated leftovers, but not 16 blocks.
+	if flushedAfter-flushedBefore >= 16*BlockSize {
+		t.Fatalf("deleted file's data reached NVMM: %d bytes", flushedAfter-flushedBefore)
+	}
+}
+
+func TestOSyncWritesAreEager(t *testing.T) {
+	fs, dev := testFS(t, Options{})
+	f, err := fs.Open("/sync", vfs.OCreate|vfs.ORdwr|vfs.OSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	before := dev.Stats().BytesFlushed
+	f.WriteAt(bytes.Repeat([]byte{1}, BlockSize), 0)
+	if dev.Stats().BytesFlushed == before {
+		t.Fatal("O_SYNC write not persisted immediately")
+	}
+	if fs.Pool().DirtyBlocks() != 0 {
+		t.Fatal("O_SYNC write left dirty DRAM blocks")
+	}
+}
+
+func TestSyncMountAllEager(t *testing.T) {
+	fs, dev := testFS(t, Options{SyncMount: true})
+	f, _ := fs.Create("/f")
+	defer f.Close()
+	before := dev.Stats().BytesFlushed
+	f.WriteAt(make([]byte, BlockSize), 0)
+	if dev.Stats().BytesFlushed == before {
+		t.Fatal("sync-mount write not persisted immediately")
+	}
+}
+
+func TestOSyncWriteEvictsBufferedBlock(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	// Buffer a block lazily via one handle...
+	f, _ := fs.Create("/dual")
+	f.WriteAt(bytes.Repeat([]byte{3}, BlockSize), 0)
+	// ...then write the same block through an O_SYNC handle (case 1).
+	g, err := fs.Open("/dual", vfs.ORdwr|vfs.OSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.WriteAt([]byte("sync!"), 100)
+	if fs.Pool().DirtyBlocks() != 0 {
+		t.Fatal("case-1 write left the block dirty in DRAM")
+	}
+	// Both writes must be visible.
+	got := make([]byte, BlockSize)
+	f.ReadAt(got, 0)
+	if got[0] != 3 || string(got[100:105]) != "sync!" || got[200] != 3 {
+		t.Fatal("case-1 eviction lost data")
+	}
+	f.Close()
+	g.Close()
+}
+
+func TestBenefitModelMarksFrequentSyncersEager(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f := mustFile(t, fs, "/db")
+	defer f.Close()
+	blockData := make([]byte, BlockSize)
+	// Write-fsync cycles: every sync flushes all written lines, so
+	// N_cf == N_cw and the inequality fails → blocks turn eager.
+	for i := 0; i < 3; i++ {
+		f.WriteAt(blockData, 0)
+		f.Fsync()
+	}
+	ino := uint64(f.Ino())
+	if !fs.Model().IsEager(ino, 0, fs.clk.Now()) {
+		t.Fatal("write-fsync block not marked eager-persistent")
+	}
+	// Subsequent async writes bypass the buffer.
+	dirtyBefore := fs.Pool().DirtyBlocks()
+	f.WriteAt(blockData, 0)
+	if fs.Pool().DirtyBlocks() != dirtyBefore {
+		t.Fatal("eager block write went to the DRAM buffer")
+	}
+}
+
+func TestEagerStateDecaysAfterQuietPeriod(t *testing.T) {
+	fk := clock.NewFake(time.Unix(1000, 0))
+	fs, _ := testFS(t, Options{Clock: fk})
+	f := mustFile(t, fs, "/decay")
+	defer f.Close()
+	data := make([]byte, BlockSize)
+	for i := 0; i < 2; i++ {
+		f.WriteAt(data, 0)
+		f.Fsync()
+	}
+	ino := uint64(f.Ino())
+	if !fs.Model().IsEager(ino, 0, f.pf.LastSync()) {
+		t.Fatal("precondition: block should be eager")
+	}
+	// After 6 quiet seconds the state decays to lazy (paper: 5 s default).
+	fk.Advance(6 * time.Second)
+	if fs.Model().IsEager(ino, 0, f.pf.LastSync()) {
+		t.Fatal("eager state did not decay")
+	}
+	f.WriteAt(data, 0)
+	if fs.Pool().DirtyBlocks() == 0 {
+		t.Fatal("post-decay write was not buffered")
+	}
+}
+
+func TestWBVariantBuffersEverything(t *testing.T) {
+	fs, _ := testFS(t, Options{DisableEagerChecker: true})
+	f, _ := fs.Create("/wb")
+	defer f.Close()
+	data := make([]byte, BlockSize)
+	for i := 0; i < 3; i++ {
+		f.WriteAt(data, 0)
+		f.Fsync()
+	}
+	// Even with sync-heavy behaviour, HiNFS-WB still buffers.
+	f.WriteAt(data, 0)
+	if fs.Pool().DirtyBlocks() == 0 {
+		t.Fatal("HiNFS-WB write bypassed the buffer")
+	}
+}
+
+func TestNCLFWWholeBlockTraffic(t *testing.T) {
+	mk := func(disable bool) buffer.Stats {
+		fs, _ := testFS(t, Options{DisableCLFW: disable})
+		f, _ := fs.Create("/x")
+		// Small unaligned writes into many blocks.
+		for i := 0; i < 32; i++ {
+			f.WriteAt([]byte("tiny"), int64(i)*BlockSize+100)
+		}
+		f.Fsync()
+		f.Close()
+		st := fs.Pool().Stats()
+		return st
+	}
+	clfw := mk(false)
+	nclfw := mk(true)
+	if nclfw.LinesFlushed <= clfw.LinesFlushed {
+		t.Fatalf("NCLFW flushed %d lines, CLFW %d — CLFW must flush fewer",
+			nclfw.LinesFlushed, clfw.LinesFlushed)
+	}
+}
+
+func TestTruncateDropsBufferedTail(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f, _ := fs.Create("/t")
+	defer f.Close()
+	f.WriteAt(bytes.Repeat([]byte{0xEE}, 4*BlockSize), 0)
+	if err := f.Truncate(BlockSize + 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Size(); got != BlockSize+100 {
+		t.Fatalf("size = %d", got)
+	}
+	// Re-extend: everything past the cut must read zero, even though the
+	// old data was buffered in DRAM.
+	if err := f.Truncate(3 * BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3*BlockSize)
+	f.ReadAt(got, 0)
+	for i := BlockSize + 100; i < 3*BlockSize; i++ {
+		if got[i] != 0 {
+			t.Fatalf("stale byte %#x at %d after truncate+extend", got[i], i)
+		}
+	}
+	for i := 0; i < BlockSize+100; i++ {
+		if got[i] != 0xEE {
+			t.Fatalf("lost byte at %d", i)
+		}
+	}
+}
+
+func TestAppendAcrossBlocks(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f, err := fs.Open("/log", vfs.OCreate|vfs.OWronly|vfs.OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	line := bytes.Repeat([]byte{0xAA}, 1000)
+	for i := 0; i < 10; i++ {
+		f.WriteAt(line, 0)
+	}
+	if f.Size() != 10000 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got := make([]byte, 10000)
+	f2, _ := fs.Open("/log", vfs.ORdonly)
+	defer f2.Close()
+	f2.ReadAt(got, 0)
+	for i, b := range got {
+		if b != 0xAA {
+			t.Fatalf("byte %d = %#x", i, b)
+		}
+	}
+}
+
+func TestBackgroundWritebackUnderPressure(t *testing.T) {
+	// A tiny pool forces eviction-driven writeback.
+	fs, dev := testFS(t, Options{BufferBlocks: 16})
+	f, _ := fs.Create("/big")
+	defer f.Close()
+	data := make([]byte, BlockSize)
+	for i := 0; i < 256; i++ {
+		if _, err := f.WriteAt(data, int64(i)*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.Pool().Stats().Evictions == 0 {
+		t.Fatal("no evictions despite pool pressure")
+	}
+	if dev.Stats().BytesFlushed == 0 {
+		t.Fatal("evictions flushed nothing")
+	}
+	// All data still readable.
+	got := make([]byte, BlockSize)
+	for i := 0; i < 256; i += 37 {
+		if _, err := f.ReadAt(got, int64(i)*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPeriodicWritebackWithFakeClock(t *testing.T) {
+	fk := clock.NewFake(time.Unix(0, 0))
+	fs, _ := testFS(t, Options{Clock: fk, Buffer: buffer.Config{
+		FlushPeriod: 5 * time.Second,
+		MaxDirtyAge: 30 * time.Second,
+	}})
+	f, _ := fs.Create("/aged")
+	defer f.Close()
+	f.WriteAt(make([]byte, BlockSize), 0)
+	if fs.Pool().DirtyBlocks() != 1 {
+		t.Fatal("write not buffered")
+	}
+	// Advance past MaxDirtyAge; the periodic thread should flush it. Keep
+	// advancing in the wait loop so the writeback threads' re-armed timers
+	// fire regardless of goroutine scheduling.
+	deadline := time.Now().Add(2 * time.Second)
+	for fs.Pool().DirtyBlocks() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("aged dirty block never written back")
+		}
+		fk.Advance(5 * time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestOrderedModeCommitWaitsForData(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	jnlBefore := fs.Journal().Stats().Commits
+	f, _ := fs.Create("/ordered")
+	defer f.Close()
+	f.WriteAt(make([]byte, BlockSize), 0)
+	// The lazy write's transaction must not commit until its data block
+	// persists. (Creation committed; the write tx is pending.)
+	mid := fs.Journal().Stats()
+	f.Fsync()
+	after := fs.Journal().Stats()
+	if after.Commits <= mid.Commits {
+		t.Fatalf("fsync did not commit the deferred transaction (before=%d mid=%d after=%d)",
+			jnlBefore, mid.Commits, after.Commits)
+	}
+}
+
+func TestRandomizedConsistencyAgainstShadow(t *testing.T) {
+	// Property-style test: random writes/reads/fsyncs/truncates on HiNFS
+	// must always match an in-memory shadow copy.
+	fs, _ := testFS(t, Options{BufferBlocks: 64})
+	f, _ := fs.Create("/shadow")
+	defer f.Close()
+	const maxSize = 48 * BlockSize
+	shadow := make([]byte, 0, maxSize)
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 800; op++ {
+		switch rng.Intn(10) {
+		case 0:
+			f.Fsync()
+		case 1:
+			n := rng.Intn(len(shadow) + 1)
+			f.Truncate(int64(n))
+			shadow = shadow[:n]
+		default:
+			off := rng.Intn(maxSize - 1)
+			n := 1 + rng.Intn(8000)
+			if off+n > maxSize {
+				n = maxSize - off
+			}
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = byte(rng.Intn(256))
+			}
+			if _, err := f.WriteAt(data, int64(off)); err != nil {
+				t.Fatal(err)
+			}
+			if off+n > len(shadow) {
+				shadow = append(shadow, make([]byte, off+n-len(shadow))...)
+			}
+			copy(shadow[off:], data)
+		}
+		if op%50 == 0 {
+			if got, want := f.Size(), int64(len(shadow)); got != want {
+				t.Fatalf("op %d: size %d, want %d", op, got, want)
+			}
+			got := make([]byte, len(shadow))
+			f.ReadAt(got, 0)
+			if !bytes.Equal(got, shadow) {
+				for i := range got {
+					if got[i] != shadow[i] {
+						t.Fatalf("op %d: first mismatch at byte %d (block %d line %d): got %#x want %#x",
+							op, i, i/BlockSize, (i%BlockSize)/64, got[i], shadow[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMmapDirectAccess(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f := mustFile(t, fs, "/mapped")
+	defer f.Close()
+	f.WriteAt([]byte("before map"), 0)
+	m, err := f.Mmap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m[:10]) != "before map" {
+		t.Fatalf("mapped view stale: %q", m[:10])
+	}
+	copy(m, "direct st!")
+	if err := f.Msync(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	f.ReadAt(got, 0)
+	if string(got) != "direct st!" {
+		t.Fatalf("read after mmap store: %q", got)
+	}
+	if err := f.Munmap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentFilesUnderSmallPool(t *testing.T) {
+	fs, _ := testFS(t, Options{BufferBlocks: 32})
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			path := fmt.Sprintf("/c%d", w)
+			f, err := fs.Create(path)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer f.Close()
+			pat := bytes.Repeat([]byte{byte(w + 1)}, BlockSize)
+			for i := 0; i < 32; i++ {
+				if _, err := f.WriteAt(pat, int64(i)*BlockSize); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if w%2 == 0 {
+				if err := f.Fsync(); err != nil {
+					errc <- err
+					return
+				}
+			}
+			buf := make([]byte, BlockSize)
+			for i := 0; i < 32; i++ {
+				f.ReadAt(buf, int64(i)*BlockSize)
+				if buf[0] != byte(w+1) || buf[BlockSize-1] != byte(w+1) {
+					errc <- fmt.Errorf("worker %d corrupt block %d", w, i)
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStatSeesBufferedSize(t *testing.T) {
+	fs, _ := testFS(t, Options{})
+	f, _ := fs.Create("/sz")
+	defer f.Close()
+	f.WriteAt(make([]byte, 5000), 0)
+	fi, err := fs.Stat("/sz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 5000 {
+		t.Fatalf("Stat size %d before flush", fi.Size)
+	}
+}

@@ -1,0 +1,422 @@
+// Package extfs implements a traditional block-based file system in the
+// style of EXT2/EXT4, used for the paper's baseline systems (Table 3):
+//
+//   - EXT2+NVMMBD: Journal=false, DAX=false — a non-journaling FS whose
+//     every access goes through the OS page cache and the generic block
+//     layer (double copy on both paths).
+//   - EXT4+NVMMBD: Journal=true, DAX=false — adds JBD2-style ordered-mode
+//     metadata journaling (metadata blocks are written twice: once to the
+//     journal region, once in place).
+//   - EXT4-DAX: Journal=true, DAX=true — the DAX patch: file data bypasses
+//     the page cache and is copied directly between the user buffer and
+//     NVMM, while metadata keeps the cache-oriented EXT4 path. This
+//     matches the paper's observation (§5.2.1) that EXT4-DAX underperforms
+//     PMFS on metadata-heavy workloads such as Varmail.
+//
+// The on-disk format is a classic ext2 simplification: an inode table,
+// a block bitmap, and per-inode 10 direct + 1 indirect + 1 double-indirect
+// block pointers. Directory blocks hold 64 B fixed dentries. Crash
+// recovery is not implemented for these baselines — the paper's figures
+// only measure their runtime costs (journal writes included), not their
+// recovery; the NVMM-aware systems (pmfs, core) are the ones with real
+// recovery.
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinfs/internal/blockdev"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pagecache"
+	"hinfs/internal/vfs"
+)
+
+// BlockSize is the file system block size.
+const BlockSize = blockdev.BlockSize
+
+const (
+	magic         = 0x45585446532016 // "EXTFS" 2016
+	inodeSize     = 128
+	maxNameLen    = 54
+	dentrySize    = 64
+	ptrsDirect    = 10
+	ptrsPerBlock  = BlockSize / 8
+	rootIno       = 1
+	typeFree      = 0
+	typeFile      = 1
+	typeDir       = 2
+	inodesPerBlk  = BlockSize / inodeSize
+	dentriesPerBl = BlockSize / dentrySize
+)
+
+// Options configures Mkfs/Mount.
+type Options struct {
+	// Journal enables JBD2-style ordered-mode metadata journaling (EXT4).
+	Journal bool
+	// DAX makes file data bypass the page cache with direct NVMM access.
+	DAX bool
+	// JournalBlocks sizes the journal region (default 256).
+	JournalBlocks int64
+	// MaxInodes sizes the inode table (default 65536).
+	MaxInodes int64
+	// CachePages is the page cache capacity (default 4096 pages = 16 MB).
+	CachePages int
+	// BlockConfig tunes the emulated block layer.
+	BlockConfig blockdev.Config
+}
+
+func (o *Options) fill() {
+	if o.JournalBlocks == 0 {
+		o.JournalBlocks = 256
+	}
+	if o.MaxInodes == 0 {
+		o.MaxInodes = 65536
+	}
+	if o.CachePages == 0 {
+		o.CachePages = 4096
+	}
+}
+
+type layout struct {
+	journalStart int64 // block number
+	journalBlks  int64
+	inodeStart   int64 // block number
+	maxInodes    int64
+	bitmapStart  int64
+	bitmapBlks   int64
+	dataStart    int64
+	totalBlocks  int64
+}
+
+func computeLayout(totalBlocks int64, o Options) (layout, error) {
+	var l layout
+	l.totalBlocks = totalBlocks
+	l.journalStart = 1
+	l.journalBlks = o.JournalBlocks
+	l.inodeStart = l.journalStart + l.journalBlks
+	l.maxInodes = o.MaxInodes
+	inodeBlks := (o.MaxInodes*inodeSize + BlockSize - 1) / BlockSize
+	l.bitmapStart = l.inodeStart + inodeBlks
+	l.bitmapBlks = (totalBlocks/8 + BlockSize) / BlockSize
+	l.dataStart = l.bitmapStart + l.bitmapBlks
+	if l.dataStart >= totalBlocks {
+		return l, fmt.Errorf("extfs: device too small")
+	}
+	return l, nil
+}
+
+// inodeState mirrors pmfs's per-inode DRAM bookkeeping.
+type inodeState struct {
+	mu sync.RWMutex
+
+	meta     sync.Mutex
+	refs     int
+	unlinked bool
+}
+
+// Stats counts extfs-level activity.
+type Stats struct {
+	JournalBlockWrites int64
+	MetaFlushes        int64
+}
+
+// FS is a mounted extfs instance. It implements vfs.FileSystem.
+type FS struct {
+	nv    *nvmm.Device
+	bdev  *blockdev.Device
+	cache *pagecache.Cache
+	opts  Options
+	l     layout
+
+	nsMu   sync.RWMutex
+	states sync.Map // ino → *inodeState
+
+	allocMu sync.Mutex
+	words   []uint64
+	free    int64
+	hint    int64
+
+	inoMu    sync.Mutex
+	freeInos []int64
+
+	jMu   sync.Mutex
+	jNext int64 // next journal block
+
+	journalWrites atomic.Int64
+	metaFlushes   atomic.Int64
+	metaTicks     atomic.Int64
+
+	unmounted atomic.Bool
+	zero      [BlockSize]byte
+}
+
+// Mkfs formats the NVMM device as extfs and mounts it.
+func Mkfs(nv *nvmm.Device, opts Options) (*FS, error) {
+	opts.fill()
+	bdev := blockdev.New(nv, opts.BlockConfig)
+	l, err := computeLayout(bdev.Blocks(), opts)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{nv: nv, bdev: bdev, cache: pagecache.New(bdev, opts.CachePages), opts: opts, l: l}
+	fs.words = make([]uint64, (l.totalBlocks+63)/64)
+	for bn := int64(0); bn < l.dataStart; bn++ {
+		fs.words[bn/64] |= 1 << uint(bn%64)
+	}
+	fs.free = l.totalBlocks - l.dataStart
+	fs.hint = l.dataStart
+	// Zero the inode table and persist the bitmap.
+	for b := l.inodeStart; b < l.bitmapStart; b++ {
+		fs.cache.Write(fs.zero[:], b, 0, true)
+	}
+	fs.persistBitmap()
+	for i := int64(l.maxInodes - 1); i >= 2; i-- {
+		fs.freeInos = append(fs.freeInos, i)
+	}
+	fs.jNext = l.journalStart
+	// Root directory.
+	fs.writeInode(rootIno, inodeRec{Type: typeDir, Links: 2})
+	// Superblock.
+	var sb [BlockSize]byte
+	binary.LittleEndian.PutUint64(sb[0:], magic)
+	binary.LittleEndian.PutUint64(sb[8:], uint64(l.totalBlocks))
+	fs.cache.Write(sb[:], 0, 0, true)
+	fs.cache.FlushAll()
+	return fs, nil
+}
+
+func (fs *FS) persistBitmap() {
+	buf := make([]byte, len(fs.words)*8)
+	for i, w := range fs.words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	for b := int64(0); b < fs.l.bitmapBlks; b++ {
+		lo := b * BlockSize
+		hi := lo + BlockSize
+		if hi > int64(len(buf)) {
+			hi = int64(len(buf))
+		}
+		var pg [BlockSize]byte
+		copy(pg[:], buf[lo:hi])
+		fs.cache.Write(pg[:], fs.l.bitmapStart+b, 0, true)
+	}
+}
+
+// Stats returns extfs counters.
+func (fs *FS) Stats() Stats {
+	return Stats{
+		JournalBlockWrites: fs.journalWrites.Load(),
+		MetaFlushes:        fs.metaFlushes.Load(),
+	}
+}
+
+// Cache exposes the page cache (stats, tests).
+func (fs *FS) Cache() *pagecache.Cache { return fs.cache }
+
+// BlockDevice exposes the emulated block device (stats, tests).
+func (fs *FS) BlockDevice() *blockdev.Device { return fs.bdev }
+
+func (fs *FS) state(ino int64) *inodeState {
+	v, ok := fs.states.Load(ino)
+	if !ok {
+		v, _ = fs.states.LoadOrStore(ino, &inodeState{})
+	}
+	return v.(*inodeState)
+}
+
+func (fs *FS) checkMounted() error {
+	if fs.unmounted.Load() {
+		return vfs.ErrUnmounted
+	}
+	return nil
+}
+
+// --- inode records through the page cache ---
+
+type inodeRec struct {
+	Type  byte
+	Links uint32
+	Size  int64
+	Mtime int64
+	Ptrs  [12]int64 // 10 direct, 1 indirect, 1 double-indirect
+}
+
+func (fs *FS) inodeLoc(ino int64) (bn int64, off int) {
+	return fs.l.inodeStart + ino/inodesPerBlk, int(ino%inodesPerBlk) * inodeSize
+}
+
+func (fs *FS) readInode(ino int64) inodeRec {
+	bn, off := fs.inodeLoc(ino)
+	var b [inodeSize]byte
+	fs.cache.Read(b[:], bn, off)
+	var r inodeRec
+	r.Type = b[0]
+	r.Links = binary.LittleEndian.Uint32(b[4:])
+	r.Size = int64(binary.LittleEndian.Uint64(b[8:]))
+	r.Mtime = int64(binary.LittleEndian.Uint64(b[24:]))
+	for i := 0; i < 12; i++ {
+		r.Ptrs[i] = int64(binary.LittleEndian.Uint64(b[32+i*8:]))
+	}
+	return r
+}
+
+// metaTick counts metadata mutations and commits the journal every
+// commitInterval of them, modelling JBD2's periodic transaction commit.
+const commitInterval = 512
+
+func (fs *FS) metaTick() {
+	if fs.metaTicks.Add(1)%commitInterval == 0 {
+		fs.journalMetadata()
+	}
+}
+
+// DropCaches flushes and empties the page cache (the paper clears the OS
+// page cache before every benchmark run).
+func (fs *FS) DropCaches() {
+	fs.cache.FlushAll()
+	fs.journalMetadata()
+	fs.cache.InvalidateAll()
+}
+
+func (fs *FS) writeInode(ino int64, r inodeRec) {
+	bn, off := fs.inodeLoc(ino)
+	var b [inodeSize]byte
+	b[0] = r.Type
+	binary.LittleEndian.PutUint32(b[4:], r.Links)
+	binary.LittleEndian.PutUint64(b[8:], uint64(r.Size))
+	binary.LittleEndian.PutUint64(b[24:], uint64(r.Mtime))
+	for i := 0; i < 12; i++ {
+		binary.LittleEndian.PutUint64(b[32+i*8:], uint64(r.Ptrs[i]))
+	}
+	fs.cache.Write(b[:], bn, off, false)
+	fs.metaTick()
+}
+
+// --- block allocation (bitmap pages become dirty metadata) ---
+
+func (fs *FS) allocBlocks(n int) ([]int64, error) {
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	if int64(n) > fs.free {
+		return nil, vfs.ErrNoSpace
+	}
+	out := make([]int64, 0, n)
+	bn := fs.hint
+	span := fs.l.totalBlocks - fs.l.dataStart
+	for scanned := int64(0); len(out) < n && scanned < span+1; scanned++ {
+		if bn >= fs.l.totalBlocks {
+			bn = fs.l.dataStart
+		}
+		if fs.words[bn/64]&(1<<uint(bn%64)) == 0 {
+			fs.words[bn/64] ^= 1 << uint(bn%64)
+			fs.free--
+			fs.writeBitmapWord(bn)
+			out = append(out, bn)
+		}
+		bn++
+	}
+	fs.hint = bn
+	if len(out) < n {
+		panic("extfs: allocator inconsistency")
+	}
+	return out, nil
+}
+
+func (fs *FS) releaseBlocks(blocks []int64) {
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	for _, bn := range blocks {
+		if fs.words[bn/64]&(1<<uint(bn%64)) == 0 {
+			panic("extfs: double free")
+		}
+		fs.words[bn/64] ^= 1 << uint(bn%64)
+		fs.free++
+		fs.writeBitmapWord(bn)
+		fs.cache.Drop(bn)
+	}
+}
+
+// writeBitmapWord dirties the bitmap page holding bn's word. No metaTick:
+// allocation bursts are committed with the inode update that follows.
+func (fs *FS) writeBitmapWord(bn int64) {
+	word := bn / 64
+	pg := fs.l.bitmapStart + word*8/BlockSize
+	off := int(word * 8 % BlockSize)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], fs.words[word])
+	fs.cache.Write(b[:], pg, off, false)
+}
+
+// FreeBlocks returns the free data block count.
+func (fs *FS) FreeBlocks() int64 {
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	return fs.free
+}
+
+func (fs *FS) allocInode(typ byte) (int64, error) {
+	fs.inoMu.Lock()
+	if len(fs.freeInos) == 0 {
+		fs.inoMu.Unlock()
+		return 0, vfs.ErrNoSpace
+	}
+	ino := fs.freeInos[len(fs.freeInos)-1]
+	fs.freeInos = fs.freeInos[:len(fs.freeInos)-1]
+	fs.inoMu.Unlock()
+	fs.writeInode(ino, inodeRec{Type: typ, Links: 1, Mtime: time.Now().UnixNano()})
+	return ino, nil
+}
+
+func (fs *FS) freeInode(ino int64) {
+	fs.writeInode(ino, inodeRec{})
+	fs.inoMu.Lock()
+	fs.freeInos = append(fs.freeInos, ino)
+	fs.inoMu.Unlock()
+	fs.states.Delete(ino)
+}
+
+// --- JBD2-style ordered-mode journaling ---
+
+// journalMetadata writes every dirty metadata page to the journal region
+// through the block layer (the first of EXT4's two metadata writes), then
+// checkpoints the pages in place. With Journal=false (EXT2) the pages are
+// just written in place.
+func (fs *FS) journalMetadata() {
+	dirty := fs.cache.DirtyIn(fs.l.dataStart)
+	if len(dirty) == 0 {
+		return
+	}
+	if fs.opts.Journal {
+		var buf [BlockSize]byte
+		for _, bn := range dirty {
+			if !fs.cache.PeekDirty(buf[:], bn) {
+				continue
+			}
+			// Journal write: next sequential block in the journal region.
+			fs.jMu.Lock()
+			jbn := fs.jNext
+			fs.jNext++
+			if fs.jNext >= fs.l.journalStart+fs.l.journalBlks {
+				fs.jNext = fs.l.journalStart + 1
+			}
+			fs.jMu.Unlock()
+			fs.bdev.WriteBlock(buf[:], jbn)
+			fs.journalWrites.Add(1)
+		}
+		// Commit record at the region head.
+		fs.bdev.WriteBlock(fs.zero[:], fs.l.journalStart)
+		fs.journalWrites.Add(1)
+	}
+	// Checkpoint: write the pages in place.
+	n := 0
+	for _, bn := range dirty {
+		if fs.cache.FlushPage(bn) {
+			n++
+		}
+	}
+	fs.metaFlushes.Add(int64(n))
+}

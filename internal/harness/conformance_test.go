@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"hinfs/internal/vfs"
+)
+
+// TestConformance runs one behavioural suite against every system under
+// test: the same semantics must hold whether the data path is a DRAM
+// write buffer, direct NVMM access, or a page cache over a block device.
+func TestConformance(t *testing.T) {
+	systems := []System{HiNFS, HiNFSNCLFW, HiNFSWB, PMFS, EXT4DAX, EXT2NVMMBD, EXT4NVMMBD}
+	for _, sys := range systems {
+		t.Run(string(sys), func(t *testing.T) {
+			cfg := Config{
+				DeviceSize:      96 << 20,
+				WriteLatency:    time.Nanosecond,
+				ReadLatency:     time.Nanosecond,
+				SyscallOverhead: time.Nanosecond,
+				BlockOverhead:   time.Nanosecond,
+				TimeScale:       1,
+			}
+			inst, err := NewInstance(sys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			fs := inst.FS
+			conformRoundTrip(t, fs)
+			conformAppend(t, fs)
+			conformTruncate(t, fs)
+			conformNamespace(t, fs)
+			conformFsync(t, fs)
+			conformSparse(t, fs)
+			conformOverwrite(t, fs)
+		})
+	}
+}
+
+func conformRoundTrip(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	f, err := fs.Create("/rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 3*4096+357)
+	for i := range data {
+		data[i] = byte(i*13 + 7)
+	}
+	if n, err := f.WriteAt(data, 1234); err != nil || n != len(data) {
+		t.Fatalf("write %d %v", n, err)
+	}
+	got := make([]byte, len(data))
+	if n, err := f.ReadAt(got, 1234); err != nil || n != len(got) {
+		t.Fatalf("read %d %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	// Hole reads zero.
+	hole := make([]byte, 1234)
+	f.ReadAt(hole, 0)
+	for i, b := range hole {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %#x", i, b)
+		}
+	}
+	if f.Size() != int64(1234+len(data)) {
+		t.Fatalf("size %d", f.Size())
+	}
+}
+
+func conformAppend(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	f, err := fs.Open("/log", vfs.OCreate|vfs.OWronly|vfs.OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f.WriteAt([]byte(fmt.Sprintf("%03d\n", i)), 0)
+	}
+	if f.Size() != 80 {
+		t.Fatalf("append size %d, want 80", f.Size())
+	}
+	f.Close()
+	g, _ := fs.Open("/log", vfs.ORdonly)
+	defer g.Close()
+	buf := make([]byte, 8)
+	g.ReadAt(buf, 72)
+	if string(buf) != "018\n019\n" {
+		t.Fatalf("tail %q", buf)
+	}
+}
+
+func conformTruncate(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	f, _ := fs.Create("/tr")
+	defer f.Close()
+	f.WriteAt(bytes.Repeat([]byte{0xEE}, 2*4096), 0)
+	f.Truncate(100)
+	f.Truncate(8192)
+	buf := make([]byte, 8192)
+	f.ReadAt(buf, 0)
+	for i := 0; i < 100; i++ {
+		if buf[i] != 0xEE {
+			t.Fatalf("kept byte %d lost", i)
+		}
+	}
+	for i := 100; i < 8192; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("stale byte %d = %#x after truncate+extend", i, buf[i])
+		}
+	}
+}
+
+func conformNamespace(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	if err := fs.Mkdir("/ns"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/ns/a")
+	f.WriteAt([]byte("v"), 0)
+	f.Close()
+	if err := fs.Rename("/ns/a", "/ns/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/ns/a"); err != vfs.ErrNotExist {
+		t.Fatalf("stat old = %v", err)
+	}
+	ents, err := fs.ReadDir("/ns")
+	if err != nil || len(ents) != 1 || ents[0].Name != "b" {
+		t.Fatalf("readdir %v %v", ents, err)
+	}
+	if err := fs.Rmdir("/ns"); err != vfs.ErrNotEmpty {
+		t.Fatalf("rmdir non-empty = %v", err)
+	}
+	if err := fs.Unlink("/ns/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/ns"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func conformFsync(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	f, _ := fs.Create("/fsync")
+	defer f.Close()
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	f.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func conformSparse(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	f, _ := fs.Create("/sparse")
+	defer f.Close()
+	// An offset in the indirect range for extfs (block > 10).
+	const off = 300 * 4096
+	f.WriteAt([]byte("far"), off)
+	buf := make([]byte, 3)
+	f.ReadAt(buf, off)
+	if string(buf) != "far" {
+		t.Fatalf("got %q", buf)
+	}
+	mid := make([]byte, 64)
+	f.ReadAt(mid, off/2)
+	for _, b := range mid {
+		if b != 0 {
+			t.Fatal("sparse middle not zero")
+		}
+	}
+}
+
+func conformOverwrite(t *testing.T, fs vfs.FileSystem) {
+	t.Helper()
+	f, _ := fs.Create("/ow")
+	defer f.Close()
+	f.WriteAt(bytes.Repeat([]byte{0x11}, 4096), 0)
+	f.Fsync()
+	f.WriteAt(bytes.Repeat([]byte{0x22}, 128), 1000)
+	f.WriteAt(bytes.Repeat([]byte{0x33}, 64), 1032)
+	buf := make([]byte, 4096)
+	f.ReadAt(buf, 0)
+	for i := 0; i < 4096; i++ {
+		want := byte(0x11)
+		switch {
+		case i >= 1032 && i < 1096:
+			want = 0x33
+		case i >= 1000 && i < 1128:
+			want = 0x22
+		}
+		if buf[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, buf[i], want)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hinfs/internal/trace"
+	"hinfs/internal/workload"
+)
+
+// Opts tunes figure regeneration cost. Zero values take per-figure
+// defaults sized to finish in seconds.
+type Opts struct {
+	// Ops scales the per-thread operation counts (default per figure).
+	Ops int
+	// Threads overrides the thread count where a figure fixes one.
+	Threads int
+	// Quick trims sweeps to fewer points.
+	Quick bool
+}
+
+// Figure holds a regenerated paper artifact: the printable table and the
+// raw series keyed "row/column" for programmatic checks.
+type Figure struct {
+	Table  Table
+	Series map[string]float64
+}
+
+func (f *Figure) put(key string, v float64) {
+	if f.Series == nil {
+		f.Series = make(map[string]float64)
+	}
+	f.Series[key] = v
+}
+
+// Get returns a series value.
+func (f *Figure) Get(key string) float64 { return f.Series[key] }
+
+// fig1Sizes are the I/O sizes of the paper's Figure 1.
+func fig1Sizes(quick bool) []int {
+	if quick {
+		return []int{64, 4 << 10, 1 << 20}
+	}
+	return []int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20}
+}
+
+// Figure1 regenerates the fio time breakdown on PMFS (§2.2): the share of
+// run time spent copying to/from NVMM (Write/Read Access) versus
+// everything else, across I/O sizes, at a 1:2 read/write ratio.
+func Figure1(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	fig := &Figure{Table: Table{
+		Title:  "Figure 1: Time breakdown of running the fio benchmark on PMFS",
+		Note:   "R:W = 1:2, single thread. Paper: Write Access >80% at >=4KB, Others dominates at 64B.",
+		Header: []string{"io-size", "read-access", "write-access", "others", "elapsed"},
+	}}
+	for _, ioSize := range fig1Sizes(o.Quick) {
+		ops := o.Ops
+		if ops == 0 {
+			// Target roughly 48 MB of traffic per point, bounded.
+			ops = int(48 << 20 / ioSize)
+			if ops > 200000 {
+				ops = 200000
+			}
+			if ops < 64 {
+				ops = 64
+			}
+		}
+		w := &workload.Fio{IOSize: ioSize, FileSize: 32 << 20, ReadPercent: 33}
+		res, err := RunWorkload(PMFS, cfg, w, 1, ops)
+		if err != nil {
+			return nil, err
+		}
+		other := res.Elapsed - res.Dev.ReadTime - res.Dev.WriteTime
+		if other < 0 {
+			other = 0
+		}
+		label := sizeLabel(ioSize)
+		fig.Table.Rows = append(fig.Table.Rows, []string{
+			label,
+			pct(res.Dev.ReadTime, res.Elapsed),
+			pct(res.Dev.WriteTime, res.Elapsed),
+			pct(other, res.Elapsed),
+			res.Elapsed.Round(time.Millisecond).String(),
+		})
+		fig.put(label+"/read", frac(res.Dev.ReadTime, res.Elapsed))
+		fig.put(label+"/write", frac(res.Dev.WriteTime, res.Elapsed))
+		fig.put(label+"/others", frac(other, res.Elapsed))
+	}
+	return fig, nil
+}
+
+func frac(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// fig2Workloads lists the Figure-2 workloads with their generators.
+func fig2Workloads() []workload.Workload {
+	return []workload.Workload{
+		&workload.Fileserver{},
+		&workload.Webserver{},
+		&workload.Webproxy{},
+		&workload.Varmail{},
+		&workload.Postmark{},
+		&workload.TPCC{},
+		&workload.KernelMake{},
+	}
+}
+
+// Figure2 regenerates the percentage of fsync bytes per workload: of all
+// bytes written, how many were still dirty when an fsync persisted them.
+func Figure2(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	// Persistence behaviour is system-independent; measure on HiNFS with a
+	// cheap device so the figure regenerates fast.
+	cfg.WriteLatency = time.Nanosecond
+	cfg.SyscallOverhead = time.Nanosecond
+	fig := &Figure{Table: Table{
+		Title:  "Figure 2: Percentage of fsync bytes per workload",
+		Note:   "Paper: TPC-C >90%, LASR 0%, desktop traces moderate.",
+		Header: []string{"workload", "written-MB", "fsync-MB", "fsync-bytes"},
+	}}
+	ops := o.Ops
+	if ops == 0 {
+		ops = 600
+	}
+	addRow := func(name string, written, fsynced int64) {
+		p := 0.0
+		if written > 0 {
+			p = 100 * float64(fsynced) / float64(written)
+		}
+		fig.Table.Rows = append(fig.Table.Rows, []string{
+			name, mib(written), mib(fsynced), fmt.Sprintf("%.1f%%", p),
+		})
+		fig.put(name, p)
+	}
+	for _, w := range fig2Workloads() {
+		res, err := RunWorkload(HiNFS, cfg, w, 2, ops)
+		if err != nil {
+			return nil, err
+		}
+		addRow(w.Name(), res.BytesWritten, res.FsyncBytes)
+	}
+	for _, name := range []string{"usr0", "usr1", "lasr", "facebook"} {
+		tr, err := trace.ByName(name, ops*20)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := NewInstance(HiNFS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Prepare(inst.FS); err != nil {
+			inst.Close()
+			return nil, err
+		}
+		res, err := tr.Replay(inst.FS)
+		inst.Close()
+		if err != nil {
+			return nil, err
+		}
+		addRow(name, res.BytesWritten, res.FsyncBytes)
+	}
+	return fig, nil
+}
+
+// Figure6 regenerates the Buffer Benefit Model accuracy measurement for
+// the five synchronization-containing workloads.
+func Figure6(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	fig := &Figure{Table: Table{
+		Title:  "Figure 6: Accuracy rate of the Buffer Benefit Model",
+		Note:   "Paper: close to 90% even in the worst case (Usr0).",
+		Header: []string{"workload", "decisions", "accurate", "accuracy"},
+	}}
+	ops := o.Ops
+	if ops == 0 {
+		ops = 800
+	}
+	addRow := func(name string, acc, total int64) {
+		p := 0.0
+		if total > 0 {
+			p = 100 * float64(acc) / float64(total)
+		}
+		fig.Table.Rows = append(fig.Table.Rows, []string{
+			name, fmt.Sprintf("%d", total), fmt.Sprintf("%d", acc), fmt.Sprintf("%.1f%%", p),
+		})
+		fig.put(name, p)
+	}
+	threads := o.Threads
+	if threads == 0 {
+		threads = 2
+	}
+	// Generator-driven sync workloads.
+	for _, w := range []workload.Workload{&workload.Varmail{}, &workload.TPCC{}} {
+		inst, err := NewInstance(HiNFS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := RunOn(inst, w, threads, ops); err != nil {
+			inst.Close()
+			return nil, err
+		}
+		acc, total := inst.HiNFS.Model().Accuracy()
+		inst.Close()
+		addRow(w.Name(), acc, total)
+	}
+	// Trace-driven sync workloads.
+	for _, name := range []string{"usr0", "usr1", "facebook"} {
+		tr, err := trace.ByName(name, ops*20)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := NewInstance(HiNFS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Prepare(inst.FS); err != nil {
+			inst.Close()
+			return nil, err
+		}
+		if _, err := tr.Replay(inst.FS); err != nil {
+			inst.Close()
+			return nil, err
+		}
+		acc, total := inst.HiNFS.Model().Accuracy()
+		inst.Close()
+		addRow(name, acc, total)
+	}
+	return fig, nil
+}

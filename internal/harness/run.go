@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/workload"
+)
+
+// RunResult reports one workload execution on one system.
+type RunResult struct {
+	workload.Result
+	// Elapsed is the wall time of the run phase (setup excluded).
+	Elapsed time.Duration
+	// Dev is the device counter delta over the run phase.
+	Dev nvmm.Stats
+	// OpsPerSec is the Filebench-style throughput metric.
+	OpsPerSec float64
+}
+
+// RunWorkload mounts a fresh instance of sys, runs w's setup phase, then
+// executes threads×ops operations and reports the run-phase metrics.
+func RunWorkload(sys System, cfg Config, w workload.Workload, threads, ops int) (RunResult, error) {
+	inst, err := NewInstance(sys, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer inst.Close()
+	return RunOn(inst, w, threads, ops)
+}
+
+// RunOn runs w on an already mounted instance.
+func RunOn(inst *Instance, w workload.Workload, threads, ops int) (RunResult, error) {
+	if err := w.Setup(inst.FS); err != nil {
+		return RunResult{}, fmt.Errorf("%s setup on %s: %w", w.Name(), inst.System, err)
+	}
+	// Start cold, as the paper does: flush all dirty state and clear the
+	// OS page cache before the measured phase.
+	if err := inst.FS.Sync(); err != nil {
+		return RunResult{}, err
+	}
+	if inst.Ext != nil {
+		inst.Ext.DropCaches()
+	}
+	before := inst.Dev.Stats()
+	start := time.Now()
+	res, err := w.Run(inst.FS, threads, ops)
+	elapsed := time.Since(start)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("%s run on %s: %w", w.Name(), inst.System, err)
+	}
+	after := inst.Dev.Stats()
+	out := RunResult{
+		Result:  res,
+		Elapsed: elapsed,
+		Dev: nvmm.Stats{
+			BytesRead:    after.BytesRead - before.BytesRead,
+			BytesWritten: after.BytesWritten - before.BytesWritten,
+			BytesFlushed: after.BytesFlushed - before.BytesFlushed,
+			Flushes:      after.Flushes - before.Flushes,
+			Fences:       after.Fences - before.Fences,
+			ReadTime:     after.ReadTime - before.ReadTime,
+			WriteTime:    after.WriteTime - before.WriteTime,
+		},
+	}
+	if elapsed > 0 {
+		out.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	return out, nil
+}
+
+// Table is a printable figure reproduction.
+type Table struct {
+	// Title names the paper artifact ("Figure 7: ...").
+	Title string
+	// Note explains the metric and any normalization.
+	Note string
+	// Header labels the columns.
+	Header []string
+	// Rows hold formatted cells.
+	Rows [][]string
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  %s\n", t.Note)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	sep := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func pct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+func ratio(v, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v/base)
+}
+
+func mib(b int64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1<<20))
+}

@@ -1,0 +1,364 @@
+// Package journal implements PMFS-style metadata undo logging on an NVMM
+// device region (paper §4.1).
+//
+// Each log entry is exactly one cacheline (64 B). An entry carries up to 48
+// bytes of the *old* contents of a metadata range (undo image) or marks a
+// transaction commit. The last byte of every entry is a valid flag written
+// after the rest of the entry; because stores within one cacheline are
+// never reordered by the cache hierarchy, a set valid flag guarantees the
+// entry is complete. Recovery rolls back every transaction that has logged
+// entries but no commit entry.
+//
+// HiNFS's ordered-mode coupling (data blocks must be durable before the
+// commit record of the transaction that made them visible) is supported by
+// deferred commits: a transaction may be left open with pending block
+// references and committed later by whichever path persists its last data
+// block (fsync or the background writeback threads). Because deferred
+// transactions stay open for seconds, the log area is managed as two
+// ping-pong halves: entries fill one half while the other drains; a half
+// is zeroed and reused once no open transaction has entries in it. Every
+// transaction reserves its commit slot at Begin, so writing a commit
+// record never blocks — only new undo logging can stall on a full log,
+// and the registered pressure callback (HiNFS wires it to the write
+// buffer's flusher) accelerates draining.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/nvmm"
+)
+
+// EntrySize is the size of one log entry: a single cacheline.
+const EntrySize = cacheline.Size
+
+// MaxUndoBytes is the undo payload capacity of one entry.
+const MaxUndoBytes = 48
+
+// Entry kinds.
+const (
+	kindUndo   = 1
+	kindCommit = 2
+)
+
+// Entry layout within the 64-byte cacheline:
+//
+//	[0:4)   txid (uint32)
+//	[4:12)  addr (uint64 device offset of the undone range)
+//	[12]    length of undo data (<= 48)
+//	[13]    kind
+//	[14:62) undo data (48 bytes)
+//	[62]    reserved
+//	[63]    valid flag, written last
+const (
+	offTxid  = 0
+	offAddr  = 4
+	offLen   = 12
+	offKind  = 13
+	offData  = 14
+	offValid = 63
+)
+
+// half is one ping-pong region of the log area.
+type half struct {
+	base  int64 // device offset
+	count int   // entry capacity
+	next  int   // next free slot
+	live  int   // open transactions with entries here
+}
+
+// Journal manages the log area on the device.
+type Journal struct {
+	dev *nvmm.Device
+
+	base int64
+	size int64
+
+	mu     sync.Mutex
+	halves [2]half
+	cur    int
+	nextID int64
+
+	// pressure, if set, is invoked (without the journal lock) when the
+	// log is under space pressure, to accelerate deferred-commit draining.
+	pressure atomic.Value // func()
+
+	entriesLogged atomic.Int64
+	commits       atomic.Int64
+	checkpoints   atomic.Int64
+	stalls        atomic.Int64
+}
+
+// Tx is an open transaction. A Tx is created by Begin, fills undo entries
+// via LogRange, and finishes with Commit or with deferred commit via
+// AddPending/Seal/BlockPersisted.
+type Tx struct {
+	j          *Journal
+	id         uint32
+	commitSlot int64   // device address reserved at Begin
+	touched    [2]bool // halves containing this tx's entries
+	hasEntries bool
+
+	pending   atomic.Int32 // blocks that must persist before commit
+	sealed    atomic.Bool  // no more pending blocks will be added
+	committed atomic.Bool
+}
+
+// New creates a journal over [base, base+size) of dev. The caller must
+// have zeroed the area on mkfs; use Recover on an existing image.
+func New(dev *nvmm.Device, base, size int64) (*Journal, error) {
+	if size < 2*cacheline.BlockSize || size%(2*cacheline.BlockSize) != 0 {
+		return nil, fmt.Errorf("journal: area size %d must be a positive multiple of two blocks", size)
+	}
+	j := &Journal{dev: dev, base: base, size: size, nextID: 1}
+	hs := size / 2
+	j.halves[0] = half{base: base, count: int(hs / EntrySize)}
+	j.halves[1] = half{base: base + hs, count: int(hs / EntrySize)}
+	return j, nil
+}
+
+// SetPressure registers a callback invoked when the log is under space
+// pressure. The callback must not call back into the journal's Begin or
+// LogRange (committing via BlockPersisted is fine and is the point).
+func (j *Journal) SetPressure(fn func()) {
+	j.pressure.Store(fn)
+}
+
+func (j *Journal) callPressure() {
+	if fn, ok := j.pressure.Load().(func()); ok && fn != nil {
+		fn()
+	}
+}
+
+// Begin opens a transaction and reserves its commit slot.
+func (j *Journal) Begin() *Tx {
+	j.mu.Lock()
+	t := &Tx{j: j}
+	t.id = uint32(j.nextID)
+	j.nextID++
+	t.commitSlot = j.allocSlotLocked(t)
+	j.mu.Unlock()
+	return t
+}
+
+// allocSlotLocked reserves one entry slot for t in the current half,
+// rotating halves when full. Called with j.mu held; may drop and reacquire
+// it while waiting for the other half to drain.
+func (j *Journal) allocSlotLocked(t *Tx) int64 {
+	for {
+		h := &j.halves[j.cur]
+		if h.next < h.count {
+			s := h.next
+			h.next++
+			if !t.touched[j.cur] {
+				t.touched[j.cur] = true
+				h.live++
+			}
+			// Nudge the drainers early when a half passes 3/4 full.
+			if h.next == h.count*3/4 {
+				go j.callPressure()
+			}
+			return h.base + int64(s)*EntrySize
+		}
+		// Current half is full: rotate once the other half has no live
+		// transactions.
+		other := &j.halves[1-j.cur]
+		if other.live == 0 {
+			j.zeroHalfLocked(other)
+			other.next = 0
+			j.cur = 1 - j.cur
+			j.checkpoints.Add(1)
+			continue
+		}
+		j.stalls.Add(1)
+		j.mu.Unlock()
+		j.callPressure()
+		time.Sleep(50 * time.Microsecond)
+		j.mu.Lock()
+	}
+}
+
+func (j *Journal) zeroHalfLocked(h *half) {
+	zero := make([]byte, cacheline.BlockSize)
+	hs := int64(h.count) * EntrySize
+	for off := int64(0); off < hs; off += cacheline.BlockSize {
+		j.dev.Write(zero, h.base+off)
+	}
+	j.dev.Flush(h.base, int(hs))
+	j.dev.Fence()
+}
+
+// writeEntry persists one entry. The entry is one cacheline and stores
+// within a cacheline are never reordered by the caching hierarchy (§4.1),
+// so writing the body first, the valid byte last, and issuing a single
+// flush+fence guarantees a torn entry is never seen as valid.
+func (j *Journal) writeEntry(addr int64, e [EntrySize]byte) {
+	body := e
+	body[offValid] = 0
+	j.dev.Write(body[:], addr)
+	j.dev.Write([]byte{1}, addr+offValid)
+	j.dev.Flush(addr, EntrySize)
+	j.dev.Fence()
+	j.entriesLogged.Add(1)
+}
+
+// LogRange records the current contents of [addr, addr+n) on the device as
+// undo data. It must be called before the range is modified.
+func (t *Tx) LogRange(addr int64, n int) {
+	if t.committed.Load() {
+		panic("journal: LogRange on committed transaction")
+	}
+	for n > 0 {
+		chunk := n
+		if chunk > MaxUndoBytes {
+			chunk = MaxUndoBytes
+		}
+		var e [EntrySize]byte
+		binary.LittleEndian.PutUint32(e[offTxid:], t.id)
+		binary.LittleEndian.PutUint64(e[offAddr:], uint64(addr))
+		e[offLen] = byte(chunk)
+		e[offKind] = kindUndo
+		t.j.dev.Read(e[offData:offData+chunk], addr)
+		t.j.mu.Lock()
+		slot := t.j.allocSlotLocked(t)
+		t.j.mu.Unlock()
+		t.j.writeEntry(slot, e)
+		t.hasEntries = true
+		addr += int64(chunk)
+		n -= chunk
+	}
+}
+
+// Commit writes the commit record immediately. Use Seal/AddPending for
+// ordered-mode deferred commits instead.
+func (t *Tx) Commit() {
+	t.finishCommit()
+}
+
+// AddPending registers n data blocks whose persistence must precede this
+// transaction's commit record (HiNFS ordered mode, §4.1).
+func (t *Tx) AddPending(n int) {
+	t.pending.Add(int32(n))
+}
+
+// Seal declares that no further pending blocks will be added. If all
+// pending blocks have already persisted, the commit record is written now;
+// otherwise the final BlockPersisted call writes it.
+func (t *Tx) Seal() {
+	t.sealed.Store(true)
+	if t.pending.Load() == 0 {
+		t.finishCommit()
+	}
+}
+
+// BlockPersisted tells the transaction one of its pending data blocks is
+// now durable. When the last pending block of a sealed transaction
+// persists, the commit record is written.
+func (t *Tx) BlockPersisted() {
+	if t.pending.Add(-1) == 0 && t.sealed.Load() {
+		t.finishCommit()
+	}
+}
+
+// Committed reports whether the commit record has been written.
+func (t *Tx) Committed() bool { return t.committed.Load() }
+
+func (t *Tx) finishCommit() {
+	if t.committed.Swap(true) {
+		return
+	}
+	var e [EntrySize]byte
+	binary.LittleEndian.PutUint32(e[offTxid:], t.id)
+	e[offKind] = kindCommit
+	t.j.writeEntry(t.commitSlot, e)
+	t.j.commits.Add(1)
+	t.j.mu.Lock()
+	for i := range t.touched {
+		if t.touched[i] {
+			t.j.halves[i].live--
+		}
+	}
+	t.j.mu.Unlock()
+}
+
+// Stats reports journal activity counters.
+type Stats struct {
+	EntriesLogged int64
+	Commits       int64
+	// Checkpoints counts half rotations (log reuse).
+	Checkpoints int64
+	// Stalls counts waits for the opposite half to drain.
+	Stalls int64
+}
+
+// Stats returns a snapshot of journal counters.
+func (j *Journal) Stats() Stats {
+	return Stats{
+		EntriesLogged: j.entriesLogged.Load(),
+		Commits:       j.commits.Load(),
+		Checkpoints:   j.checkpoints.Load(),
+		Stalls:        j.stalls.Load(),
+	}
+}
+
+// Recover scans the journal area, rolls back every transaction without a
+// commit record (applying undo entries in reverse log order), and resets
+// the area. It returns the number of transactions rolled back.
+func Recover(dev *nvmm.Device, base, size int64) (rolledBack int, err error) {
+	if size < 2*cacheline.BlockSize || size%(2*cacheline.BlockSize) != 0 {
+		return 0, fmt.Errorf("journal: bad area size %d", size)
+	}
+	count := int(size / EntrySize)
+	type undo struct {
+		addr int64
+		data []byte
+	}
+	undos := make(map[uint32][]undo)
+	committed := make(map[uint32]bool)
+	var e [EntrySize]byte
+	for s := 0; s < count; s++ {
+		dev.Read(e[:], base+int64(s)*EntrySize)
+		if e[offValid] != 1 {
+			continue
+		}
+		txid := binary.LittleEndian.Uint32(e[offTxid:])
+		switch e[offKind] {
+		case kindCommit:
+			committed[txid] = true
+		case kindUndo:
+			n := int(e[offLen])
+			if n > MaxUndoBytes {
+				return 0, fmt.Errorf("journal: corrupt entry %d: undo length %d", s, n)
+			}
+			data := make([]byte, n)
+			copy(data, e[offData:offData+n])
+			addr := int64(binary.LittleEndian.Uint64(e[offAddr:]))
+			undos[txid] = append(undos[txid], undo{addr: addr, data: data})
+		}
+	}
+	for txid, list := range undos {
+		if committed[txid] {
+			continue
+		}
+		for i := len(list) - 1; i >= 0; i-- {
+			u := list[i]
+			dev.Write(u.data, u.addr)
+			dev.Flush(u.addr, len(u.data))
+		}
+		dev.Fence()
+		rolledBack++
+	}
+	// Reset the area.
+	zero := make([]byte, cacheline.BlockSize)
+	for off := int64(0); off < size; off += cacheline.BlockSize {
+		dev.Write(zero, base+off)
+	}
+	dev.Flush(base, int(size))
+	dev.Fence()
+	return rolledBack, nil
+}

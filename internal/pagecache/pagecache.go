@@ -1,0 +1,328 @@
+// Package pagecache implements an OS page cache over a block device: 4 KB
+// pages, LRU replacement, dirty tracking and writeback.
+//
+// It deliberately reproduces the behaviour the paper identifies as the
+// double-copy problem (§1, §2): every read miss fetches the whole block
+// from the device into a cache page before copying to the user buffer,
+// every write lands in a cache page first (fetch-before-write for partial
+// writes), and synchronization copies the page out through the generic
+// block layer. The traditional EXT2/EXT4 baselines are built on it.
+package pagecache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hinfs/internal/blockdev"
+)
+
+// PageSize is the cache page size.
+const PageSize = blockdev.BlockSize
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Writebacks int64 // pages written to the device
+	Evictions  int64
+}
+
+type page struct {
+	bn    int64
+	data  []byte
+	dirty bool
+
+	prev, next *page // LRU list: head = MRU
+}
+
+// Cache is an LRU page cache over a block device. It is safe for
+// concurrent use; a single mutex guards the cache, mirroring the paper's
+// observation that the software stack, not lock granularity, dominates
+// block-based FS overheads on NVMM.
+//
+// Like the kernel's dirty-ratio throttling, a writer that pushes the dirty
+// page count above DirtyRatio of the capacity synchronously writes back a
+// batch of pages, so sustained write streams pay device costs instead of
+// accumulating unbounded dirty state.
+type Cache struct {
+	dev *blockdev.Device
+
+	mu    sync.Mutex
+	pages map[int64]*page
+	head  *page
+	tail  *page
+	cap   int
+	dirty int
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	writebacks atomic.Int64
+	evictions  atomic.Int64
+}
+
+// DirtyRatio is the dirty-page fraction that triggers foreground
+// writeback throttling.
+const DirtyRatio = 0.15
+
+// New creates a cache of capacity pages over dev.
+func New(dev *blockdev.Device, capacity int) *Cache {
+	if capacity <= 0 {
+		panic("pagecache: capacity must be positive")
+	}
+	return &Cache{dev: dev, pages: make(map[int64]*page), cap: capacity}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Writebacks: c.writebacks.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}
+
+// --- LRU management (c.mu held) ---
+
+func (c *Cache) pushFront(p *page) {
+	p.prev = nil
+	p.next = c.head
+	if c.head != nil {
+		c.head.prev = p
+	}
+	c.head = p
+	if c.tail == nil {
+		c.tail = p
+	}
+}
+
+func (c *Cache) unlink(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		c.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		c.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (c *Cache) touch(p *page) {
+	c.unlink(p)
+	c.pushFront(p)
+}
+
+// getPage returns the cached page for bn, fetching from the device on a
+// miss (if fetch is true) or returning a zeroed page otherwise. Called
+// with c.mu held; may drop it to perform device I/O.
+func (c *Cache) getPage(bn int64, fetch bool) *page {
+	if p, ok := c.pages[bn]; ok {
+		c.hits.Add(1)
+		c.touch(p)
+		return p
+	}
+	c.misses.Add(1)
+	// Evict if full.
+	for len(c.pages) >= c.cap {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.pages, victim.bn)
+		c.evictions.Add(1)
+		if victim.dirty {
+			c.dirty--
+			c.writebacks.Add(1)
+			c.mu.Unlock()
+			c.dev.WriteBlock(victim.data, victim.bn)
+			c.mu.Lock()
+			// Re-check: another goroutine may have re-created the page;
+			// we proceed regardless — last write wins, matching a cache
+			// without page locks under FS-level locking.
+		}
+	}
+	p := &page{bn: bn, data: make([]byte, PageSize)}
+	if fetch {
+		c.mu.Unlock()
+		c.dev.ReadBlock(p.data, bn)
+		c.mu.Lock()
+		if cur, ok := c.pages[bn]; ok {
+			// Lost a race; use the winner.
+			c.touch(cur)
+			return cur
+		}
+	}
+	c.pages[bn] = p
+	c.pushFront(p)
+	return p
+}
+
+// Read copies n = len(dst) bytes from byte offset off of block bn, going
+// through the cache (fetching the whole block on a miss — the first copy
+// of the double-copy read path).
+func (c *Cache) Read(dst []byte, bn int64, off int) {
+	if off < 0 || off+len(dst) > PageSize {
+		panic("pagecache: read range outside page")
+	}
+	c.mu.Lock()
+	p := c.getPage(bn, true)
+	copy(dst, p.data[off:])
+	c.mu.Unlock()
+}
+
+// Write copies src into byte offset off of block bn's cache page, marking
+// it dirty. A partial write to an uncached block fetches it first
+// (fetch-before-write); fresh reports the block was newly allocated so
+// the fetch is skipped and the page zeroed.
+func (c *Cache) Write(src []byte, bn int64, off int, fresh bool) {
+	if off < 0 || off+len(src) > PageSize {
+		panic("pagecache: write range outside page")
+	}
+	partial := off != 0 || len(src) != PageSize
+	c.mu.Lock()
+	p := c.getPage(bn, partial && !fresh)
+	copy(p.data[off:], src)
+	if !p.dirty {
+		p.dirty = true
+		c.dirty++
+	}
+	throttle := c.dirty > int(DirtyRatio*float64(c.cap))
+	c.mu.Unlock()
+	if throttle {
+		c.writebackBatch(32)
+	}
+}
+
+// writebackBatch writes up to n dirty pages back, oldest first.
+func (c *Cache) writebackBatch(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		var victim *page
+		for p := c.tail; p != nil; p = p.prev {
+			if p.dirty {
+				victim = p
+				break
+			}
+		}
+		if victim == nil {
+			c.mu.Unlock()
+			return
+		}
+		victim.dirty = false
+		c.dirty--
+		buf := make([]byte, PageSize)
+		copy(buf, victim.data)
+		c.mu.Unlock()
+		c.writebacks.Add(1)
+		c.dev.WriteBlock(buf, victim.bn)
+	}
+}
+
+// FlushPage writes block bn back to the device if dirty, keeping it cached
+// clean. It reports whether a writeback happened.
+func (c *Cache) FlushPage(bn int64) bool {
+	c.mu.Lock()
+	p, ok := c.pages[bn]
+	if !ok || !p.dirty {
+		c.mu.Unlock()
+		return false
+	}
+	p.dirty = false
+	c.dirty--
+	buf := make([]byte, PageSize)
+	copy(buf, p.data)
+	c.mu.Unlock()
+	c.writebacks.Add(1)
+	c.dev.WriteBlock(buf, bn)
+	return true
+}
+
+// FlushAll writes every dirty page back and returns the count.
+func (c *Cache) FlushAll() int {
+	c.mu.Lock()
+	var dirty []int64
+	for bn, p := range c.pages {
+		if p.dirty {
+			dirty = append(dirty, bn)
+		}
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, bn := range dirty {
+		if c.FlushPage(bn) {
+			n++
+		}
+	}
+	return n
+}
+
+// PeekDirty copies page bn into dst if it is cached and dirty, reporting
+// whether it did (used by the EXT4 journal to snapshot metadata pages).
+func (c *Cache) PeekDirty(dst []byte, bn int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pages[bn]
+	if !ok || !p.dirty {
+		return false
+	}
+	copy(dst, p.data)
+	return true
+}
+
+// DirtyIn returns the block numbers of dirty pages with bn < limit.
+func (c *Cache) DirtyIn(limit int64) []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int64
+	for bn, p := range c.pages {
+		if p.dirty && bn < limit {
+			out = append(out, bn)
+		}
+	}
+	return out
+}
+
+// Drop discards block bn from the cache without writeback (freed blocks).
+func (c *Cache) Drop(bn int64) {
+	c.mu.Lock()
+	if p, ok := c.pages[bn]; ok {
+		if p.dirty {
+			c.dirty--
+		}
+		c.unlink(p)
+		delete(c.pages, bn)
+	}
+	c.mu.Unlock()
+}
+
+// InvalidateAll writes every dirty page back and empties the cache
+// (echo 3 > drop_caches, as the paper does before each benchmark run).
+func (c *Cache) InvalidateAll() {
+	c.FlushAll()
+	c.mu.Lock()
+	c.pages = make(map[int64]*page)
+	c.head, c.tail = nil, nil
+	c.dirty = 0
+	c.mu.Unlock()
+}
+
+// DirtyPages returns the number of dirty cached pages.
+func (c *Cache) DirtyPages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.pages {
+		if p.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package pmfs
+
+import (
+	"fmt"
+)
+
+// Check is an fsck-style validator of the on-device image. It walks the
+// namespace from the root, validates every inode record and index tree,
+// and cross-checks the block bitmap:
+//
+//   - directory entries must point at live inodes of the recorded type;
+//   - every index/data block must be inside the data region, marked
+//     allocated in the bitmap, and referenced exactly once;
+//   - inode Blocks counters must match the tree contents;
+//   - every allocated block must be reachable (no leaks).
+//
+// The file system must be quiescent while Check runs. It returns every
+// problem found (nil means the image is consistent).
+func (fs *FS) Check() []error {
+	fs.nsMu.RLock()
+	defer fs.nsMu.RUnlock()
+
+	var errs []error
+	addErr := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	seen := make(map[int64]Ino) // block number → owning inode
+	var walkTree func(ino Ino, bn int64, height byte) int64
+	walkTree = func(ino Ino, bn int64, height byte) int64 {
+		if bn < fs.l.dataStart || bn >= fs.l.totalBlocks {
+			addErr("inode %d: block %d outside data region", ino, bn)
+			return 0
+		}
+		if owner, dup := seen[bn]; dup {
+			addErr("inode %d: block %d already referenced by inode %d", ino, bn, owner)
+			return 0
+		}
+		seen[bn] = ino
+		if fs.alloc.words[bn/64]&(1<<uint(bn%64)) == 0 {
+			addErr("inode %d: block %d referenced but free in bitmap", ino, bn)
+		}
+		if height == 0 {
+			return 1
+		}
+		var data int64
+		for slot := int64(0); slot < ptrsPerBlock; slot++ {
+			child := fs.readPtr(bn, slot)
+			if child != 0 {
+				data += walkTree(ino, child, height-1)
+			}
+		}
+		return data
+	}
+
+	checkInode := func(ino Ino, wantType byte) inodeRec {
+		rec := fs.loadInode(ino)
+		if rec.Type != wantType {
+			addErr("inode %d: type %d, want %d", ino, rec.Type, wantType)
+			return rec
+		}
+		if rec.Root != 0 {
+			dataBlocks := walkTree(ino, rec.Root, rec.Height)
+			if dataBlocks != rec.Blocks {
+				addErr("inode %d: Blocks=%d but tree holds %d data blocks",
+					ino, rec.Blocks, dataBlocks)
+			}
+		} else if rec.Blocks != 0 {
+			addErr("inode %d: Blocks=%d with no tree", ino, rec.Blocks)
+		}
+		if rec.Size < 0 {
+			addErr("inode %d: negative size %d", ino, rec.Size)
+		}
+		return rec
+	}
+
+	liveInos := map[Ino]bool{RootIno: true}
+	var walkDir func(ino Ino)
+	walkDir = func(ino Ino) {
+		rec := checkInode(ino, typeDir)
+		fs.dirScan(rec, func(_ int64, d dentry) bool {
+			if d.ino == 0 || int64(d.ino) >= fs.l.maxInodes {
+				addErr("dir %d: dentry %q has bad ino %d", ino, d.name, d.ino)
+				return false
+			}
+			if liveInos[d.ino] {
+				addErr("dir %d: dentry %q points at already-linked ino %d (hard links unsupported)",
+					ino, d.name, d.ino)
+				return false
+			}
+			liveInos[d.ino] = true
+			switch d.typ {
+			case typeDir:
+				walkDir(d.ino)
+			case typeFile:
+				checkInode(d.ino, typeFile)
+			default:
+				addErr("dir %d: dentry %q has bad type %d", ino, d.name, d.typ)
+			}
+			return false
+		})
+	}
+	walkDir(RootIno)
+
+	// Unlinked-but-open inodes are legitimately live without a dentry.
+	fs.states.Range(func(k, v any) bool {
+		st := v.(*inodeState)
+		st.meta.Lock()
+		if st.unlinked && st.refs > 0 {
+			ino := k.(Ino)
+			if !liveInos[ino] {
+				liveInos[ino] = true
+				rec := fs.loadInode(ino)
+				if rec.Root != 0 {
+					walkTree(ino, rec.Root, rec.Height)
+				}
+			}
+		}
+		st.meta.Unlock()
+		return true
+	})
+
+	// Leak check: every allocated data-region block must have been seen.
+	fs.alloc.mu.Lock()
+	for bn := fs.l.dataStart; bn < fs.l.totalBlocks; bn++ {
+		allocated := fs.alloc.words[bn/64]&(1<<uint(bn%64)) != 0
+		if allocated {
+			if _, ok := seen[bn]; !ok {
+				addErr("block %d allocated but unreachable (leaked)", bn)
+			}
+		}
+	}
+	fs.alloc.mu.Unlock()
+
+	// Inode-table scan: every in-use inode must be linked somewhere.
+	for ino := Ino(1); ino < Ino(fs.l.maxInodes); ino++ {
+		var b [1]byte
+		fs.dev.Read(b[:], fs.l.inodeAddr(ino)+inoType)
+		if b[0] != typeFree && !liveInos[ino] {
+			addErr("inode %d in use but not reachable from the namespace", ino)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,336 @@
+package pmfs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hinfs/internal/journal"
+	"hinfs/internal/vfs"
+)
+
+// File is an open PMFS file handle. It implements vfs.File with direct
+// access, and exposes the locked low-level primitives (PrepareWriteLocked,
+// BlockAddrLocked, ...) that the HiNFS layer composes with its DRAM buffer.
+type File struct {
+	fs     *FS
+	ino    Ino
+	flags  int
+	closed atomic.Bool
+}
+
+// Extent locates one file block on the device.
+type Extent struct {
+	// Index is the file block index (offset / BlockSize).
+	Index int64
+	// Addr is the device byte offset of the block.
+	Addr int64
+	// Created reports whether this block was newly allocated.
+	Created bool
+}
+
+// WritePlan is the metadata side of a write: the resolved extents and the
+// journal transaction that made them visible.
+type WritePlan struct {
+	Extents []Extent
+	Tx      *journal.Tx
+}
+
+// Ino returns the file's inode number.
+func (f *File) Ino() Ino { return f.ino }
+
+// Flags returns the open flags.
+func (f *File) Flags() int { return f.flags }
+
+// FS returns the owning file system.
+func (f *File) FS() *FS { return f.fs }
+
+// Lock acquires the inode's write lock.
+func (f *File) Lock() { f.fs.state(f.ino).mu.Lock() }
+
+// Unlock releases the inode's write lock.
+func (f *File) Unlock() { f.fs.state(f.ino).mu.Unlock() }
+
+// RLock acquires the inode's read lock.
+func (f *File) RLock() { f.fs.state(f.ino).mu.RLock() }
+
+// RUnlock releases the inode's read lock.
+func (f *File) RUnlock() { f.fs.state(f.ino).mu.RUnlock() }
+
+// Size implements vfs.File.
+func (f *File) Size() int64 {
+	f.RLock()
+	defer f.RUnlock()
+	return f.SizeLocked()
+}
+
+// SizeLocked returns the file size; the caller holds the inode lock.
+func (f *File) SizeLocked() int64 { return f.fs.loadInode(f.ino).Size }
+
+// BlockAddrLocked returns the device byte address of file block index, or
+// 0 if the block is a hole; the caller holds the inode lock.
+func (f *File) BlockAddrLocked(index int64) int64 {
+	rec := f.fs.loadInode(f.ino)
+	bn := f.fs.treeLookup(rec, index)
+	if bn == 0 {
+		return 0
+	}
+	return blockAddr(bn)
+}
+
+// LastSync returns the file's last synchronization time (DRAM metadata
+// used by the HiNFS Buffer Benefit Model).
+func (f *File) LastSync() time.Time {
+	st := f.fs.state(f.ino)
+	st.meta.Lock()
+	defer st.meta.Unlock()
+	return st.lastSync
+}
+
+// MarkSynced records t as the file's last synchronization time.
+func (f *File) MarkSynced(t time.Time) {
+	st := f.fs.state(f.ino)
+	st.meta.Lock()
+	st.lastSync = t
+	st.meta.Unlock()
+}
+
+func (f *File) checkOpen() error {
+	if f.closed.Load() {
+		return vfs.ErrClosed
+	}
+	return f.fs.checkMounted()
+}
+
+// ReadAt implements vfs.File: a single copy NVMM→user.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	f.RLock()
+	defer f.RUnlock()
+	return f.readAtLocked(p, off)
+}
+
+func (f *File) readAtLocked(p []byte, off int64) (int, error) {
+	rec := f.fs.loadInode(f.ino)
+	if off >= rec.Size {
+		return 0, nil
+	}
+	n := len(p)
+	if off+int64(n) > rec.Size {
+		n = int(rec.Size - off)
+	}
+	read := 0
+	for read < n {
+		idx := (off + int64(read)) / BlockSize
+		bo := (off + int64(read)) % BlockSize
+		chunk := BlockSize - int(bo)
+		if chunk > n-read {
+			chunk = n - read
+		}
+		bn := f.fs.treeLookup(rec, idx)
+		if bn == 0 {
+			for i := read; i < read+chunk; i++ {
+				p[i] = 0
+			}
+		} else {
+			f.fs.dev.Read(p[read:read+chunk], blockAddr(bn)+bo)
+		}
+		read += chunk
+	}
+	return n, nil
+}
+
+// PrepareWriteLocked allocates and journals the metadata for a write of n
+// bytes at off: it ensures every touched block exists, extends the size,
+// and stamps mtime. The caller holds the inode write lock.
+//
+// If deferred is false the caller must write the data (WriteNT) and then
+// Commit the returned transaction — the PMFS eager path. If deferred is
+// true the transaction is sealed with one pending reference per extent;
+// the commit record is written when the last extent's data is persisted
+// (HiNFS ordered mode, §4.1).
+func (f *File) PrepareWriteLocked(off int64, n int, deferred bool) (WritePlan, error) {
+	if off < 0 || n < 0 {
+		return WritePlan{}, vfs.ErrInvalid
+	}
+	rec := f.fs.loadInode(f.ino)
+	tx := f.fs.jnl.Begin()
+	first := off / BlockSize
+	count := int64(0)
+	if n > 0 {
+		count = (off+int64(n)-1)/BlockSize - first + 1
+	}
+	plan := WritePlan{Tx: tx}
+	extents, err := f.fs.treeEnsureRange(tx, &rec, first, count, make([]Extent, 0, count))
+	if err != nil {
+		// Roll forward what we logged; the allocation state is
+		// consistent, the write just fails.
+		f.fs.storeInode(tx, f.ino, rec)
+		tx.Commit()
+		return WritePlan{}, err
+	}
+	plan.Extents = extents
+	if off+int64(n) > rec.Size {
+		rec.Size = off + int64(n)
+	}
+	rec.Mtime = f.fs.now().UnixNano()
+	f.fs.storeInode(tx, f.ino, rec)
+	if deferred {
+		tx.AddPending(len(plan.Extents))
+		tx.Seal()
+	}
+	return plan, nil
+}
+
+// WriteAt implements vfs.File: the PMFS direct write path. Data is copied
+// user→NVMM with non-temporal stores so it is durable when the metadata
+// transaction commits.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	f.Lock()
+	defer f.Unlock()
+	if f.flags&vfs.OAppend != 0 {
+		off = f.SizeLocked()
+	}
+	return f.writeAtLocked(p, off)
+}
+
+func (f *File) writeAtLocked(p []byte, off int64) (int, error) {
+	plan, err := f.PrepareWriteLocked(off, len(p), false)
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, e := range plan.Extents {
+		blkOff := int64(0)
+		if e.Index == off/BlockSize {
+			blkOff = off % BlockSize
+		}
+		chunk := int(BlockSize - blkOff)
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		f.fs.dev.WriteNT(p[written:written+chunk], e.Addr+blkOff)
+		written += chunk
+	}
+	f.fs.dev.Fence()
+	plan.Tx.Commit()
+	return written, nil
+}
+
+// Fsync implements vfs.File. PMFS data is durable at write return, so only
+// an ordering fence is needed.
+func (f *File) Fsync() error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	f.fs.dev.Fence()
+	f.MarkSynced(f.fs.now())
+	return nil
+}
+
+// Truncate implements vfs.File.
+func (f *File) Truncate(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if size < 0 {
+		return vfs.ErrInvalid
+	}
+	f.Lock()
+	defer f.Unlock()
+	return f.truncateLocked(size)
+}
+
+// TruncateLocked is Truncate with the inode lock already held (HiNFS
+// drops its buffered blocks first, then delegates here).
+func (f *File) TruncateLocked(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if size < 0 {
+		return vfs.ErrInvalid
+	}
+	return f.truncateLocked(size)
+}
+
+func (f *File) truncateLocked(size int64) error {
+	rec := f.fs.loadInode(f.ino)
+	if size == rec.Size {
+		return nil
+	}
+	tx := f.fs.jnl.Begin()
+	if size < rec.Size {
+		from := (size + BlockSize - 1) / BlockSize
+		f.fs.treeFreeFrom(tx, &rec, from)
+		// Zero the tail of the boundary block so later extension reads
+		// zeros, matching POSIX semantics.
+		if size%BlockSize != 0 {
+			if bn := f.fs.treeLookup(rec, size/BlockSize); bn != 0 {
+				tail := int(BlockSize - size%BlockSize)
+				f.fs.dev.Write(f.fs.zero[:tail], blockAddr(bn)+size%BlockSize)
+				f.fs.dev.Flush(blockAddr(bn)+size%BlockSize, tail)
+			}
+		}
+	}
+	rec.Size = size
+	rec.Mtime = f.fs.now().UnixNano()
+	f.fs.storeInode(tx, f.ino, rec)
+	tx.Commit()
+	return nil
+}
+
+// CloseWillReclaim reports whether closing this handle would free the
+// inode's storage (it is the last handle to an unlinked file). The HiNFS
+// layer uses it to discard buffered blocks before the NVMM blocks are
+// released.
+func (f *File) CloseWillReclaim() bool {
+	st := f.fs.state(f.ino)
+	st.meta.Lock()
+	defer st.meta.Unlock()
+	return st.refs == 1 && st.unlinked
+}
+
+// Close implements vfs.File.
+func (f *File) Close() error {
+	if f.closed.Swap(true) {
+		return vfs.ErrClosed
+	}
+	st := f.fs.state(f.ino)
+	st.meta.Lock()
+	st.refs--
+	reclaim := st.refs == 0 && st.unlinked
+	st.meta.Unlock()
+	if reclaim {
+		tx := f.fs.jnl.Begin()
+		rec := f.fs.loadInode(f.ino)
+		f.fs.treeFreeFrom(tx, &rec, 0)
+		f.fs.freeInode(tx, f.ino)
+		tx.Commit()
+	}
+	return nil
+}
+
+// MmapBlock emulates PMFS direct memory-mapped I/O for one file block: it
+// ensures the block exists and returns a slice aliasing its device memory.
+// Stores through the slice become durable only at the next Flush/Msync,
+// matching §4.2's "mmap writes are not persistent until msync".
+func (f *File) MmapBlock(index int64) ([]byte, error) {
+	if err := f.checkOpen(); err != nil {
+		return nil, err
+	}
+	f.Lock()
+	defer f.Unlock()
+	plan, err := f.PrepareWriteLocked(index*BlockSize, BlockSize, false)
+	if err != nil {
+		return nil, err
+	}
+	plan.Tx.Commit()
+	return f.fs.dev.Slice(plan.Extents[0].Addr, BlockSize), nil
+}

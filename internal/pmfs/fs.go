@@ -1,0 +1,535 @@
+package pmfs
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinfs/internal/clock"
+	"hinfs/internal/journal"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/vfs"
+)
+
+func le64(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
+func putLE64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// FS is a mounted PMFS-like file system. It implements vfs.FileSystem with
+// direct access: reads copy NVMM→user, writes copy user→NVMM with
+// non-temporal stores, and all metadata updates are undo-journaled.
+type FS struct {
+	dev   *nvmm.Device
+	l     layout
+	jnl   *journal.Journal
+	alloc *allocator
+	clk   clock.Clock
+
+	// nsMu serializes namespace (directory tree) mutations; lookups take
+	// the read side.
+	nsMu sync.RWMutex
+
+	states sync.Map // Ino → *inodeState
+
+	inoMu    sync.Mutex
+	freeInos []Ino
+
+	zero [BlockSize]byte
+
+	unmounted atomic.Bool
+}
+
+// Mkfs formats dev and returns the mounted file system.
+func Mkfs(dev *nvmm.Device, opts Options) (*FS, error) {
+	opts.fill()
+	l, err := computeLayout(dev.Size(), opts)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{dev: dev, l: l, clk: clock.Real{}}
+	// Zero the metadata regions.
+	for off := l.journalStart; off < l.bitmapStart; off += BlockSize {
+		dev.Write(fs.zero[:], off)
+	}
+	dev.Flush(l.journalStart, int(l.bitmapStart-l.journalStart))
+	fs.alloc = newAllocator(dev, l)
+	fs.alloc.format()
+	fs.jnl, err = journal.New(dev, l.journalStart, l.journalSize)
+	if err != nil {
+		return nil, err
+	}
+	fs.initFreeInos()
+	// Create the root directory.
+	tx := fs.jnl.Begin()
+	fs.storeInode(tx, RootIno, inodeRec{Type: typeDir, Links: 2, Mtime: fs.clk.Now().UnixNano()})
+	tx.Commit()
+	l.writeSuper(dev)
+	return fs, nil
+}
+
+// Mount parses an existing image, runs journal recovery, and returns the
+// file system. RecoveredTxs reports how many torn transactions were rolled
+// back.
+func Mount(dev *nvmm.Device) (*FS, error) {
+	fs, _, err := MountRecover(dev)
+	return fs, err
+}
+
+// MountRecover is Mount, also reporting rolled-back transaction count.
+func MountRecover(dev *nvmm.Device) (*FS, int, error) {
+	l, err := readLayout(dev)
+	if err != nil {
+		return nil, 0, err
+	}
+	rolled, err := journal.Recover(dev, l.journalStart, l.journalSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	fs := &FS{dev: dev, l: l, clk: clock.Real{}}
+	fs.alloc = newAllocator(dev, l)
+	fs.alloc.load()
+	fs.jnl, err = journal.New(dev, l.journalStart, l.journalSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	fs.initFreeInos()
+	return fs, rolled, nil
+}
+
+// SetClock replaces the time source (tests and the HiNFS layer).
+func (fs *FS) SetClock(c clock.Clock) { fs.clk = c }
+
+func (fs *FS) now() time.Time { return fs.clk.Now() }
+
+// Device returns the underlying NVMM device.
+func (fs *FS) Device() *nvmm.Device { return fs.dev }
+
+// Journal returns the metadata journal.
+func (fs *FS) Journal() *journal.Journal { return fs.jnl }
+
+// FreeBlocks returns the number of free data blocks.
+func (fs *FS) FreeBlocks() int64 { return fs.alloc.freeBlocks() }
+
+func (fs *FS) initFreeInos() {
+	// Scan the inode table for free records; ino 0 is reserved invalid and
+	// ino 1 is the root. Scan high→low so allocation hands out low numbers.
+	var b [1]byte
+	for ino := Ino(fs.l.maxInodes - 1); ino >= 2; ino-- {
+		fs.dev.Read(b[:], fs.l.inodeAddr(ino)+inoType)
+		if b[0] == typeFree {
+			fs.freeInos = append(fs.freeInos, ino)
+		}
+	}
+}
+
+func (fs *FS) checkMounted() error {
+	if fs.unmounted.Load() {
+		return vfs.ErrUnmounted
+	}
+	return nil
+}
+
+// resolveDir walks parts from the root, returning the inode of the final
+// directory. Caller holds nsMu (read or write).
+func (fs *FS) resolveDir(parts []string) (Ino, error) {
+	cur := RootIno
+	for _, name := range parts {
+		rec := fs.loadInode(cur)
+		if rec.Type != typeDir {
+			return 0, vfs.ErrNotDir
+		}
+		_, d, ok := fs.dirLookup(rec, name)
+		if !ok {
+			return 0, vfs.ErrNotExist
+		}
+		if d.typ != typeDir {
+			return 0, vfs.ErrNotDir
+		}
+		cur = d.ino
+	}
+	return cur, nil
+}
+
+// Resolve returns the inode at path.
+func (fs *FS) Resolve(path string) (Ino, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	fs.nsMu.RLock()
+	defer fs.nsMu.RUnlock()
+	if len(parts) == 0 {
+		return RootIno, nil
+	}
+	dir, err := fs.resolveDir(parts[:len(parts)-1])
+	if err != nil {
+		return 0, err
+	}
+	rec := fs.loadInode(dir)
+	_, d, ok := fs.dirLookup(rec, parts[len(parts)-1])
+	if !ok {
+		return 0, vfs.ErrNotExist
+	}
+	return d.ino, nil
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(path string) (vfs.File, error) {
+	return fs.Open(path, vfs.OCreate|vfs.ORdwr)
+}
+
+// Open implements vfs.FileSystem.
+func (fs *FS) Open(path string, flags int) (vfs.File, error) {
+	f, err := fs.OpenFile(path, flags)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenFile is Open returning the concrete *File (used by the HiNFS layer).
+func (fs *FS) OpenFile(path string, flags int) (*File, error) {
+	if err := fs.checkMounted(); err != nil {
+		return nil, err
+	}
+	dirParts, base, err := vfs.SplitDirBase(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
+	dirIno, err := fs.resolveDir(dirParts)
+	if err != nil {
+		return nil, err
+	}
+	dirRec := fs.loadInode(dirIno)
+	_, d, ok := fs.dirLookup(dirRec, base)
+	var ino Ino
+	switch {
+	case ok && d.typ == typeDir:
+		return nil, vfs.ErrIsDir
+	case ok:
+		ino = d.ino
+		if flags&vfs.OTrunc != 0 {
+			f := fs.fileHandle(ino, flags)
+			f.Lock()
+			err := f.truncateLocked(0)
+			f.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+	case flags&vfs.OCreate != 0:
+		tx := fs.jnl.Begin()
+		ino, err = fs.allocInode(tx, typeFile)
+		if err != nil {
+			tx.Commit()
+			return nil, err
+		}
+		if err := fs.dirAddEntry(tx, dirIno, &dirRec, dentry{ino: ino, typ: typeFile, name: base}); err != nil {
+			fs.freeInode(tx, ino)
+			tx.Commit()
+			return nil, err
+		}
+		fs.storeInode(tx, dirIno, dirRec)
+		tx.Commit()
+	default:
+		return nil, vfs.ErrNotExist
+	}
+	return fs.fileHandle(ino, flags), nil
+}
+
+func (fs *FS) fileHandle(ino Ino, flags int) *File {
+	st := fs.state(ino)
+	st.meta.Lock()
+	st.refs++
+	st.meta.Unlock()
+	return &File{fs: fs, ino: ino, flags: flags}
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(path string) error {
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	dirParts, base, err := vfs.SplitDirBase(path)
+	if err != nil {
+		return err
+	}
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
+	dirIno, err := fs.resolveDir(dirParts)
+	if err != nil {
+		return err
+	}
+	dirRec := fs.loadInode(dirIno)
+	if _, _, ok := fs.dirLookup(dirRec, base); ok {
+		return vfs.ErrExist
+	}
+	tx := fs.jnl.Begin()
+	ino, err := fs.allocInode(tx, typeDir)
+	if err != nil {
+		tx.Commit()
+		return err
+	}
+	if err := fs.dirAddEntry(tx, dirIno, &dirRec, dentry{ino: ino, typ: typeDir, name: base}); err != nil {
+		fs.freeInode(tx, ino)
+		tx.Commit()
+		return err
+	}
+	fs.storeInode(tx, dirIno, dirRec)
+	tx.Commit()
+	return nil
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(path string) error {
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	dirParts, base, err := vfs.SplitDirBase(path)
+	if err != nil {
+		return err
+	}
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
+	dirIno, err := fs.resolveDir(dirParts)
+	if err != nil {
+		return err
+	}
+	dirRec := fs.loadInode(dirIno)
+	addr, d, ok := fs.dirLookup(dirRec, base)
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if d.typ != typeDir {
+		return vfs.ErrNotDir
+	}
+	rec := fs.loadInode(d.ino)
+	if !fs.dirEmpty(rec) {
+		return vfs.ErrNotEmpty
+	}
+	tx := fs.jnl.Begin()
+	fs.dirRemoveEntry(tx, addr)
+	rec2 := rec
+	fs.treeFreeFrom(tx, &rec2, 0)
+	fs.freeInode(tx, d.ino)
+	tx.Commit()
+	return nil
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(path string) error {
+	_, reclaim, err := fs.UnlinkKeepStorage(path)
+	if err != nil {
+		return err
+	}
+	if reclaim != nil {
+		reclaim()
+	}
+	return nil
+}
+
+// UnlinkKeepStorage removes path's directory entry but defers freeing the
+// inode's storage: if no handle is open it returns a reclaim closure the
+// caller invokes after discarding any cached state for the inode (HiNFS
+// drops its DRAM buffer blocks first, so background writeback can never
+// touch freed NVMM blocks). A nil reclaim means open handles exist and the
+// last Close frees the storage instead.
+func (fs *FS) UnlinkKeepStorage(path string) (Ino, func(), error) {
+	if err := fs.checkMounted(); err != nil {
+		return 0, nil, err
+	}
+	dirParts, base, err := vfs.SplitDirBase(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
+	dirIno, err := fs.resolveDir(dirParts)
+	if err != nil {
+		return 0, nil, err
+	}
+	dirRec := fs.loadInode(dirIno)
+	addr, d, ok := fs.dirLookup(dirRec, base)
+	if !ok {
+		return 0, nil, vfs.ErrNotExist
+	}
+	if d.typ == typeDir {
+		return 0, nil, vfs.ErrIsDir
+	}
+	tx := fs.jnl.Begin()
+	fs.dirRemoveEntry(tx, addr)
+	reclaim := fs.deferredReclaim(d.ino)
+	tx.Commit()
+	return d.ino, reclaim, nil
+}
+
+// deferredReclaim marks ino for reclamation. If handles are open it
+// arranges last-close reclamation and returns nil; otherwise it returns a
+// closure freeing the storage in its own transaction. The closure takes
+// the inode lock, so in-flight reads through surviving paths are excluded.
+func (fs *FS) deferredReclaim(ino Ino) func() {
+	st := fs.state(ino)
+	st.meta.Lock()
+	open := st.refs > 0
+	if open {
+		st.unlinked = true
+	}
+	st.meta.Unlock()
+	if open {
+		return nil
+	}
+	return func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		rtx := fs.jnl.Begin()
+		rec := fs.loadInode(ino)
+		fs.treeFreeFrom(rtx, &rec, 0)
+		fs.freeInode(rtx, ino)
+		rtx.Commit()
+	}
+}
+
+// Rename implements vfs.FileSystem. A regular file at newpath is replaced.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	_, reclaim, err := fs.RenameKeepStorage(oldpath, newpath)
+	if err != nil {
+		return err
+	}
+	if reclaim != nil {
+		reclaim()
+	}
+	return nil
+}
+
+// RenameKeepStorage is Rename with the replaced target's storage
+// reclamation deferred to the returned closure (see UnlinkKeepStorage).
+// The returned ino is the replaced file's inode (0 if none was replaced).
+func (fs *FS) RenameKeepStorage(oldpath, newpath string) (Ino, func(), error) {
+	if err := fs.checkMounted(); err != nil {
+		return 0, nil, err
+	}
+	oldDirParts, oldBase, err := vfs.SplitDirBase(oldpath)
+	if err != nil {
+		return 0, nil, err
+	}
+	newDirParts, newBase, err := vfs.SplitDirBase(newpath)
+	if err != nil {
+		return 0, nil, err
+	}
+	fs.nsMu.Lock()
+	defer fs.nsMu.Unlock()
+	oldDir, err := fs.resolveDir(oldDirParts)
+	if err != nil {
+		return 0, nil, err
+	}
+	newDir, err := fs.resolveDir(newDirParts)
+	if err != nil {
+		return 0, nil, err
+	}
+	oldDirRec := fs.loadInode(oldDir)
+	oldAddr, d, ok := fs.dirLookup(oldDirRec, oldBase)
+	if !ok {
+		return 0, nil, vfs.ErrNotExist
+	}
+	newDirRec := fs.loadInode(newDir)
+	if newDir == oldDir {
+		newDirRec = oldDirRec
+	}
+	if oldDir == newDir && oldBase == newBase {
+		return 0, nil, nil // rename to self is a no-op
+	}
+	var replaced Ino
+	var reclaim func()
+	tx := fs.jnl.Begin()
+	if destAddr, destD, exists := fs.dirLookup(newDirRec, newBase); exists {
+		if destD.typ == typeDir {
+			tx.Commit()
+			return 0, nil, vfs.ErrIsDir
+		}
+		fs.dirRemoveEntry(tx, destAddr)
+		replaced = destD.ino
+		reclaim = fs.deferredReclaim(destD.ino)
+	}
+	fs.dirRemoveEntry(tx, oldAddr)
+	if err := fs.dirAddEntry(tx, newDir, &newDirRec, dentry{ino: d.ino, typ: d.typ, name: newBase}); err != nil {
+		tx.Commit()
+		return 0, nil, err
+	}
+	fs.storeInode(tx, newDir, newDirRec)
+	tx.Commit()
+	return replaced, reclaim, nil
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	if err := fs.checkMounted(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	ino, err := fs.Resolve(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	parts, _ := vfs.SplitPath(path)
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	st := fs.state(ino)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	rec := fs.loadInode(ino)
+	return vfs.FileInfo{Name: name, Size: rec.Size, IsDir: rec.Type == typeDir, Blocks: rec.Blocks}, nil
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	if err := fs.checkMounted(); err != nil {
+		return nil, err
+	}
+	ino, err := fs.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.nsMu.RLock()
+	defer fs.nsMu.RUnlock()
+	rec := fs.loadInode(ino)
+	if rec.Type != typeDir {
+		return nil, vfs.ErrNotDir
+	}
+	var out []vfs.DirEntry
+	fs.dirScan(rec, func(_ int64, d dentry) bool {
+		out = append(out, vfs.DirEntry{Name: d.name, IsDir: d.typ == typeDir})
+		return false
+	})
+	return out, nil
+}
+
+// OpenRefs returns the number of open handles on ino.
+func (fs *FS) OpenRefs(ino Ino) int {
+	st := fs.state(ino)
+	st.meta.Lock()
+	defer st.meta.Unlock()
+	return st.refs
+}
+
+// Sync implements vfs.FileSystem. PMFS persists data at write time, so a
+// fence suffices.
+func (fs *FS) Sync() error {
+	if err := fs.checkMounted(); err != nil {
+		return err
+	}
+	fs.dev.Fence()
+	return nil
+}
+
+// Unmount implements vfs.FileSystem.
+func (fs *FS) Unmount() error {
+	if fs.unmounted.Swap(true) {
+		return vfs.ErrUnmounted
+	}
+	fs.dev.Fence()
+	return nil
+}

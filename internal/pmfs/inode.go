@@ -1,0 +1,107 @@
+package pmfs
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"hinfs/internal/journal"
+	"hinfs/internal/vfs"
+)
+
+// inodeRec is a DRAM view of one on-device inode record. Mutations go
+// through store, which journals the old record and writes the new one
+// through to NVMM, so the device image is always authoritative.
+type inodeRec struct {
+	Type   byte
+	Height byte
+	Links  uint32
+	Size   int64
+	Root   int64 // root block number of the index tree (0 = none)
+	Blocks int64 // data+index blocks allocated
+	Mtime  int64
+}
+
+func (fs *FS) loadInode(ino Ino) inodeRec {
+	var b [InodeSize]byte
+	fs.dev.Read(b[:], fs.l.inodeAddr(ino))
+	return inodeRec{
+		Type:   b[inoType],
+		Height: b[inoHeight],
+		Links:  binary.LittleEndian.Uint32(b[inoLinks:]),
+		Size:   int64(binary.LittleEndian.Uint64(b[inoSize:])),
+		Root:   int64(binary.LittleEndian.Uint64(b[inoRoot:])),
+		Blocks: int64(binary.LittleEndian.Uint64(b[inoBlocks:])),
+		Mtime:  int64(binary.LittleEndian.Uint64(b[inoMtime:])),
+	}
+}
+
+// storeInode journals the inode's first cacheline under tx and writes rec
+// through to NVMM.
+func (fs *FS) storeInode(tx *journal.Tx, ino Ino, rec inodeRec) {
+	addr := fs.l.inodeAddr(ino)
+	tx.LogRange(addr, 40) // all fields live in the first 40 bytes
+	var b [40]byte
+	b[inoType] = rec.Type
+	b[inoHeight] = rec.Height
+	binary.LittleEndian.PutUint32(b[inoLinks:], rec.Links)
+	binary.LittleEndian.PutUint64(b[inoSize:], uint64(rec.Size))
+	binary.LittleEndian.PutUint64(b[inoRoot:], uint64(rec.Root))
+	binary.LittleEndian.PutUint64(b[inoBlocks:], uint64(rec.Blocks))
+	binary.LittleEndian.PutUint64(b[inoMtime:], uint64(rec.Mtime))
+	fs.dev.Write(b[:], addr)
+	fs.dev.Flush(addr, len(b))
+	fs.dev.Fence()
+}
+
+// inodeState is the DRAM-resident lock and bookkeeping for one inode.
+// mu is the inode data lock (serializes file reads/writes); meta guards
+// the small bookkeeping fields and may be taken while mu is held.
+type inodeState struct {
+	mu sync.RWMutex
+
+	meta sync.Mutex
+	// refs counts open handles; a deleted inode is reclaimed at last close.
+	refs int
+	// unlinked marks an inode removed from the namespace while open.
+	unlinked bool
+	// lastSync is the last fsync wall time, used by HiNFS's Buffer Benefit
+	// Model (the paper stores it in the in-DRAM file metadata).
+	lastSync time.Time
+}
+
+func (fs *FS) state(ino Ino) *inodeState {
+	v, ok := fs.states.Load(ino)
+	if !ok {
+		v, _ = fs.states.LoadOrStore(ino, &inodeState{})
+	}
+	return v.(*inodeState)
+}
+
+// allocInode reserves a free inode number and initializes its record.
+func (fs *FS) allocInode(tx *journal.Tx, typ byte) (Ino, error) {
+	fs.inoMu.Lock()
+	if len(fs.freeInos) == 0 {
+		fs.inoMu.Unlock()
+		return 0, vfs.ErrNoSpace
+	}
+	ino := fs.freeInos[len(fs.freeInos)-1]
+	fs.freeInos = fs.freeInos[:len(fs.freeInos)-1]
+	fs.inoMu.Unlock()
+	fs.storeInode(tx, ino, inodeRec{
+		Type:  typ,
+		Links: 1,
+		Mtime: fs.now().UnixNano(),
+	})
+	return ino, nil
+}
+
+// freeInode releases an inode record and returns the number to the free
+// list.
+func (fs *FS) freeInode(tx *journal.Tx, ino Ino) {
+	fs.storeInode(tx, ino, inodeRec{})
+	fs.inoMu.Lock()
+	fs.freeInos = append(fs.freeInos, ino)
+	fs.inoMu.Unlock()
+	fs.states.Delete(ino)
+}

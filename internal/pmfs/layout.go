@@ -1,0 +1,199 @@
+// Package pmfs implements a PMFS-like direct-access file system on an
+// emulated NVMM device. It serves two roles in this repository: it is the
+// PMFS baseline of the paper's evaluation, and it is the persistent
+// substrate on which HiNFS (internal/core) layers its DRAM write buffer.
+//
+// The on-device format is byte-serialized into the NVMM device so that
+// crash/recovery behaviour is real: mount re-parses the image, and the
+// journal rolls back torn metadata updates.
+//
+// Layout (4 KB blocks, absolute block numbers):
+//
+//	block 0                superblock
+//	blocks 1..J            metadata undo journal (internal/journal)
+//	blocks J+1..I          inode table (128 B inodes)
+//	blocks I+1..B          block allocation bitmap (1 bit per device block)
+//	blocks B+1..end        data blocks
+//
+// File data is indexed by a per-inode B-tree of 512-ary index blocks,
+// exactly PMFS's scheme: height 0 means the root pointer is the single
+// data block; height h>0 means the root is an index block whose subtrees
+// cover 512^h blocks.
+package pmfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/nvmm"
+)
+
+// BlockSize is the file-system block size.
+const BlockSize = cacheline.BlockSize
+
+// Magic identifies a formatted device.
+const Magic = 0x48694e4653_2016 // "HiNFS" 2016
+
+// InodeSize is the on-device inode record size.
+const InodeSize = 128
+
+// MaxNameLen is the maximum file name length storable in a 64 B dentry.
+const MaxNameLen = 54
+
+// DentrySize is the on-device directory entry size (one cacheline).
+const DentrySize = cacheline.Size
+
+// ptrsPerBlock is the fan-out of one index block (512 8-byte pointers).
+const ptrsPerBlock = BlockSize / 8
+
+// Ino is an inode number. Ino 0 is invalid; ino 1 is the root directory.
+type Ino uint64
+
+// RootIno is the root directory inode.
+const RootIno Ino = 1
+
+// Inode types.
+const (
+	typeFree = 0
+	typeFile = 1
+	typeDir  = 2
+)
+
+// Superblock field offsets within block 0.
+const (
+	sbMagic        = 0
+	sbSize         = 8
+	sbJournalStart = 16 // byte offset
+	sbJournalSize  = 24 // bytes
+	sbInodeStart   = 32 // byte offset of inode table
+	sbMaxInodes    = 40
+	sbBitmapStart  = 48 // byte offset of block bitmap
+	sbBitmapBlocks = 56
+	sbDataStart    = 64 // first data block number
+	sbTotalBlocks  = 72
+	sbCleanUnmount = 80 // 1 if cleanly unmounted
+	sbHeaderEnd    = 88
+)
+
+// Inode record field offsets.
+const (
+	inoType   = 0  // byte
+	inoHeight = 1  // byte
+	inoLinks  = 4  // uint32
+	inoSize   = 8  // uint64
+	inoRoot   = 16 // uint64 block number (0 = none)
+	inoBlocks = 24 // uint64 allocated data+index blocks
+	inoMtime  = 32 // uint64 unix nanos
+)
+
+// Dentry record field offsets (64 B).
+const (
+	deIno     = 0  // uint64, 0 = free slot
+	deType    = 8  // byte
+	deNameLen = 9  // byte
+	deName    = 10 // up to 54 bytes
+)
+
+// Options configures Mkfs.
+type Options struct {
+	// JournalBlocks is the size of the undo journal area (default 1024
+	// blocks = 4 MB; the area is split into two ping-pong halves, see
+	// internal/journal).
+	JournalBlocks int64
+	// MaxInodes is the inode table capacity (default 65536).
+	MaxInodes int64
+}
+
+func (o *Options) fill() {
+	if o.JournalBlocks == 0 {
+		o.JournalBlocks = 1024
+	}
+	if o.MaxInodes == 0 {
+		o.MaxInodes = 65536
+	}
+}
+
+// layout holds the parsed superblock geometry.
+type layout struct {
+	size         int64
+	journalStart int64
+	journalSize  int64
+	inodeStart   int64
+	maxInodes    int64
+	bitmapStart  int64
+	bitmapBlocks int64
+	dataStart    int64 // first data block number
+	totalBlocks  int64
+}
+
+func computeLayout(size int64, opts Options) (layout, error) {
+	totalBlocks := size / BlockSize
+	var l layout
+	l.size = size
+	l.totalBlocks = totalBlocks
+	l.journalStart = BlockSize // block 1
+	l.journalSize = opts.JournalBlocks * BlockSize
+	l.inodeStart = l.journalStart + l.journalSize
+	l.maxInodes = opts.MaxInodes
+	inodeBytes := opts.MaxInodes * InodeSize
+	inodeBlocks := (inodeBytes + BlockSize - 1) / BlockSize
+	l.bitmapStart = l.inodeStart + inodeBlocks*BlockSize
+	bitmapBytes := (totalBlocks + 7) / 8
+	l.bitmapBlocks = (bitmapBytes + BlockSize - 1) / BlockSize
+	l.dataStart = l.bitmapStart/BlockSize + l.bitmapBlocks
+	if l.dataStart >= totalBlocks {
+		return l, fmt.Errorf("pmfs: device too small (%d bytes) for metadata", size)
+	}
+	return l, nil
+}
+
+func (l layout) writeSuper(dev *nvmm.Device) {
+	var b [BlockSize]byte
+	put := binary.LittleEndian.PutUint64
+	put(b[sbMagic:], Magic)
+	put(b[sbSize:], uint64(l.size))
+	put(b[sbJournalStart:], uint64(l.journalStart))
+	put(b[sbJournalSize:], uint64(l.journalSize))
+	put(b[sbInodeStart:], uint64(l.inodeStart))
+	put(b[sbMaxInodes:], uint64(l.maxInodes))
+	put(b[sbBitmapStart:], uint64(l.bitmapStart))
+	put(b[sbBitmapBlocks:], uint64(l.bitmapBlocks))
+	put(b[sbDataStart:], uint64(l.dataStart))
+	put(b[sbTotalBlocks:], uint64(l.totalBlocks))
+	dev.Write(b[:], 0)
+	dev.Flush(0, BlockSize)
+	dev.Fence()
+}
+
+func readLayout(dev *nvmm.Device) (layout, error) {
+	var b [sbHeaderEnd]byte
+	dev.Read(b[:], 0)
+	get := binary.LittleEndian.Uint64
+	if get(b[sbMagic:]) != Magic {
+		return layout{}, fmt.Errorf("pmfs: bad magic: device not formatted")
+	}
+	l := layout{
+		size:         int64(get(b[sbSize:])),
+		journalStart: int64(get(b[sbJournalStart:])),
+		journalSize:  int64(get(b[sbJournalSize:])),
+		inodeStart:   int64(get(b[sbInodeStart:])),
+		maxInodes:    int64(get(b[sbMaxInodes:])),
+		bitmapStart:  int64(get(b[sbBitmapStart:])),
+		bitmapBlocks: int64(get(b[sbBitmapBlocks:])),
+		dataStart:    int64(get(b[sbDataStart:])),
+		totalBlocks:  int64(get(b[sbTotalBlocks:])),
+	}
+	if l.size != dev.Size() {
+		return layout{}, fmt.Errorf("pmfs: superblock size %d != device size %d", l.size, dev.Size())
+	}
+	return l, nil
+}
+
+// inodeAddr returns the device byte offset of an inode record.
+func (l layout) inodeAddr(ino Ino) int64 {
+	return l.inodeStart + int64(ino)*InodeSize
+}
+
+// blockAddr returns the device byte offset of a block number.
+func blockAddr(bn int64) int64 { return bn * BlockSize }

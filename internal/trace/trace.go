@@ -1,0 +1,263 @@
+// Package trace provides the system-call-level I/O trace machinery of the
+// paper's §5.3: a trace record format, a text serialization so real traces
+// can be loaded, synthesizers reproducing the published characteristics of
+// the FIU Usr0/Usr1, LASR and MobiBench Facebook traces, and a replayer
+// that times each operation class separately (read/write/unlink/fsync —
+// exactly the four op types the paper extracts and replays).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"hinfs/internal/vfs"
+	"hinfs/internal/workload"
+)
+
+// Kind is a trace operation type.
+type Kind int
+
+// The four operation classes the paper replays (§5.3).
+const (
+	Read Kind = iota
+	Write
+	Unlink
+	Fsync
+	nKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Unlink:
+		return "unlink"
+	case Fsync:
+		return "fsync"
+	}
+	return "unknown"
+}
+
+// Op is one trace record.
+type Op struct {
+	Kind Kind
+	// File is the trace-local file identifier.
+	File int
+	// Off and Size locate the I/O (Read/Write only).
+	Off  int64
+	Size int
+}
+
+// Trace is a replayable op stream.
+type Trace struct {
+	// Name labels the trace (e.g. "usr0").
+	Name string
+	// Files is the number of distinct files referenced.
+	Files int
+	// InitialSize pre-sizes every file before replay.
+	InitialSize int64
+	// Ops is the operation stream.
+	Ops []Op
+}
+
+// Write serializes the trace in a line-oriented text format:
+//
+//	# hinfs-trace <name> <files> <initialSize>
+//	<kind> <file> <off> <size>
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# hinfs-trace %s %d %d\n", t.Name, t.Files, t.InitialSize)
+	for _, op := range t.Ops {
+		fmt.Fprintf(bw, "%s %d %d %d\n", op.Kind, op.File, op.Off, op.Size)
+	}
+	return bw.Flush()
+}
+
+// Parse reads the text format produced by Write.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var tag string
+	if _, err := fmt.Sscanf(sc.Text(), "# %s %s %d %d", &tag, &t.Name, &t.Files, &t.InitialSize); err != nil || tag != "hinfs-trace" {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var kind string
+		var op Op
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d %d %d", &kind, &op.File, &op.Off, &op.Size); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		switch kind {
+		case "read":
+			op.Kind = Read
+		case "write":
+			op.Kind = Write
+		case "unlink":
+			op.Kind = Unlink
+		case "fsync":
+			op.Kind = Fsync
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, kind)
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	return t, sc.Err()
+}
+
+// ReplayResult reports a replay run.
+type ReplayResult struct {
+	// Time is wall-clock time spent per operation class (Fig. 12's
+	// breakdown).
+	Time [nKinds]time.Duration
+	// Counts is the number of operations per class.
+	Counts [nKinds]int64
+	// BytesWritten and BytesRead are the user-visible volumes.
+	BytesWritten int64
+	BytesRead    int64
+	// FsyncBytes counts written bytes outstanding at each fsync (Fig. 2).
+	FsyncBytes int64
+}
+
+// Total returns the summed op time.
+func (r *ReplayResult) Total() time.Duration {
+	var d time.Duration
+	for _, t := range r.Time {
+		d += t
+	}
+	return d
+}
+
+// TimeFor returns the time spent in the given class.
+func (r *ReplayResult) TimeFor(k Kind) time.Duration { return r.Time[k] }
+
+func tracePath(id int) string { return fmt.Sprintf("/trace/f%d", id) }
+
+// Prepare creates the trace's file population on fs.
+func (t *Trace) Prepare(fs vfs.FileSystem) error {
+	if err := fs.Mkdir("/trace"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	rng := workload.NewRand(123)
+	var buf []byte
+	for i := 0; i < t.Files; i++ {
+		f, err := fs.Create(tracePath(i))
+		if err != nil {
+			return err
+		}
+		if t.InitialSize > 0 {
+			const chunk = 1 << 20
+			for off := int64(0); off < t.InitialSize; off += chunk {
+				n := int64(chunk)
+				if t.InitialSize-off < n {
+					n = t.InitialSize - off
+				}
+				buf = payload(rng, buf, int(n))
+				if _, err := f.WriteAt(buf, off); err != nil {
+					f.Close()
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func payload(rng *workload.Rand, buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	for i := 0; i < n; i += 512 {
+		buf[i] = byte(rng.Uint64())
+	}
+	return buf
+}
+
+// Replay executes the trace against fs, timing each op class. Files are
+// opened lazily and re-created on first touch after an unlink, matching
+// how the paper extracts read/write/unlink/fsync from syscall traces.
+func (t *Trace) Replay(fs vfs.FileSystem) (ReplayResult, error) {
+	var res ReplayResult
+	handles := make(map[int]vfs.File)
+	dirty := make(map[int]int64)
+	defer func() {
+		for _, f := range handles {
+			f.Close()
+		}
+	}()
+	get := func(id int) (vfs.File, error) {
+		if f, ok := handles[id]; ok {
+			return f, nil
+		}
+		f, err := fs.Open(tracePath(id), vfs.OCreate|vfs.ORdwr)
+		if err != nil {
+			return nil, err
+		}
+		handles[id] = f
+		return f, nil
+	}
+	rng := workload.NewRand(5)
+	var buf []byte
+	for _, op := range t.Ops {
+		start := time.Now()
+		switch op.Kind {
+		case Read:
+			f, err := get(op.File)
+			if err != nil {
+				return res, err
+			}
+			buf = payload(rng, buf, op.Size)
+			n, err := f.ReadAt(buf, op.Off)
+			if err != nil {
+				return res, err
+			}
+			res.BytesRead += int64(n)
+		case Write:
+			f, err := get(op.File)
+			if err != nil {
+				return res, err
+			}
+			buf = payload(rng, buf, op.Size)
+			n, err := f.WriteAt(buf, op.Off)
+			if err != nil {
+				return res, err
+			}
+			res.BytesWritten += int64(n)
+			dirty[op.File] += int64(n)
+		case Unlink:
+			if f, ok := handles[op.File]; ok {
+				f.Close()
+				delete(handles, op.File)
+			}
+			fs.Unlink(tracePath(op.File))
+			delete(dirty, op.File)
+		case Fsync:
+			f, err := get(op.File)
+			if err != nil {
+				return res, err
+			}
+			if err := f.Fsync(); err != nil {
+				return res, err
+			}
+			res.FsyncBytes += dirty[op.File]
+			delete(dirty, op.File)
+		}
+		res.Time[op.Kind] += time.Since(start)
+		res.Counts[op.Kind]++
+	}
+	return res, nil
+}

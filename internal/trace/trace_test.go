@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+func testFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := pmfs.Mkfs(dev, pmfs.Options{MaxInodes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Unmount() })
+	return fs
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "demo", Files: 3, InitialSize: 8192, Ops: []Op{
+		{Kind: Write, File: 0, Off: 100, Size: 50},
+		{Kind: Read, File: 1, Off: 0, Size: 4096},
+		{Kind: Fsync, File: 0},
+		{Kind: Unlink, File: 2},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "demo" || got.Files != 3 || got.InitialSize != 8192 {
+		t.Fatalf("header %+v", got)
+	}
+	if len(got.Ops) != 4 {
+		t.Fatalf("ops %d", len(got.Ops))
+	}
+	for i, op := range got.Ops {
+		if op != tr.Ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, op, tr.Ops[i])
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("")); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Parse(strings.NewReader("bogus header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := Parse(strings.NewReader("# hinfs-trace x 1 0\nteleport 0 0 0\n")); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestReplayCountsAndTimes(t *testing.T) {
+	fs := testFS(t)
+	tr := &Trace{Name: "t", Files: 2, InitialSize: 16384, Ops: []Op{
+		{Kind: Write, File: 0, Off: 0, Size: 4096},
+		{Kind: Write, File: 0, Off: 4096, Size: 4096},
+		{Kind: Fsync, File: 0},
+		{Kind: Read, File: 1, Off: 0, Size: 8192},
+		{Kind: Unlink, File: 1},
+	}}
+	if err := tr.Prepare(fs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Replay(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[Write] != 2 || res.Counts[Read] != 1 || res.Counts[Fsync] != 1 || res.Counts[Unlink] != 1 {
+		t.Fatalf("counts %+v", res.Counts)
+	}
+	if res.BytesWritten != 8192 || res.BytesRead != 8192 {
+		t.Fatalf("bytes %d/%d", res.BytesWritten, res.BytesRead)
+	}
+	if res.FsyncBytes != 8192 {
+		t.Fatalf("fsync bytes %d", res.FsyncBytes)
+	}
+	if res.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestReplayAfterUnlinkRecreates(t *testing.T) {
+	fs := testFS(t)
+	tr := &Trace{Name: "t", Files: 1, InitialSize: 4096, Ops: []Op{
+		{Kind: Unlink, File: 0},
+		{Kind: Write, File: 0, Off: 0, Size: 128},
+		{Kind: Read, File: 0, Off: 0, Size: 128},
+	}}
+	if err := tr.Prepare(fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Replay(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Usr0(500)
+	b := Usr0(500)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestSyntheticFsyncShapes(t *testing.T) {
+	// LASR must contain no fsync; Facebook must be fsync-dense with small
+	// writes (paper §5.3, Fig. 2).
+	lasr := LASR(2000)
+	for _, op := range lasr.Ops {
+		if op.Kind == Fsync {
+			t.Fatal("LASR contains fsync")
+		}
+	}
+	fb := Facebook(2000)
+	var writes, fsyncs, wbytes int
+	for _, op := range fb.Ops {
+		switch op.Kind {
+		case Write:
+			writes++
+			wbytes += op.Size
+		case Fsync:
+			fsyncs++
+		}
+	}
+	if fsyncs == 0 || float64(fsyncs)/float64(writes) < 0.5 {
+		t.Fatalf("facebook fsync density too low: %d/%d", fsyncs, writes)
+	}
+	if mean := wbytes / writes; mean >= 1024 {
+		t.Fatalf("facebook mean write size %dB, want < 1KB", mean)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"usr0", "usr1", "lasr", "facebook"} {
+		tr, err := ByName(name, 100)
+		if err != nil || tr.Name != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 10); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestReplaySyntheticOnPMFS(t *testing.T) {
+	fs := testFS(t)
+	tr := Usr0(1500)
+	if err := tr.Prepare(fs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Replay(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[Write] == 0 || res.Counts[Read] == 0 || res.Counts[Fsync] == 0 {
+		t.Fatalf("degenerate trace: %+v", res.Counts)
+	}
+	// Fig. 2 target for Usr0: moderate fsync-byte share.
+	frac := float64(res.FsyncBytes) / float64(res.BytesWritten)
+	if frac < 0.1 || frac > 0.7 {
+		t.Fatalf("usr0 fsync byte fraction %.2f outside the moderate band", frac)
+	}
+}

@@ -1,0 +1,139 @@
+// Package vfs defines the file-system interface shared by every system in
+// this repository: HiNFS and its variants, the PMFS baseline, EXT4-DAX, and
+// the EXT2/EXT4-on-NVMMBD baselines. Workload generators, the benchmark
+// harness, the example applications and the CLI tools all program against
+// these interfaces, so any system can be swapped under any workload.
+package vfs
+
+import (
+	"errors"
+	"strings"
+)
+
+// Open flags. They mirror the POSIX flags the paper's write-path policy
+// depends on: O_SYNC marks every write on the handle eager-persistent.
+const (
+	ORdonly = 1 << iota
+	OWronly
+	ORdwr
+	OCreate
+	OTrunc
+	OAppend
+	OSync
+)
+
+// Common errors returned by all file systems.
+var (
+	ErrNotExist   = errors.New("vfs: file does not exist")
+	ErrExist      = errors.New("vfs: file already exists")
+	ErrIsDir      = errors.New("vfs: is a directory")
+	ErrNotDir     = errors.New("vfs: not a directory")
+	ErrNotEmpty   = errors.New("vfs: directory not empty")
+	ErrNoSpace    = errors.New("vfs: no space left on device")
+	ErrClosed     = errors.New("vfs: file handle closed")
+	ErrReadOnly   = errors.New("vfs: handle not open for writing")
+	ErrWriteOnly  = errors.New("vfs: handle not open for reading")
+	ErrInvalid    = errors.New("vfs: invalid argument")
+	ErrNameTooLon = errors.New("vfs: name too long")
+	ErrUnmounted  = errors.New("vfs: file system unmounted")
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+	// Blocks is the number of data blocks allocated on the device.
+	Blocks int64
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// File is an open file handle.
+type File interface {
+	// ReadAt reads len(p) bytes at offset off. It returns the number of
+	// bytes read; n < len(p) only at end of file.
+	ReadAt(p []byte, off int64) (n int, err error)
+	// WriteAt writes p at offset off, extending the file as needed.
+	// Handles opened with OAppend ignore off and append atomically.
+	WriteAt(p []byte, off int64) (n int, err error)
+	// Fsync persists all data and metadata of the file to NVMM.
+	Fsync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Size returns the current file size.
+	Size() int64
+	// Close releases the handle.
+	Close() error
+}
+
+// Mmapper is implemented by file systems supporting direct memory-mapped
+// I/O (§4.2). Mmap returns a slice aliasing device memory; Msync persists
+// stores made through it.
+type Mmapper interface {
+	Mmap(length int64) ([]byte, error)
+	Msync() error
+	Munmap() error
+}
+
+// FileSystem is a mounted file system instance.
+type FileSystem interface {
+	// Create creates a regular file, failing if it exists.
+	Create(path string) (File, error)
+	// Open opens an existing file (or creates one with OCreate).
+	Open(path string, flags int) (File, error)
+	// Mkdir creates a directory.
+	Mkdir(path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Unlink removes a regular file.
+	Unlink(path string) error
+	// Rename moves oldpath to newpath, replacing a regular file there.
+	Rename(oldpath, newpath string) error
+	// Stat describes the file at path.
+	Stat(path string) (FileInfo, error)
+	// ReadDir lists the directory at path.
+	ReadDir(path string) ([]DirEntry, error)
+	// Sync flushes all dirty state to the device.
+	Sync() error
+	// Unmount flushes everything and stops background work. The file
+	// system must not be used afterwards.
+	Unmount() error
+}
+
+// SplitPath normalizes path and splits it into components. It returns
+// ErrInvalid for empty paths and ignores duplicate slashes. The root "/"
+// yields an empty slice.
+func SplitPath(path string) ([]string, error) {
+	if path == "" {
+		return nil, ErrInvalid
+	}
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+		case "..":
+			return nil, ErrInvalid
+		default:
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// SplitDirBase splits path into its parent components and final name.
+func SplitDirBase(path string) (dir []string, base string, err error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", ErrInvalid
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1], nil
+}

@@ -1,0 +1,52 @@
+package vfs
+
+import "testing"
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"/", []string{}, false},
+		{"", nil, true},
+		{"/a/b/c", []string{"a", "b", "c"}, false},
+		{"//a///b/", []string{"a", "b"}, false},
+		{"a/b", []string{"a", "b"}, false},
+		{"/a/./b", []string{"a", "b"}, false},
+		{"/a/../b", nil, true},
+	}
+	for _, c := range cases {
+		got, err := SplitPath(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("SplitPath(%q) err = %v", c.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitPath(%q)[%d] = %q", c.in, i, got[i])
+			}
+		}
+	}
+}
+
+func TestSplitDirBase(t *testing.T) {
+	dir, base, err := SplitDirBase("/a/b/c")
+	if err != nil || base != "c" || len(dir) != 2 || dir[0] != "a" || dir[1] != "b" {
+		t.Fatalf("got %v %q %v", dir, base, err)
+	}
+	if _, _, err := SplitDirBase("/"); err != ErrInvalid {
+		t.Fatalf("root SplitDirBase err = %v", err)
+	}
+	dir, base, err = SplitDirBase("/top")
+	if err != nil || base != "top" || len(dir) != 0 {
+		t.Fatalf("got %v %q %v", dir, base, err)
+	}
+}

@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"fmt"
+
+	"hinfs/internal/vfs"
+)
+
+// The four Filebench personalities of Table 1. Dataset sizes default to a
+// laptop-scale fraction of the paper's 5 GB fileset; the op mixes follow
+// the published Filebench model definitions.
+
+// Fileserver emulates a simple file server: creates, deletes, appends,
+// whole-file reads and writes (write-heavy, no fsync).
+type Fileserver struct {
+	// Files is the dataset size in files (default 192).
+	Files int
+	// FileSize is the mean file size (default 256 KB).
+	FileSize int64
+	// IOSize is the read/write chunk size (default 1 MB, §5.2).
+	IOSize int
+}
+
+func (w *Fileserver) fill() {
+	if w.Files == 0 {
+		w.Files = 192
+	}
+	if w.FileSize == 0 {
+		w.FileSize = 256 << 10
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 1 << 20
+	}
+}
+
+// Name implements Workload.
+func (w *Fileserver) Name() string { return "fileserver" }
+
+// Setup implements Workload.
+func (w *Fileserver) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	return makeFileset(fs, "fileserver", w.Files, w.FileSize)
+}
+
+// Run implements Workload.
+func (w *Fileserver) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		var buf []byte
+		for budget.take() {
+			i := rng.Intn(w.Files)
+			path := fanoutPath("fileserver", i)
+			switch rng.Intn(5) {
+			case 0: // create (or truncate) + write whole file + close
+				f, err := fs.Open(path, vfs.OCreate|vfs.ORdwr|vfs.OTrunc)
+				if err != nil {
+					continue
+				}
+				for off := int64(0); off < w.FileSize; off += int64(w.IOSize) {
+					n := int64(w.IOSize)
+					if w.FileSize-off < n {
+						n = w.FileSize - off
+					}
+					buf = payload(rng, buf, int(n))
+					if err := writeAll(f, buf, off, path, nil, res); err != nil {
+						break
+					}
+				}
+				f.Close()
+			case 1: // open + append + close
+				f, err := fs.Open(path, vfs.ORdwr|vfs.OAppend)
+				if err != nil {
+					continue
+				}
+				buf = payload(rng, buf, w.IOSize)
+				writeAll(f, buf, 0, path, nil, res)
+				f.Close()
+			case 2: // open + read whole file + close
+				f, err := fs.Open(path, vfs.ORdonly)
+				if err != nil {
+					continue
+				}
+				readFull(f, w.IOSize, res)
+				f.Close()
+			case 3: // delete
+				fs.Unlink(path)
+			case 4: // stat
+				fs.Stat(path)
+			}
+			res.Ops++
+		}
+		return nil
+	})
+}
+
+// Webserver emulates a web server: whole-file reads plus small log
+// appends (read-dominated, no fsync).
+type Webserver struct {
+	Files    int   // default 256
+	FileSize int64 // default 64 KB
+	IOSize   int   // default 1 MB
+	LogSize  int   // log append size (default 16 KB)
+}
+
+func (w *Webserver) fill() {
+	if w.Files == 0 {
+		w.Files = 256
+	}
+	if w.FileSize == 0 {
+		w.FileSize = 64 << 10
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 1 << 20
+	}
+	if w.LogSize == 0 {
+		w.LogSize = 16 << 10
+	}
+}
+
+// Name implements Workload.
+func (w *Webserver) Name() string { return "webserver" }
+
+// Setup implements Workload.
+func (w *Webserver) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	if err := makeFileset(fs, "webserver", w.Files, w.FileSize); err != nil {
+		return err
+	}
+	if err := fs.Mkdir("/weblog"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	return nil
+}
+
+// Run implements Workload.
+func (w *Webserver) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		logPath := fmt.Sprintf("/weblog/log%d", tid)
+		logf, err := fs.Open(logPath, vfs.OCreate|vfs.OWronly|vfs.OAppend)
+		if err != nil {
+			return err
+		}
+		defer logf.Close()
+		var buf []byte
+		for budget.take() {
+			// 10 whole-file reads, then one log append (Filebench model).
+			for r := 0; r < 10; r++ {
+				path := fanoutPath("webserver", rng.HotIntn(w.Files))
+				f, err := fs.Open(path, vfs.ORdonly)
+				if err != nil {
+					continue
+				}
+				readFull(f, w.IOSize, res)
+				f.Close()
+			}
+			buf = payload(rng, buf, w.LogSize)
+			writeAll(logf, buf, 0, logPath, nil, res)
+			res.Ops++
+		}
+		return nil
+	})
+}
+
+// Webproxy emulates a web proxy: create-write-close, five open-read-close
+// per created file, deletes of short-lived objects, and log appends.
+// Strong locality, many short-lived files, no fsync.
+type Webproxy struct {
+	Files    int   // default 256
+	FileSize int64 // default 32 KB
+	IOSize   int   // default 1 MB
+	LogSize  int   // default 16 KB
+}
+
+func (w *Webproxy) fill() {
+	if w.Files == 0 {
+		w.Files = 256
+	}
+	if w.FileSize == 0 {
+		w.FileSize = 32 << 10
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 1 << 20
+	}
+	if w.LogSize == 0 {
+		w.LogSize = 16 << 10
+	}
+}
+
+// Name implements Workload.
+func (w *Webproxy) Name() string { return "webproxy" }
+
+// Setup implements Workload.
+func (w *Webproxy) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	if err := makeFileset(fs, "webproxy", w.Files, w.FileSize); err != nil {
+		return err
+	}
+	if err := fs.Mkdir("/proxylog"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	return nil
+}
+
+// Run implements Workload.
+func (w *Webproxy) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		logPath := fmt.Sprintf("/proxylog/log%d", tid)
+		logf, err := fs.Open(logPath, vfs.OCreate|vfs.OWronly|vfs.OAppend)
+		if err != nil {
+			return err
+		}
+		defer logf.Close()
+		var buf []byte
+		for budget.take() {
+			i := rng.HotIntn(w.Files)
+			path := fanoutPath("webproxy", i)
+			// delete + re-create + write (short-lived object churn).
+			fs.Unlink(path)
+			f, err := fs.Open(path, vfs.OCreate|vfs.ORdwr)
+			if err != nil {
+				continue
+			}
+			buf = payload(rng, buf, int(w.FileSize))
+			writeAll(f, buf, 0, path, nil, res)
+			f.Close()
+			// Five reads of hot objects.
+			for r := 0; r < 5; r++ {
+				rp := fanoutPath("webproxy", rng.HotIntn(w.Files))
+				rf, err := fs.Open(rp, vfs.ORdonly)
+				if err != nil {
+					continue
+				}
+				readFull(rf, w.IOSize, res)
+				rf.Close()
+			}
+			buf = payload(rng, buf, w.LogSize)
+			writeAll(logf, buf, 0, logPath, nil, res)
+			res.Ops++
+		}
+		return nil
+	})
+}
+
+// Varmail emulates a mail server: create-append-fsync, read-append-fsync,
+// whole-file reads and deletes. Every append is fsynced, so nearly all
+// writes are eager-persistent (§5.2.1).
+type Varmail struct {
+	Files      int   // default 256
+	FileSize   int64 // default 16 KB
+	AppendSize int   // default 16 KB
+	IOSize     int   // default 1 MB
+}
+
+func (w *Varmail) fill() {
+	if w.Files == 0 {
+		w.Files = 256
+	}
+	if w.FileSize == 0 {
+		w.FileSize = 16 << 10
+	}
+	if w.AppendSize == 0 {
+		w.AppendSize = 16 << 10
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 1 << 20
+	}
+}
+
+// Name implements Workload.
+func (w *Varmail) Name() string { return "varmail" }
+
+// Setup implements Workload.
+func (w *Varmail) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	return makeFileset(fs, "varmail", w.Files, w.FileSize)
+}
+
+// Run implements Workload.
+func (w *Varmail) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	st := newSyncTracker()
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		var buf []byte
+		for budget.take() {
+			i := rng.Intn(w.Files)
+			path := fanoutPath("varmail", i)
+			switch rng.Intn(4) {
+			case 0: // delete
+				fs.Unlink(path)
+				st.forget(path)
+			case 1: // create + append + fsync + close
+				f, err := fs.Open(path, vfs.OCreate|vfs.ORdwr|vfs.OAppend)
+				if err != nil {
+					continue
+				}
+				// Append sizes follow a distribution around the mean (as in
+				// Filebench), so file tails straddle block boundaries and
+				// the same tail block sees repeated syncs.
+				buf = payload(rng, buf, w.AppendSize/2+rng.Intn(w.AppendSize))
+				writeAll(f, buf, 0, path, st, res)
+				fsyncFile(f, path, st, res)
+				f.Close()
+			case 2: // open + read whole + append + fsync + close
+				f, err := fs.Open(path, vfs.ORdwr|vfs.OAppend)
+				if err != nil {
+					continue
+				}
+				readFull(f, w.IOSize, res)
+				buf = payload(rng, buf, w.AppendSize/2+rng.Intn(w.AppendSize))
+				writeAll(f, buf, 0, path, st, res)
+				fsyncFile(f, path, st, res)
+				f.Close()
+			case 3: // open + read whole + close
+				f, err := fs.Open(path, vfs.ORdonly)
+				if err != nil {
+					continue
+				}
+				readFull(f, w.IOSize, res)
+				f.Close()
+			}
+			res.Ops++
+		}
+		return nil
+	})
+}

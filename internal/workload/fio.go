@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"hinfs/internal/vfs"
+)
+
+// Fio is a fio-like microbenchmark: random reads and writes of a fixed
+// I/O size against one preallocated file, with a 1:2 read/write ratio by
+// default — the configuration behind the paper's Figure 1 time-breakdown
+// experiment (§2.2).
+type Fio struct {
+	// FileSize is the preallocated file size (default 32 MB).
+	FileSize int64
+	// IOSize is the fixed request size (default 4 KB).
+	IOSize int
+	// ReadPercent is the share of reads in percent (default 33: R:W=1:2).
+	ReadPercent int
+	// Sequential switches from random to sequential offsets.
+	Sequential bool
+	// OSync opens the file O_SYNC so every write is eager-persistent.
+	OSync bool
+}
+
+func (w *Fio) fill() {
+	if w.FileSize == 0 {
+		w.FileSize = 32 << 20
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 4 << 10
+	}
+	if w.ReadPercent == 0 {
+		w.ReadPercent = 33
+	}
+}
+
+// Name implements Workload.
+func (w *Fio) Name() string { return "fio" }
+
+// Setup implements Workload.
+func (w *Fio) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	f, err := fs.Create("/fio.dat")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rng := NewRand(7)
+	var buf []byte
+	const chunk = 1 << 20
+	for off := int64(0); off < w.FileSize; off += chunk {
+		n := int64(chunk)
+		if w.FileSize-off < n {
+			n = w.FileSize - off
+		}
+		buf = payload(rng, buf, int(n))
+		if _, err := f.WriteAt(buf, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements Workload.
+func (w *Fio) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	flags := vfs.ORdwr
+	if w.OSync {
+		flags |= vfs.OSync
+	}
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		f, err := fs.Open("/fio.dat", flags)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var buf []byte
+		span := w.FileSize - int64(w.IOSize)
+		if span <= 0 {
+			span = 1
+		}
+		seq := int64(tid) * int64(w.IOSize)
+		for budget.take() {
+			var off int64
+			if w.Sequential {
+				off = seq % span
+				seq += int64(w.IOSize)
+			} else {
+				off = rng.Int63n(span)
+			}
+			if rng.Intn(100) < w.ReadPercent {
+				buf = payload(rng, buf, w.IOSize)
+				n, err := f.ReadAt(buf, off)
+				if err != nil {
+					return err
+				}
+				res.BytesRead += int64(n)
+			} else {
+				buf = payload(rng, buf, w.IOSize)
+				if err := writeAll(f, buf, off, "/fio.dat", nil, res); err != nil {
+					return err
+				}
+			}
+			res.Ops++
+		}
+		return nil
+	})
+}

@@ -1,0 +1,339 @@
+package workload
+
+import (
+	"fmt"
+
+	"hinfs/internal/vfs"
+)
+
+// Postmark emulates mail/web service small-file churn (Table 1):
+// transactions over a pool of small files, each either read-or-append
+// paired with create-or-delete. Many files are short-lived, which is why
+// HiNFS's buffer-drop-on-delete wins on it (§5.3).
+type Postmark struct {
+	Files   int // pool size (default 512)
+	MinSize int // default 512 B
+	MaxSize int // default 16 KB
+}
+
+func (w *Postmark) fill() {
+	if w.Files == 0 {
+		w.Files = 512
+	}
+	if w.MinSize == 0 {
+		w.MinSize = 512
+	}
+	if w.MaxSize == 0 {
+		w.MaxSize = 16 << 10
+	}
+}
+
+// Name implements Workload.
+func (w *Postmark) Name() string { return "postmark" }
+
+// Setup implements Workload.
+func (w *Postmark) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	rng := NewRand(3)
+	if err := fs.Mkdir("/postmark"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	var buf []byte
+	for i := 0; i < w.Files; i++ {
+		f, err := fs.Create(fmt.Sprintf("/postmark/f%d", i))
+		if err != nil {
+			return err
+		}
+		size := w.MinSize + rng.Intn(w.MaxSize-w.MinSize)
+		buf = payload(rng, buf, size)
+		f.WriteAt(buf, 0)
+		f.Close()
+	}
+	return nil
+}
+
+// Run implements Workload.
+func (w *Postmark) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		var buf []byte
+		for budget.take() {
+			i := rng.Intn(w.Files)
+			path := fmt.Sprintf("/postmark/f%d", i)
+			// Read-or-append half of the transaction.
+			if rng.Intn(2) == 0 {
+				if f, err := fs.Open(path, vfs.ORdonly); err == nil {
+					readFull(f, w.MaxSize, res)
+					f.Close()
+				}
+			} else {
+				if f, err := fs.Open(path, vfs.ORdwr|vfs.OAppend); err == nil {
+					buf = payload(rng, buf, w.MinSize+rng.Intn(w.MaxSize-w.MinSize))
+					writeAll(f, buf, 0, path, nil, res)
+					f.Close()
+				}
+			}
+			// Create-or-delete half.
+			if rng.Intn(2) == 0 {
+				fs.Unlink(path)
+			} else {
+				if f, err := fs.Open(path, vfs.OCreate|vfs.ORdwr|vfs.OTrunc); err == nil {
+					buf = payload(rng, buf, w.MinSize+rng.Intn(w.MaxSize-w.MinSize))
+					writeAll(f, buf, 0, path, nil, res)
+					f.Close()
+				}
+			}
+			res.Ops++
+		}
+		return nil
+	})
+}
+
+// TPCC emulates DBT2/TPC-C on PostgreSQL (Table 1): transactions read and
+// update random pages of warehouse table files, then commit by appending
+// to a WAL file and fsyncing it; table pages are checkpointed with fsync
+// periodically. Over 90% of written bytes are fsynced (Fig. 2).
+type TPCC struct {
+	Warehouses int   // default 3 (the paper's DBT2 configuration)
+	TableSize  int64 // per-warehouse table size (default 8 MB)
+	PageSize   int   // default 8 KB (PostgreSQL page)
+	WalSize    int   // WAL record size (default 512 B)
+	// CommitEvery is the number of page updates per commit (default 4).
+	CommitEvery int
+	// CheckpointEvery is transactions per table fsync (default 64).
+	CheckpointEvery int
+}
+
+func (w *TPCC) fill() {
+	if w.Warehouses == 0 {
+		w.Warehouses = 3
+	}
+	if w.TableSize == 0 {
+		w.TableSize = 8 << 20
+	}
+	if w.PageSize == 0 {
+		w.PageSize = 8 << 10
+	}
+	if w.WalSize == 0 {
+		w.WalSize = 512
+	}
+	if w.CommitEvery == 0 {
+		w.CommitEvery = 4
+	}
+	if w.CheckpointEvery == 0 {
+		w.CheckpointEvery = 64
+	}
+}
+
+// Name implements Workload.
+func (w *TPCC) Name() string { return "tpcc" }
+
+// Setup implements Workload.
+func (w *TPCC) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	if err := fs.Mkdir("/tpcc"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	rng := NewRand(11)
+	var buf []byte
+	for wh := 0; wh < w.Warehouses; wh++ {
+		f, err := fs.Create(fmt.Sprintf("/tpcc/table%d", wh))
+		if err != nil {
+			return err
+		}
+		const chunk = 1 << 20
+		for off := int64(0); off < w.TableSize; off += chunk {
+			buf = payload(rng, buf, chunk)
+			f.WriteAt(buf, off)
+		}
+		f.Close()
+	}
+	f, err := fs.Create("/tpcc/wal")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Run implements Workload.
+func (w *TPCC) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	st := newSyncTracker()
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		wal, err := fs.Open("/tpcc/wal", vfs.ORdwr|vfs.OAppend)
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		tables := make([]vfs.File, w.Warehouses)
+		for wh := range tables {
+			t, err := fs.Open(fmt.Sprintf("/tpcc/table%d", wh), vfs.ORdwr)
+			if err != nil {
+				return err
+			}
+			tables[wh] = t
+			defer t.Close()
+		}
+		var buf []byte
+		pages := w.TableSize / int64(w.PageSize)
+		txn := 0
+		for budget.take() {
+			wh := rng.Intn(w.Warehouses)
+			tbl := tables[wh]
+			tblPath := fmt.Sprintf("/tpcc/table%d", wh)
+			// Read a few pages.
+			for r := 0; r < 2; r++ {
+				buf = payload(rng, buf, w.PageSize)
+				n, _ := tbl.ReadAt(buf, rng.Int63n(pages)*int64(w.PageSize))
+				res.BytesRead += int64(n)
+			}
+			// Update pages.
+			for u := 0; u < w.CommitEvery; u++ {
+				buf = payload(rng, buf, w.PageSize)
+				writeAll(tbl, buf, rng.Int63n(pages)*int64(w.PageSize), tblPath, st, res)
+			}
+			// Commit: WAL append + fsync (the >90% fsync-byte source).
+			buf = payload(rng, buf, w.WalSize*w.CommitEvery)
+			writeAll(wal, buf, 0, "/tpcc/wal", st, res)
+			fsyncFile(wal, "/tpcc/wal", st, res)
+			txn++
+			if txn%w.CheckpointEvery == 0 {
+				// Checkpoint: fsync every table, like the database's
+				// checkpointer — this is what pushes TPC-C's fsync-byte
+				// share above 90% (Fig. 2).
+				for wh2, t2 := range tables {
+					fsyncFile(t2, fmt.Sprintf("/tpcc/table%d", wh2), st, res)
+				}
+			}
+			res.Ops++
+		}
+		return nil
+	})
+}
+
+// KernelGrep emulates grepping for an absent pattern in a source tree:
+// it reads every file once, sequentially (pure read workload).
+type KernelGrep struct {
+	Files    int   // default 512
+	FileSize int64 // default 16 KB
+	IOSize   int   // default 64 KB
+}
+
+func (w *KernelGrep) fill() {
+	if w.Files == 0 {
+		w.Files = 512
+	}
+	if w.FileSize == 0 {
+		w.FileSize = 16 << 10
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 64 << 10
+	}
+}
+
+// Name implements Workload.
+func (w *KernelGrep) Name() string { return "kernel-grep" }
+
+// Setup implements Workload.
+func (w *KernelGrep) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	return makeFileset(fs, "src", w.Files, w.FileSize)
+}
+
+// Run implements Workload. ops is ignored: one pass over the tree per
+// thread partition.
+func (w *KernelGrep) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		for i := tid; i < w.Files; i += threads {
+			f, err := fs.Open(fanoutPath("src", i), vfs.ORdonly)
+			if err != nil {
+				return err
+			}
+			if err := readFull(f, w.IOSize, res); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			res.Ops++
+		}
+		return nil
+	})
+}
+
+// KernelMake emulates make in a source tree: read sources, write object
+// files (create-write-close), relink some outputs and delete temporaries.
+// Lazy-persistent writes dominate; outputs are often rewritten.
+type KernelMake struct {
+	Sources  int   // default 384
+	FileSize int64 // default 16 KB
+	ObjSize  int64 // default 24 KB
+	IOSize   int   // default 64 KB
+}
+
+func (w *KernelMake) fill() {
+	if w.Sources == 0 {
+		w.Sources = 384
+	}
+	if w.FileSize == 0 {
+		w.FileSize = 16 << 10
+	}
+	if w.ObjSize == 0 {
+		w.ObjSize = 24 << 10
+	}
+	if w.IOSize == 0 {
+		w.IOSize = 64 << 10
+	}
+}
+
+// Name implements Workload.
+func (w *KernelMake) Name() string { return "kernel-make" }
+
+// Setup implements Workload.
+func (w *KernelMake) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	if err := makeFileset(fs, "ksrc", w.Sources, w.FileSize); err != nil {
+		return err
+	}
+	if err := fs.Mkdir("/obj"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	return nil
+}
+
+// Run implements Workload. ops is the number of compile steps per thread.
+func (w *KernelMake) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
+	w.fill()
+	budget := newOpCounter(int64(ops) * int64(threads))
+	return runThreads(threads, func(tid int, rng *Rand, res *Result) error {
+		var buf []byte
+		for budget.take() {
+			// Read a handful of sources (headers + the unit).
+			for r := 0; r < 4; r++ {
+				f, err := fs.Open(fanoutPath("ksrc", rng.HotIntn(w.Sources)), vfs.ORdonly)
+				if err != nil {
+					continue
+				}
+				readFull(f, w.IOSize, res)
+				f.Close()
+			}
+			// Write the object file (rewritten across rebuilds).
+			obj := fmt.Sprintf("/obj/o%d", rng.Intn(w.Sources))
+			f, err := fs.Open(obj, vfs.OCreate|vfs.ORdwr|vfs.OTrunc)
+			if err != nil {
+				continue
+			}
+			buf = payload(rng, buf, int(w.ObjSize))
+			writeAll(f, buf, 0, obj, nil, res)
+			f.Close()
+			// Occasionally delete a temporary.
+			if rng.Intn(8) == 0 {
+				fs.Unlink(fmt.Sprintf("/obj/o%d", rng.Intn(w.Sources)))
+			}
+			res.Ops++
+		}
+		return nil
+	})
+}

@@ -1,0 +1,272 @@
+// Package workload implements deterministic generators for every workload
+// in the paper's Table 1: the four Filebench personalities (fileserver,
+// webserver, webproxy, varmail), a fio-like microbenchmark (Fig. 1), and
+// the macrobenchmarks (Postmark, TPC-C, Kernel-Grep, Kernel-Make).
+//
+// Generators run against any vfs.FileSystem, so the same op stream
+// exercises HiNFS and every baseline. All randomness is a seeded
+// xorshift64* stream: two runs of the same workload issue identical ops.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hinfs/internal/vfs"
+)
+
+// Rand is a small deterministic xorshift64* generator.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator; seed 0 is remapped.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next value.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a value in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Int63n on non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// HotIntn returns an index in [0, n) with 80/20 skew: 80% of picks land in
+// the first 20% of the range, modelling the access locality most file
+// system workloads exhibit (§1).
+func (r *Rand) HotIntn(n int) int {
+	if n <= 0 {
+		panic("workload: HotIntn on non-positive n")
+	}
+	hot := n / 5
+	if hot == 0 {
+		hot = 1
+	}
+	if r.Float64() < 0.8 {
+		return r.Intn(hot)
+	}
+	return r.Intn(n)
+}
+
+// Result aggregates a workload run.
+type Result struct {
+	// Ops counts completed workload operations (the Filebench metric).
+	Ops int64
+	// BytesRead and BytesWritten are user-visible I/O volumes.
+	BytesRead    int64
+	BytesWritten int64
+	// Fsyncs counts fsync calls.
+	Fsyncs int64
+	// FsyncBytes counts written bytes that an fsync later persisted (the
+	// Fig. 2 metric: dirty bytes outstanding at each fsync).
+	FsyncBytes int64
+}
+
+func (r *Result) add(o Result) {
+	r.Ops += o.Ops
+	r.BytesRead += o.BytesRead
+	r.BytesWritten += o.BytesWritten
+	r.Fsyncs += o.Fsyncs
+	r.FsyncBytes += o.FsyncBytes
+}
+
+// Workload generates operations against a file system.
+type Workload interface {
+	// Name identifies the workload (Table 1 row).
+	Name() string
+	// Setup pre-creates the dataset.
+	Setup(fs vfs.FileSystem) error
+	// Run executes ops operations per thread across threads goroutines.
+	Run(fs vfs.FileSystem, threads, ops int) (Result, error)
+}
+
+// syncTracker accounts the Fig. 2 fsync-byte metric: bytes written to a
+// file since its last fsync count as fsync bytes when the fsync arrives.
+type syncTracker struct {
+	mu    sync.Mutex
+	dirty map[string]int64
+}
+
+func newSyncTracker() *syncTracker {
+	return &syncTracker{dirty: make(map[string]int64)}
+}
+
+func (t *syncTracker) wrote(path string, n int64) {
+	t.mu.Lock()
+	t.dirty[path] += n
+	t.mu.Unlock()
+}
+
+func (t *syncTracker) synced(path string) int64 {
+	t.mu.Lock()
+	n := t.dirty[path]
+	delete(t.dirty, path)
+	t.mu.Unlock()
+	return n
+}
+
+func (t *syncTracker) forget(path string) {
+	t.mu.Lock()
+	delete(t.dirty, path)
+	t.mu.Unlock()
+}
+
+// runThreads fans body out over threads goroutines, each with its own
+// deterministic RNG, and merges the per-thread results.
+func runThreads(threads int, body func(tid int, rng *Rand, res *Result) error) (Result, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	results := make([]Result, threads)
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := NewRand(uint64(tid)*0x1337 + 7)
+			errs[tid] = body(tid, rng, &results[tid])
+		}(tid)
+	}
+	wg.Wait()
+	var total Result
+	for i := range results {
+		total.add(results[i])
+		if errs[i] != nil {
+			return total, errs[i]
+		}
+	}
+	return total, nil
+}
+
+// payload returns a reusable pseudo-random buffer of length n.
+func payload(rng *Rand, buf []byte, n int) []byte {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	// Fill sparsely; full randomization would dominate CPU time.
+	for i := 0; i < n; i += 512 {
+		buf[i] = byte(rng.Uint64())
+	}
+	return buf
+}
+
+// writeAll writes buf at off, accounting into res and the tracker.
+func writeAll(f vfs.File, buf []byte, off int64, path string, st *syncTracker, res *Result) error {
+	n, err := f.WriteAt(buf, off)
+	res.BytesWritten += int64(n)
+	if st != nil {
+		st.wrote(path, int64(n))
+	}
+	return err
+}
+
+// fsyncFile fsyncs f, accounting fsync bytes for path.
+func fsyncFile(f vfs.File, path string, st *syncTracker, res *Result) error {
+	if err := f.Fsync(); err != nil {
+		return err
+	}
+	res.Fsyncs++
+	if st != nil {
+		res.FsyncBytes += st.synced(path)
+	}
+	return nil
+}
+
+// readFull reads the whole file in chunks of ioSize.
+func readFull(f vfs.File, ioSize int, res *Result) error {
+	size := f.Size()
+	buf := make([]byte, ioSize)
+	for off := int64(0); off < size; off += int64(ioSize) {
+		n, err := f.ReadAt(buf, off)
+		if err != nil {
+			return err
+		}
+		res.BytesRead += int64(n)
+		if n == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// fanoutPath spreads files across subdirectories to keep directory scans
+// short (Filebench does the same with its fileset width).
+func fanoutPath(prefix string, i int) string {
+	return fmt.Sprintf("/%s/d%d/f%d", prefix, i%16, i)
+}
+
+// makeFileset creates count files of the given size under prefix.
+func makeFileset(fs vfs.FileSystem, prefix string, count int, size int64) error {
+	if err := fs.Mkdir("/" + prefix); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	for d := 0; d < 16; d++ {
+		if err := fs.Mkdir(fmt.Sprintf("/%s/d%d", prefix, d)); err != nil && err != vfs.ErrExist {
+			return err
+		}
+	}
+	rng := NewRand(99)
+	var buf []byte
+	for i := 0; i < count; i++ {
+		f, err := fs.Create(fanoutPath(prefix, i))
+		if err != nil {
+			return err
+		}
+		if size > 0 {
+			chunk := int64(1 << 20)
+			for off := int64(0); off < size; off += chunk {
+				n := chunk
+				if size-off < n {
+					n = size - off
+				}
+				buf = payload(rng, buf, int(n))
+				if _, err := f.WriteAt(buf, off); err != nil {
+					f.Close()
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// opCounter is a shared atomic op budget for multi-threaded runs.
+type opCounter struct{ left atomic.Int64 }
+
+func newOpCounter(n int64) *opCounter {
+	c := &opCounter{}
+	c.left.Store(n)
+	return c
+}
+
+func (c *opCounter) take() bool { return c.left.Add(-1) >= 0 }

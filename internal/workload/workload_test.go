@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+// testFS returns a zero-latency PMFS for fast functional workload runs.
+func testFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 192 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := pmfs.Mkfs(dev, pmfs.Options{MaxInodes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Unmount() })
+	return fs
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestHotIntnSkew(t *testing.T) {
+	r := NewRand(3)
+	const n, trials = 100, 10000
+	hot := 0
+	for i := 0; i < trials; i++ {
+		if r.HotIntn(n) < n/5 {
+			hot++
+		}
+	}
+	// Expect ~84% (80% + uniform spill); accept a broad band.
+	if frac := float64(hot) / trials; frac < 0.7 || frac > 0.95 {
+		t.Fatalf("hot fraction %.2f outside [0.7,0.95]", frac)
+	}
+}
+
+// runWorkload is a helper asserting a workload completes and does work.
+func runWorkload(t *testing.T, w Workload, threads, ops int) Result {
+	t.Helper()
+	fs := testFS(t)
+	if err := w.Setup(fs); err != nil {
+		t.Fatalf("%s setup: %v", w.Name(), err)
+	}
+	res, err := w.Run(fs, threads, ops)
+	if err != nil {
+		t.Fatalf("%s run: %v", w.Name(), err)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("%s completed no ops", w.Name())
+	}
+	return res
+}
+
+func TestFileserver(t *testing.T) {
+	res := runWorkload(t, &Fileserver{Files: 32, FileSize: 32 << 10, IOSize: 64 << 10}, 2, 50)
+	if res.BytesWritten == 0 || res.BytesRead == 0 {
+		t.Fatalf("no I/O: %+v", res)
+	}
+	if res.Fsyncs != 0 {
+		t.Fatal("fileserver must not fsync")
+	}
+}
+
+func TestWebserverIsReadDominated(t *testing.T) {
+	res := runWorkload(t, &Webserver{Files: 32, FileSize: 32 << 10}, 2, 20)
+	if res.BytesRead <= res.BytesWritten {
+		t.Fatalf("webserver not read-dominated: R=%d W=%d", res.BytesRead, res.BytesWritten)
+	}
+}
+
+func TestWebproxy(t *testing.T) {
+	res := runWorkload(t, &Webproxy{Files: 32, FileSize: 16 << 10}, 2, 20)
+	if res.BytesRead == 0 || res.BytesWritten == 0 {
+		t.Fatalf("no I/O: %+v", res)
+	}
+}
+
+func TestVarmailAllWritesFsynced(t *testing.T) {
+	res := runWorkload(t, &Varmail{Files: 32}, 2, 60)
+	if res.Fsyncs == 0 {
+		t.Fatal("varmail issued no fsyncs")
+	}
+	// Nearly all written bytes should be covered by a sync (100% in the
+	// paper's Fig. 2); deletions may strand a little.
+	if frac := float64(res.FsyncBytes) / float64(res.BytesWritten); frac < 0.8 {
+		t.Fatalf("fsync byte fraction %.2f too low for varmail", frac)
+	}
+}
+
+func TestFioSequentialAndRandom(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		w := &Fio{FileSize: 4 << 20, IOSize: 4 << 10, Sequential: seq}
+		res := runWorkload(t, w, 2, 100)
+		if res.BytesRead == 0 || res.BytesWritten == 0 {
+			t.Fatalf("seq=%v: no I/O", seq)
+		}
+		// R:W defaults to 1:2.
+		if res.BytesWritten < res.BytesRead {
+			t.Fatalf("seq=%v: not write-heavy: R=%d W=%d", seq, res.BytesRead, res.BytesWritten)
+		}
+	}
+}
+
+func TestPostmark(t *testing.T) {
+	res := runWorkload(t, &Postmark{Files: 64}, 2, 50)
+	if res.Fsyncs != 0 {
+		t.Fatal("postmark must not fsync")
+	}
+	_ = res
+}
+
+func TestTPCCFsyncHeavy(t *testing.T) {
+	res := runWorkload(t, &TPCC{Warehouses: 2, TableSize: 1 << 20, CheckpointEvery: 32}, 2, 200)
+	if res.Fsyncs == 0 {
+		t.Fatal("tpcc issued no fsyncs")
+	}
+	if frac := float64(res.FsyncBytes) / float64(res.BytesWritten); frac < 0.85 {
+		t.Fatalf("tpcc fsync byte fraction %.2f, want > 0.85 (paper: >90%%)", frac)
+	}
+}
+
+func TestKernelGrepReadOnly(t *testing.T) {
+	res := runWorkload(t, &KernelGrep{Files: 64, FileSize: 8 << 10}, 2, 0)
+	if res.BytesWritten != 0 {
+		t.Fatal("kernel-grep wrote data")
+	}
+	if res.Ops != 64 {
+		t.Fatalf("grep visited %d files, want 64", res.Ops)
+	}
+}
+
+func TestKernelMake(t *testing.T) {
+	res := runWorkload(t, &KernelMake{Sources: 48}, 2, 30)
+	if res.BytesRead == 0 || res.BytesWritten == 0 {
+		t.Fatalf("no I/O: %+v", res)
+	}
+}
+
+func TestRunThreadsPropagatesError(t *testing.T) {
+	_, err := runThreads(3, func(tid int, rng *Rand, res *Result) error {
+		if tid == 1 {
+			return vfs.ErrInvalid
+		}
+		return nil
+	})
+	if err != vfs.ErrInvalid {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSyncTrackerAccounting(t *testing.T) {
+	st := newSyncTracker()
+	st.wrote("/a", 100)
+	st.wrote("/a", 50)
+	st.wrote("/b", 10)
+	if n := st.synced("/a"); n != 150 {
+		t.Fatalf("synced = %d", n)
+	}
+	if n := st.synced("/a"); n != 0 {
+		t.Fatalf("re-sync = %d", n)
+	}
+	st.forget("/b")
+	if n := st.synced("/b"); n != 0 {
+		t.Fatalf("forgotten file synced = %d", n)
+	}
+}
