@@ -8,9 +8,13 @@
 package hinfs
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"hinfs/internal/buffer"
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
 	"hinfs/internal/core"
 	"hinfs/internal/harness"
 	"hinfs/internal/nvmm"
@@ -78,6 +82,66 @@ func BenchmarkFig12TraceReplay(b *testing.B) {
 
 func BenchmarkFig13Macrobenchmarks(b *testing.B) {
 	benchFigure(b, "Figure 13", harness.Figure13, harness.Opts{Ops: 60})
+}
+
+func BenchmarkPoolScalingReport(b *testing.B) {
+	benchFigure(b, "Pool scaling", harness.PoolScaling, harness.Opts{Ops: 30000})
+}
+
+// BenchmarkPoolParallelWrite measures DRAM buffer lock scaling directly:
+// 8 goroutines issuing 64 B write hits to disjoint files on a single-lock
+// pool (Shards: 1) versus the default sharded pool. Write hits touch no
+// device and trigger no eviction, so the delta is pure lock contention.
+// GOMAXPROCS is raised to 8 for the duration so the goroutines run on
+// distinct OS threads.
+//
+// The gap requires >= 2 physical cores: on a single-core host only one
+// thread executes at a time, so the global mutex is almost never contended
+// and the two configurations coincide. Compare the sub-benchmarks on a
+// multicore machine (the intended CI shape) to see the sharding win.
+func BenchmarkPoolParallelWrite(b *testing.B) {
+	const workers = 8
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	for _, sc := range []struct {
+		name   string
+		shards int
+	}{{"single-lock", 1}, {"sharded", 0}} {
+		b.Run(sc.name, func(b *testing.B) {
+			dev := microDevice(b)
+			pool := buffer.NewPool(dev, clock.Real{}, buffer.Config{
+				Blocks: 8192, Shards: sc.shards, CLFW: true})
+			defer pool.Close()
+			const blocksPer = 64
+			addr := func(g int, blk int64) int64 {
+				return (int64(g)*blocksPer + blk) * buffer.BlockSize
+			}
+			fbs := make([]*buffer.FileBuf, workers)
+			line := make([]byte, cacheline.Size)
+			for g := range fbs {
+				fbs[g] = pool.NewFile()
+				for blk := int64(0); blk < blocksPer; blk++ {
+					fbs[g].Write(blk, 0, line, addr(g, blk), false)
+				}
+			}
+			var next atomic.Int32
+			b.SetBytes(cacheline.Size)
+			b.SetParallelism(1) // workers = GOMAXPROCS = 8
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(next.Add(1)-1) % workers
+				fb := fbs[g]
+				buf := make([]byte, cacheline.Size)
+				i := 0
+				for pb.Next() {
+					blk := int64(i % blocksPer)
+					off := (i % cacheline.PerBlock) * cacheline.Size
+					fb.Write(blk, off, buf, addr(g, blk), true)
+					i++
+				}
+			})
+		})
+	}
 }
 
 // --- micro-benchmarks of the core data paths (unscaled, zero-latency

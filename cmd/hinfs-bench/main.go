@@ -7,6 +7,8 @@
 //	hinfs-bench -fig all          # every figure
 //	hinfs-bench -fig 9 -quick     # trimmed sweep
 //	hinfs-bench -fig 8 -ops 500 -latency 400ns -device 512
+//	hinfs-bench -fig pool         # DRAM buffer lock-scaling report
+//	hinfs-bench -fig 8 -shards 1  # pin the buffer to a single shard
 //
 // Figures 3-5 are design diagrams with no measurements and are not
 // regenerated.
@@ -31,6 +33,7 @@ func main() {
 		bandwidth = flag.Int64("bandwidth", 1<<30, "NVMM write bandwidth (bytes/s)")
 		device    = flag.Int64("device", 256, "emulated device size (MiB)")
 		buffer    = flag.Int("buffer", 0, "HiNFS DRAM buffer in 4 KiB blocks (0 = calibrated default)")
+		shards    = flag.Int("shards", 0, "DRAM buffer shards (0 = one per GOMAXPROCS, capped by pool size)")
 	)
 	flag.Parse()
 
@@ -39,34 +42,37 @@ func main() {
 		WriteLatency:   *latency,
 		WriteBandwidth: *bandwidth,
 		BufferBlocks:   *buffer,
+		BufferShards:   *shards,
 	}
 	opts := harness.Opts{Ops: *ops, Threads: *threads, Quick: *quick}
 
 	type figFn func(harness.Config, harness.Opts) (*harness.Figure, error)
 	figures := map[string]figFn{
-		"1":  harness.Figure1,
-		"2":  harness.Figure2,
-		"6":  harness.Figure6,
-		"7":  harness.Figure7,
-		"8":  harness.Figure8,
-		"9":  harness.Figure9,
-		"10": harness.Figure10,
-		"11": harness.Figure11,
-		"12": harness.Figure12,
-		"13": harness.Figure13,
+		"1":    harness.Figure1,
+		"2":    harness.Figure2,
+		"6":    harness.Figure6,
+		"7":    harness.Figure7,
+		"8":    harness.Figure8,
+		"9":    harness.Figure9,
+		"10":   harness.Figure10,
+		"11":   harness.Figure11,
+		"12":   harness.Figure12,
+		"13":   harness.Figure13,
+		"pool": harness.PoolScaling,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
 		fmt.Println("figures 3-5 are design diagrams with no measurements")
+		fmt.Println("'pool' is the DRAM buffer lock-scaling report (not a paper figure)")
 		return
 	}
 
 	run := func(name string) {
 		fn, ok := figures[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "hinfs-bench: unknown figure %q (have 1,2,6,7,8,9,10,11,12,13)\n", name)
+			fmt.Fprintf(os.Stderr, "hinfs-bench: unknown figure %q (have 1,2,6,7,8,9,10,11,12,13,pool)\n", name)
 			os.Exit(2)
 		}
 		start := time.Now()

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"hinfs/internal/buffer"
 	"hinfs/internal/cacheline"
 	"hinfs/internal/clock"
 )
@@ -44,6 +45,16 @@ type Config struct {
 	// GhostBlocks bounds the ghost buffer (default 4096 blocks; size it
 	// like the real DRAM buffer).
 	GhostBlocks int
+}
+
+// SizeGhostFromBuffer sizes the ghost buffer from the real DRAM write
+// buffer's resolved configuration (paper §3.3.2: the ghost buffer "has the
+// same number of entries as the write buffer" while storing only bitmaps).
+// It is a no-op if GhostBlocks was set explicitly.
+func (c *Config) SizeGhostFromBuffer(b buffer.Config) {
+	if c.GhostBlocks == 0 {
+		c.GhostBlocks = b.Blocks
+	}
 }
 
 func (c *Config) fill() {

@@ -21,6 +21,21 @@ func testPool(t testing.TB, blocks int, clfw bool) (*Pool, *nvmm.Device) {
 	return p, dev
 }
 
+// policyPool builds a pool whose eviction order is fully deterministic:
+// one shard (a single LRW list) and no background writeback threads, so
+// every eviction happens inline in the foreground allocation path.
+func policyPool(t testing.TB, blocks int, pol Policy) *Pool {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(dev, clock.Real{}, Config{
+		Blocks: blocks, Shards: 1, WritebackThreads: -1, CLFW: true, Policy: pol})
+	t.Cleanup(p.Close)
+	return p
+}
+
 func TestWriteThenReadMerge(t *testing.T) {
 	p, _ := testPool(t, 8, true)
 	fb := p.NewFile()
@@ -181,7 +196,7 @@ func TestInvalidateFlushesDirtyBeforeDropping(t *testing.T) {
 }
 
 func TestLRWOrderEvictsOldestWritten(t *testing.T) {
-	p, _ := testPool(t, 4, true)
+	p := policyPool(t, 4, LRW)
 	fb := p.NewFile()
 	base := int64(1 << 20)
 	for i := int64(0); i < 4; i++ {
@@ -279,9 +294,7 @@ func TestDirtyLines(t *testing.T) {
 }
 
 func TestFIFOPolicyIgnoresRewrites(t *testing.T) {
-	dev, _ := nvmm.New(nvmm.Config{Size: 16 << 20})
-	p := NewPool(dev, clock.Real{}, Config{Blocks: 4, CLFW: true, Policy: FIFO})
-	defer p.Close()
+	p := policyPool(t, 4, FIFO)
 	fb := p.NewFile()
 	base := int64(1 << 20)
 	for i := int64(0); i < 4; i++ {
@@ -300,9 +313,7 @@ func TestFIFOPolicyIgnoresRewrites(t *testing.T) {
 }
 
 func TestLFWPolicyKeepsHotBlocks(t *testing.T) {
-	dev, _ := nvmm.New(nvmm.Config{Size: 16 << 20})
-	p := NewPool(dev, clock.Real{}, Config{Blocks: 4, CLFW: true, Policy: LFW})
-	defer p.Close()
+	p := policyPool(t, 4, LFW)
 	fb := p.NewFile()
 	base := int64(1 << 20)
 	for i := int64(0); i < 4; i++ {

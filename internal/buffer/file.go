@@ -12,32 +12,43 @@ import (
 // file block indices to buffered DRAM blocks (paper Fig. 5). HiNFS holds
 // one FileBuf per inode with buffered data.
 //
-// Same-file write/read exclusion is provided by the owning file system's
-// inode lock; FileBuf coordinates with the pool's writeback threads via
-// the pool mutex, per-block pins and the per-block flush mutex.
+// The index is split across the pool's shards: blocks[i] holds the file
+// blocks whose (FileBuf, index) hash lands on shard i and is guarded by
+// that shard's mutex. Same-file write/read exclusion is provided by the
+// owning file system's inode lock; FileBuf coordinates with the pool's
+// writeback threads via the shard mutexes, per-block pins and the
+// per-block flush mutex.
 type FileBuf struct {
-	pool   *Pool
-	blocks map[int64]*block // guarded by pool.mu
+	pool *Pool
+	id   uint64
+	// blocks[i] is the shard-i slice of the index; the slice header is
+	// immutable after NewFile, each element is created lazily and accessed
+	// only under shard i's mutex.
+	blocks []map[int64]*block
 }
 
 // NewFile returns an empty per-file buffer view.
 func (p *Pool) NewFile() *FileBuf {
-	return &FileBuf{pool: p, blocks: make(map[int64]*block)}
+	return &FileBuf{
+		pool:   p,
+		id:     p.fileID.Add(1),
+		blocks: make([]map[int64]*block, len(p.shards)),
+	}
 }
 
 // lookupPin finds the buffered block for idx and pins it; the caller must
 // unpin. Returns nil if the block is not buffered.
 func (fb *FileBuf) lookupPin(idx int64, touch bool) *block {
-	p := fb.pool
-	p.mu.Lock()
-	b := fb.blocks[idx]
+	sh := fb.pool.shardFor(fb, idx)
+	sh.mu.Lock()
+	b := fb.blocks[sh.id][idx]
 	if b != nil {
 		b.pins.Add(1)
 		if touch {
-			p.touch(b)
+			sh.touch(b)
 		}
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	return b
 }
 
@@ -57,24 +68,21 @@ func (fb *FileBuf) Write(idx int64, blkOff int, data []byte, addr int64, blockEx
 	p := fb.pool
 	b := fb.lookupPin(idx, true)
 	if b == nil {
-		nb := p.allocBlock()
-		p.mu.Lock()
-		if cur := fb.blocks[idx]; cur != nil {
+		sh := p.shardFor(fb, idx)
+		nb := p.allocBlock(sh)
+		sh.mu.Lock()
+		if cur := fb.blocks[sh.id][idx]; cur != nil {
 			// Defensive: installed concurrently (should not happen under
 			// the inode lock).
 			cur.pins.Add(1)
-			p.touch(cur)
-			p.mu.Unlock()
+			sh.touch(cur)
+			sh.mu.Unlock()
 			p.releaseBlock(nb)
 			b = cur
 		} else {
-			nb.fb = fb
-			nb.idx = idx
-			nb.addr = addr
 			nb.pins.Add(1)
-			fb.blocks[idx] = nb
-			p.pushMRW(nb)
-			p.mu.Unlock()
+			sh.installLocked(nb, fb, idx, addr)
+			sh.mu.Unlock()
 			b = nb
 		}
 		p.writeMisses.Add(1)
@@ -180,20 +188,21 @@ func (fb *FileBuf) ReadMerge(idx int64, blkOff int, dst []byte, addr int64) bool
 // Gated transactions are released.
 func (fb *FileBuf) DropBlock(idx int64) {
 	p := fb.pool
+	sh := p.shardFor(fb, idx)
 	for {
-		p.mu.Lock()
-		b := fb.blocks[idx]
+		sh.mu.Lock()
+		b := fb.blocks[sh.id][idx]
 		if b == nil {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			return
 		}
 		if b.pins.Load() != 0 {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			runtime.Gosched()
 			continue
 		}
-		p.detachLocked(b)
-		p.mu.Unlock()
+		sh.detachLocked(b)
+		sh.mu.Unlock()
 		b.fmu.Lock()
 		if b.dirtyMap().Any() {
 			p.drops.Add(1)
@@ -208,19 +217,19 @@ func (fb *FileBuf) DropBlock(idx int64) {
 
 // Buffered reports whether file block idx is in the DRAM buffer.
 func (fb *FileBuf) Buffered(idx int64) bool {
-	p := fb.pool
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return fb.blocks[idx] != nil
+	sh := fb.pool.shardFor(fb, idx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return fb.blocks[sh.id][idx] != nil
 }
 
 // DirtyLines returns the number of dirty cachelines buffered for block
 // idx (0 if not buffered).
 func (fb *FileBuf) DirtyLines(idx int64) int {
-	p := fb.pool
-	p.mu.Lock()
-	b := fb.blocks[idx]
-	p.mu.Unlock()
+	sh := fb.pool.shardFor(fb, idx)
+	sh.mu.Lock()
+	b := fb.blocks[sh.id][idx]
+	sh.mu.Unlock()
 	if b == nil {
 		return 0
 	}
@@ -230,25 +239,28 @@ func (fb *FileBuf) DirtyLines(idx int64) int {
 // Flush writes back every dirty block of the file (the fsync path) and
 // returns the number of cachelines flushed — the Buffer Benefit Model's
 // N_cf as performed by the synchronization process itself. Blocks stay
-// cached clean.
+// cached clean. Shards are visited in index order, one at a time.
 func (fb *FileBuf) Flush() int {
 	p := fb.pool
 	flushed := 0
 	var victims []*block
-	p.mu.Lock()
-	for _, b := range fb.blocks {
-		if b.dirtyMap().Any() {
-			b.pins.Add(1)
-			victims = append(victims, b)
+	for _, sh := range p.shards {
+		victims = victims[:0]
+		sh.mu.Lock()
+		for _, b := range fb.blocks[sh.id] {
+			if b.dirtyMap().Any() {
+				b.pins.Add(1)
+				victims = append(victims, b)
+			}
 		}
-	}
-	p.mu.Unlock()
-	for _, b := range victims {
-		b.fmu.Lock()
-		flushed += b.dirtyMap().Count()
-		p.flushBlockLocked(b)
-		b.fmu.Unlock()
-		b.pins.Add(-1)
+		sh.mu.Unlock()
+		for _, b := range victims {
+			b.fmu.Lock()
+			flushed += b.dirtyMap().Count()
+			p.flushBlockLocked(b)
+			b.fmu.Unlock()
+			b.pins.Add(-1)
+		}
 	}
 	return flushed
 }
@@ -258,20 +270,21 @@ func (fb *FileBuf) Flush() int {
 // DRAM block, then explicitly evict it before returning).
 func (fb *FileBuf) EvictBlock(idx int64) {
 	p := fb.pool
+	sh := p.shardFor(fb, idx)
 	for {
-		p.mu.Lock()
-		b := fb.blocks[idx]
+		sh.mu.Lock()
+		b := fb.blocks[sh.id][idx]
 		if b == nil {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			return
 		}
 		if b.pins.Load() != 0 {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			runtime.Gosched()
 			continue
 		}
-		p.detachLocked(b)
-		p.mu.Unlock()
+		sh.detachLocked(b)
+		sh.mu.Unlock()
 		p.flushBlock(b)
 		p.releaseBlock(b)
 		return
@@ -304,14 +317,15 @@ func (fb *FileBuf) Invalidate(idx int64, blkOff, n int) {
 // dropIfEmpty releases block idx if it holds no valid lines.
 func (fb *FileBuf) dropIfEmpty(idx int64) {
 	p := fb.pool
-	p.mu.Lock()
-	b := fb.blocks[idx]
+	sh := p.shardFor(fb, idx)
+	sh.mu.Lock()
+	b := fb.blocks[sh.id][idx]
 	if b == nil || b.pins.Load() != 0 || b.validMap().Any() {
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	p.detachLocked(b)
-	p.mu.Unlock()
+	sh.detachLocked(b)
+	sh.mu.Unlock()
 	p.flushBlock(b) // releases any gated transactions; dirty is empty
 	p.releaseBlock(b)
 }
@@ -322,35 +336,37 @@ func (fb *FileBuf) dropIfEmpty(idx int64) {
 // Ordered-mode transactions gated on dropped blocks are released.
 func (fb *FileBuf) Drop() {
 	p := fb.pool
-	for {
-		var victim *block
-		p.mu.Lock()
-		for _, b := range fb.blocks {
-			if b.pins.Load() == 0 {
-				victim = b
+	for _, sh := range p.shards {
+		for {
+			var victim *block
+			sh.mu.Lock()
+			for _, b := range fb.blocks[sh.id] {
+				if b.pins.Load() == 0 {
+					victim = b
+					break
+				}
+			}
+			if victim != nil {
+				sh.detachLocked(victim)
+			}
+			done := len(fb.blocks[sh.id]) == 0
+			sh.mu.Unlock()
+			if victim != nil {
+				victim.fmu.Lock()
+				if victim.dirtyMap().Any() {
+					p.drops.Add(1)
+				}
+				victim.dirty.Store(0)
+				notifyTxsLocked(victim)
+				victim.fmu.Unlock()
+				p.releaseBlock(victim)
+			}
+			if done {
 				break
 			}
-		}
-		if victim != nil {
-			p.detachLocked(victim)
-		}
-		done := len(fb.blocks) == 0
-		p.mu.Unlock()
-		if victim != nil {
-			victim.fmu.Lock()
-			if victim.dirtyMap().Any() {
-				p.drops.Add(1)
+			if victim == nil {
+				runtime.Gosched()
 			}
-			victim.dirty.Store(0)
-			notifyTxsLocked(victim)
-			victim.fmu.Unlock()
-			p.releaseBlock(victim)
-		}
-		if done {
-			return
-		}
-		if victim == nil {
-			runtime.Gosched()
 		}
 	}
 }
@@ -359,12 +375,14 @@ func (fb *FileBuf) Drop() {
 // (diagnostics and tests).
 func (fb *FileBuf) BlockIndices() []int64 {
 	p := fb.pool
-	p.mu.Lock()
-	out := make([]int64, 0, len(fb.blocks))
-	for idx := range fb.blocks {
-		out = append(out, idx)
+	var out []int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for idx := range fb.blocks[sh.id] {
+			out = append(out, idx)
+		}
+		sh.mu.Unlock()
 	}
-	p.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -15,19 +15,41 @@
 // lines reach NVMM, every registered transaction is notified so its commit
 // record can be written (paper §4.1).
 //
-// Concurrency model: the pool mutex guards the LRW list, the free list and
-// the per-file block indices; a per-block pin count keeps a block from
-// being detached or reclaimed while in use; a per-block flush mutex
-// serializes content mutation (write-copy, writeback, invalidate); and the
-// bitmaps are atomics so scans read consistent snapshots without locks.
-// Same-file writer/reader exclusion is provided by the owning file
-// system's inode lock.
+// Concurrency model: the pool is split into Config.Shards independent
+// shards. A buffered block's shard is chosen by hashing its (FileBuf,
+// block index) pair, so different files — and different block ranges of
+// the same file — spread across shards and the write-hit fast path never
+// serializes behind one global lock. Each shard owns:
+//
+//   - a mutex guarding the shard's slice of every file's DRAM Block Index,
+//     the shard's LRW list and its free list;
+//   - its own free list (blocks migrate between shards under allocation
+//     pressure: an empty shard steals a free block from the fullest one);
+//   - its own Low_f/High_f watermarks, computed from the shard's share of
+//     the pool and clamped so that Low_f >= 1 block and Low_f < High_f —
+//     background reclamation therefore arms even for tiny pools whose
+//     fractional watermarks would truncate to zero.
+//
+// Within a shard the per-block protocol is unchanged: a per-block pin
+// count keeps a block from being detached or reclaimed while in use; a
+// per-block flush mutex serializes content mutation (write-copy,
+// writeback, invalidate); and the bitmaps are atomics so scans read
+// consistent snapshots without locks. Same-file writer/reader exclusion is
+// provided by the owning file system's inode lock.
+//
+// Cross-shard operations (FlushAll, DirtyBlocks, Close) visit shards in
+// index order, locking one shard at a time; they never hold two shard
+// locks at once, so there is no lock-ordering hazard. FlushAll — the
+// sync(2) path — pins every dirty block it finds regardless of the block's
+// current pin count: pins only block detachment, not writeback, so a
+// concurrent reader's pin must not (and no longer does) exempt a dirty
+// block from durability.
 //
 // The paper indexes buffered blocks with a per-file B-tree reused from
 // PMFS and notes (§3.2) that the index structure is not performance
 // critical — "there will be little performance difference between the
 // index implementations of B-tree and other structures". We use Go's map
-// as the per-file DRAM Block Index accordingly.
+// as the per-file, per-shard DRAM Block Index accordingly.
 package buffer
 
 import (
@@ -45,15 +67,31 @@ import (
 // BlockSize is the DRAM buffer block size (equal to the FS block size).
 const BlockSize = cacheline.BlockSize
 
+// minShardBlocks is the smallest per-shard capacity the automatic shard
+// count will produce; below it, per-shard watermarks degenerate and the
+// sharding overhead outweighs the lock-contention win.
+const minShardBlocks = 64
+
+// stallBackoff is how long a stalled foreground allocation waits when
+// every block in its shard is pinned (liveness fallback).
+const stallBackoff = 10 * time.Microsecond
+
 // Config tunes the buffer pool. Zero fields take the paper's defaults.
 type Config struct {
 	// Blocks is the pool capacity in 4 KB blocks. Required.
 	Blocks int
+	// Shards is the number of independent pool shards. 0 picks
+	// runtime.GOMAXPROCS(0), capped so every shard holds at least
+	// minShardBlocks blocks; an explicit value is honoured up to one
+	// shard per block.
+	Shards int
 	// LowFree is the free-block fraction that wakes the writeback threads
-	// (default 0.05, the paper's Low_f).
+	// (default 0.05, the paper's Low_f). Per shard it is clamped to at
+	// least one block.
 	LowFree float64
 	// HighFree is the free-block fraction reclamation aims for
-	// (default 0.20, the paper's High_f).
+	// (default 0.20, the paper's High_f). Per shard it is clamped to stay
+	// above the low watermark.
 	HighFree float64
 	// FlushPeriod is the periodic writeback wake interval (default 5 s).
 	FlushPeriod time.Duration
@@ -61,7 +99,10 @@ type Config struct {
 	// (default 30 s).
 	MaxDirtyAge time.Duration
 	// WritebackThreads is the number of background flusher goroutines
-	// (default 4; the paper creates "multiple independent kernel threads").
+	// (default 4; the paper creates "multiple independent kernel
+	// threads"). A negative value disables background writeback entirely:
+	// eviction then happens only inline in the foreground allocation
+	// path, which deterministic replacement-policy tests rely on.
 	WritebackThreads int
 	// CLFW enables Cacheline Level Fetch/Writeback. When false (the
 	// paper's HiNFS-NCLFW ablation), whole blocks are fetched on a partial
@@ -100,6 +141,19 @@ func (p Policy) String() string {
 }
 
 func (c *Config) fill() {
+	if c.Shards == 0 {
+		n := runtime.GOMAXPROCS(0)
+		if most := c.Blocks / minShardBlocks; n > most {
+			n = most
+		}
+		c.Shards = n
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > c.Blocks && c.Blocks > 0 {
+		c.Shards = c.Blocks
+	}
 	if c.LowFree == 0 {
 		c.LowFree = 0.05
 	}
@@ -115,6 +169,19 @@ func (c *Config) fill() {
 	if c.WritebackThreads == 0 {
 		c.WritebackThreads = 4
 	}
+	if c.WritebackThreads < 0 {
+		c.WritebackThreads = 0
+	}
+}
+
+// ShardStats reports one shard's occupancy (lock-free snapshot).
+type ShardStats struct {
+	// Capacity is the shard's initial share of the pool in blocks.
+	Capacity int
+	// Free is the shard's current free-list length.
+	Free int
+	// InUse is the number of blocks currently installed in the shard.
+	InUse int
 }
 
 // Stats aggregates pool counters.
@@ -127,21 +194,35 @@ type Stats struct {
 	LinesFetched int64
 	// LinesFlushed counts cachelines written back DRAM→NVMM.
 	LinesFlushed int64
-	// Evictions counts blocks reclaimed by the writeback threads.
+	// Evictions counts blocks reclaimed by writeback threads or inline.
 	Evictions int64
-	// Stalls counts foreground waits for free blocks.
+	// Stalls counts foreground allocation episodes that found their shard
+	// exhausted.
 	Stalls int64
+	// StallNanos is the cumulative time foreground allocations spent in
+	// the exhausted-shard slow path (inline eviction plus backoff waits),
+	// measured on the pool clock.
+	StallNanos int64
+	// WritebackBatches counts background reclaim/age passes that wrote
+	// back at least one block.
+	WritebackBatches int64
+	// WritebackBlocks counts blocks written back by background batches
+	// (per-batch size = WritebackBlocks / WritebackBatches).
+	WritebackBlocks int64
 	// Drops counts dirty blocks discarded because their file was deleted —
 	// writes that never had to reach NVMM.
 	Drops int64
+	// Shards snapshots per-shard occupancy.
+	Shards []ShardStats
 }
 
 // block is one DRAM buffer block. Its data is owned by the pool slab.
 type block struct {
 	data []byte
 	fb   *FileBuf
-	idx  int64 // file block index
-	addr int64 // NVMM device byte address of the backing block
+	sh   *shard // owning shard (home of free/LRW membership)
+	idx  int64  // file block index
+	addr int64  // NVMM device byte address of the backing block
 
 	valid atomic.Uint64 // cacheline.Bitmap: up-to-date lines in DRAM
 	dirty atomic.Uint64 // cacheline.Bitmap: lines needing writeback
@@ -160,19 +241,40 @@ type block struct {
 func (b *block) validMap() cacheline.Bitmap { return cacheline.Bitmap(b.valid.Load()) }
 func (b *block) dirtyMap() cacheline.Bitmap { return cacheline.Bitmap(b.dirty.Load()) }
 
+// shard is one independent slice of the pool: its own lock, free list,
+// LRW list and watermarks.
+type shard struct {
+	pool *Pool
+	id   int
+	// total is the shard's initial share of the pool; low/high are the
+	// reclamation watermarks in blocks, clamped to low >= 1 and
+	// low < high (<= total).
+	total     int
+	low, high int
+
+	mu    sync.Mutex
+	free  []*block
+	head  *block // most recently written
+	tail  *block // least recently written
+	inUse int
+
+	// freeCount and inUseCount mirror len(free) and inUse so Stats and
+	// FreeBlocks read occupancy without taking shard locks.
+	freeCount  atomic.Int32
+	inUseCount atomic.Int32
+}
+
 // Pool is the shared DRAM buffer.
 type Pool struct {
 	dev *nvmm.Device
 	clk clock.Clock
 	cfg Config
 
-	mu     sync.Mutex
-	free   []*block
+	shards []*shard
 	total  int
-	head   *block // most recently written
-	tail   *block // least recently written
-	inUse  int
-	closed bool
+
+	fileID atomic.Uint64
+	closed atomic.Bool
 
 	wake chan struct{}
 	quit chan struct{}
@@ -184,65 +286,132 @@ type Pool struct {
 	linesFlushed atomic.Int64
 	evictions    atomic.Int64
 	stalls       atomic.Int64
+	stallNanos   atomic.Int64
+	wbBatches    atomic.Int64
+	wbBlocks     atomic.Int64
 	drops        atomic.Int64
 }
 
 // NewPool creates a pool of cfg.Blocks DRAM blocks over dev and starts the
 // background writeback threads.
 func NewPool(dev *nvmm.Device, clk clock.Clock, cfg Config) *Pool {
-	cfg.fill()
 	if cfg.Blocks <= 0 {
 		panic("buffer: Config.Blocks must be positive")
 	}
+	cfg.fill()
 	p := &Pool{dev: dev, clk: clk, cfg: cfg, total: cfg.Blocks,
 		wake: make(chan struct{}, 1), quit: make(chan struct{})}
 	slab := make([]byte, cfg.Blocks*BlockSize)
-	p.free = make([]*block, cfg.Blocks)
-	for i := 0; i < cfg.Blocks; i++ {
-		p.free[i] = &block{data: slab[i*BlockSize : (i+1)*BlockSize]}
+	p.shards = make([]*shard, cfg.Shards)
+	base := cfg.Blocks / cfg.Shards
+	rem := cfg.Blocks % cfg.Shards
+	next := 0
+	for i := range p.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		sh := &shard{pool: p, id: i, total: n}
+		sh.low = int(float64(n) * cfg.LowFree)
+		sh.high = int(float64(n) * cfg.HighFree)
+		if sh.low < 1 {
+			sh.low = 1
+		}
+		if sh.high <= sh.low {
+			sh.high = sh.low + 1
+		}
+		if sh.high > n {
+			sh.high = n
+		}
+		if sh.low > sh.high {
+			sh.low = sh.high // degenerate one-block shard
+		}
+		sh.free = make([]*block, n)
+		for j := 0; j < n; j++ {
+			sh.free[j] = &block{
+				data: slab[(next+j)*BlockSize : (next+j+1)*BlockSize],
+				sh:   sh,
+			}
+		}
+		sh.freeCount.Store(int32(n))
+		next += n
+		p.shards[i] = sh
 	}
 	for i := 0; i < cfg.WritebackThreads; i++ {
 		p.wg.Add(1)
-		go p.writebackLoop()
+		go p.writebackLoop(i)
 	}
 	return p
 }
 
-// Stats returns a snapshot of pool counters.
-func (p *Pool) Stats() Stats {
-	return Stats{
-		WriteHits:    p.writeHits.Load(),
-		WriteMisses:  p.writeMisses.Load(),
-		LinesFetched: p.linesFetched.Load(),
-		LinesFlushed: p.linesFlushed.Load(),
-		Evictions:    p.evictions.Load(),
-		Stalls:       p.stalls.Load(),
-		Drops:        p.drops.Load(),
+// shardFor maps a (file, block index) pair onto its shard.
+func (p *Pool) shardFor(fb *FileBuf, idx int64) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
 	}
+	h := fb.id*0x9E3779B97F4A7C15 + uint64(idx)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return p.shards[h%uint64(len(p.shards))]
 }
 
-// FreeBlocks returns the current number of free DRAM blocks.
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		WriteHits:        p.writeHits.Load(),
+		WriteMisses:      p.writeMisses.Load(),
+		LinesFetched:     p.linesFetched.Load(),
+		LinesFlushed:     p.linesFlushed.Load(),
+		Evictions:        p.evictions.Load(),
+		Stalls:           p.stalls.Load(),
+		StallNanos:       p.stallNanos.Load(),
+		WritebackBatches: p.wbBatches.Load(),
+		WritebackBlocks:  p.wbBlocks.Load(),
+		Drops:            p.drops.Load(),
+		Shards:           make([]ShardStats, len(p.shards)),
+	}
+	for i, sh := range p.shards {
+		st.Shards[i] = ShardStats{
+			Capacity: sh.total,
+			Free:     int(sh.freeCount.Load()),
+			InUse:    int(sh.inUseCount.Load()),
+		}
+	}
+	return st
+}
+
+// FreeBlocks returns the current number of free DRAM blocks (lock-free
+// snapshot summed across shards).
 func (p *Pool) FreeBlocks() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.free)
+	n := 0
+	for _, sh := range p.shards {
+		n += int(sh.freeCount.Load())
+	}
+	return n
 }
 
 // Capacity returns the pool size in blocks.
 func (p *Pool) Capacity() int { return p.total }
 
-// Config returns the pool configuration after defaulting.
+// ShardCount returns the number of independent pool shards.
+func (p *Pool) ShardCount() int { return len(p.shards) }
+
+// Config returns the pool configuration after defaulting (Shards holds
+// the resolved shard count).
 func (p *Pool) Config() Config { return p.cfg }
 
 // DirtyBlocks returns the number of buffered blocks with dirty lines.
 func (p *Pool) DirtyBlocks() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for b := p.head; b != nil; b = b.next {
-		if b.dirtyMap().Any() {
-			n++
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for b := sh.head; b != nil; b = b.next {
+			if b.dirtyMap().Any() {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -250,96 +419,139 @@ func (p *Pool) DirtyBlocks() int {
 // Close flushes every dirty block to NVMM and stops the writeback threads
 // (the paper flushes all DRAM blocks at unmount).
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Swap(true) {
 		return
 	}
-	p.closed = true
-	p.mu.Unlock()
 	close(p.quit)
 	p.wg.Wait()
-	for {
-		p.mu.Lock()
-		var victim *block
-		for b := p.tail; b != nil; b = b.prev {
-			if b.pins.Load() == 0 {
-				victim = b
-				break
+	for _, sh := range p.shards {
+		for {
+			sh.mu.Lock()
+			var victim *block
+			for b := sh.tail; b != nil; b = b.prev {
+				if b.pins.Load() == 0 {
+					victim = b
+					break
+				}
 			}
-		}
-		if victim != nil {
-			p.detachLocked(victim)
-		}
-		empty := p.head == nil
-		p.mu.Unlock()
-		if victim == nil {
-			if empty {
-				return
+			if victim != nil {
+				sh.detachLocked(victim)
 			}
-			runtime.Gosched()
-			continue
+			empty := sh.head == nil
+			sh.mu.Unlock()
+			if victim == nil {
+				if empty {
+					break
+				}
+				runtime.Gosched()
+				continue
+			}
+			p.flushBlock(victim)
+			p.releaseBlock(victim)
 		}
-		p.flushBlock(victim)
-		p.releaseBlock(victim)
 	}
 }
 
-// --- LRW list management (callers hold p.mu) ---
+// --- per-shard LRW list management (callers hold sh.mu) ---
 
-func (p *Pool) pushMRW(b *block) {
+func (sh *shard) pushMRW(b *block) {
 	b.prev = nil
-	b.next = p.head
-	if p.head != nil {
-		p.head.prev = b
+	b.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = b
 	}
-	p.head = b
-	if p.tail == nil {
-		p.tail = b
+	sh.head = b
+	if sh.tail == nil {
+		sh.tail = b
 	}
 }
 
-func (p *Pool) unlinkList(b *block) {
+func (sh *shard) unlinkList(b *block) {
 	if b.prev != nil {
 		b.prev.next = b.next
 	} else {
-		p.head = b.next
+		sh.head = b.next
 	}
 	if b.next != nil {
 		b.next.prev = b.prev
 	} else {
-		p.tail = b.prev
+		sh.tail = b.prev
 	}
 	b.prev, b.next = nil, nil
 }
 
-func (p *Pool) touch(b *block) {
+func (sh *shard) touch(b *block) {
 	b.writes.Add(1)
-	if p.cfg.Policy == FIFO {
+	if sh.pool.cfg.Policy == FIFO {
 		return // insertion order is preserved
 	}
-	p.unlinkList(b)
-	p.pushMRW(b)
+	sh.unlinkList(b)
+	sh.pushMRW(b)
+}
+
+// installLocked links b into the shard for (fb, idx); the caller owns b
+// exclusively and holds sh.mu.
+func (sh *shard) installLocked(b *block, fb *FileBuf, idx, addr int64) {
+	b.fb = fb
+	b.sh = sh
+	b.idx = idx
+	b.addr = addr
+	m := fb.blocks[sh.id]
+	if m == nil {
+		m = make(map[int64]*block)
+		fb.blocks[sh.id] = m
+	}
+	m[idx] = b
+	sh.pushMRW(b)
+	sh.inUse++
+	sh.inUseCount.Store(int32(sh.inUse))
 }
 
 // detachLocked removes b from its file index and the LRW list; the caller
-// then owns the block exclusively (pins must be zero).
-func (p *Pool) detachLocked(b *block) {
-	p.unlinkList(b)
-	delete(b.fb.blocks, b.idx)
+// then owns the block exclusively (pins must be zero). Caller holds sh.mu.
+func (sh *shard) detachLocked(b *block) {
+	sh.unlinkList(b)
+	delete(b.fb.blocks[sh.id], b.idx)
 	b.fb = nil
-	p.inUse--
+	sh.inUse--
+	sh.inUseCount.Store(int32(sh.inUse))
 }
 
-// releaseBlock resets b and returns it to the free list.
+// victimLocked picks the eviction victim per the configured policy from
+// unpinned blocks; nil if none. Caller holds sh.mu.
+func (sh *shard) victimLocked() *block {
+	if sh.pool.cfg.Policy == LFW {
+		var victim *block
+		min := int64(1) << 62
+		for b := sh.tail; b != nil; b = b.prev {
+			if b.pins.Load() != 0 {
+				continue
+			}
+			if w := b.writes.Load(); w < min {
+				min, victim = w, b
+			}
+		}
+		return victim
+	}
+	for b := sh.tail; b != nil; b = b.prev {
+		if b.pins.Load() == 0 {
+			return b
+		}
+	}
+	return nil
+}
+
+// releaseBlock resets b and returns it to its shard's free list.
 func (p *Pool) releaseBlock(b *block) {
 	b.valid.Store(0)
 	b.dirty.Store(0)
 	b.writes.Store(0)
 	b.idx, b.addr = 0, 0
-	p.mu.Lock()
-	p.free = append(p.free, b)
-	p.mu.Unlock()
+	sh := b.sh
+	sh.mu.Lock()
+	sh.free = append(sh.free, b)
+	sh.freeCount.Store(int32(len(sh.free)))
+	sh.mu.Unlock()
 }
 
 // notifyTxsLocked tells every transaction gated on b that its data
@@ -388,119 +600,131 @@ func (p *Pool) flushBlockLocked(b *block) {
 
 // FlushAll writes back every dirty block in the pool (the sync(2) path)
 // and returns the number of cachelines flushed. Blocks stay cached clean.
+//
+// Every dirty block is pinned and flushed regardless of its current pin
+// count: a pin only prevents detachment, never writeback, so a concurrent
+// reader (ReadMerge) must not exempt a block from sync durability. Shards
+// are visited in index order; blocks dirtied after their shard was scanned
+// belong to the next sync.
 func (p *Pool) FlushAll() int {
-	var victims []*block
-	p.mu.Lock()
-	for b := p.head; b != nil; b = b.next {
-		if b.pins.Load() == 0 && b.dirtyMap().Any() {
-			b.pins.Add(1)
-			victims = append(victims, b)
-		}
-	}
-	p.mu.Unlock()
 	flushed := 0
-	for _, b := range victims {
-		b.fmu.Lock()
-		flushed += b.dirtyMap().Count()
-		p.flushBlockLocked(b)
-		b.fmu.Unlock()
-		b.pins.Add(-1)
+	var victims []*block
+	for _, sh := range p.shards {
+		victims = victims[:0]
+		sh.mu.Lock()
+		for b := sh.head; b != nil; b = b.next {
+			if b.dirtyMap().Any() {
+				b.pins.Add(1)
+				victims = append(victims, b)
+			}
+		}
+		sh.mu.Unlock()
+		for _, b := range victims {
+			b.fmu.Lock()
+			flushed += b.dirtyMap().Count()
+			p.flushBlockLocked(b)
+			b.fmu.Unlock()
+			b.pins.Add(-1)
+		}
 	}
 	return flushed
 }
 
-// lowWater and highWater are the reclamation thresholds in blocks.
-func (p *Pool) lowWater() int  { return int(float64(p.total) * p.cfg.LowFree) }
-func (p *Pool) highWater() int { return int(float64(p.total) * p.cfg.HighFree) }
-
 // writebackLoop is the background flusher (§3.2): it reclaims blocks from
 // the LRW position when free space is low, and periodically writes back
-// aged dirty blocks.
-func (p *Pool) writebackLoop() {
+// aged dirty blocks. Thread i starts its shard sweep at offset i so
+// concurrent threads drain different shards.
+func (p *Pool) writebackLoop(i int) {
 	defer p.wg.Done()
 	for {
 		select {
 		case <-p.quit:
 			return
 		case <-p.wake:
-			p.reclaim()
-			p.flushAged()
+			p.reclaimFrom(i)
+			p.flushAgedFrom(i)
 		case <-p.clk.After(p.cfg.FlushPeriod):
-			p.flushAged()
+			p.flushAgedFrom(i)
 			if p.needReclaim() {
-				p.reclaim()
+				p.reclaimFrom(i)
 			}
 		}
 	}
 }
 
+// needReclaim reports whether any shard is below its low watermark.
 func (p *Pool) needReclaim() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.free) < p.lowWater()
+	for _, sh := range p.shards {
+		if int(sh.freeCount.Load()) < sh.low {
+			return true
+		}
+	}
+	return false
 }
 
-// reclaim evicts LRW-position blocks until free space exceeds High_f.
-func (p *Pool) reclaim() {
+// reclaimFrom evicts LRW-position blocks in every shard that is below its
+// high watermark, starting the sweep at shard offset off.
+func (p *Pool) reclaimFrom(off int) {
+	n := len(p.shards)
+	for k := 0; k < n; k++ {
+		p.reclaimShard(p.shards[(off+k)%n])
+	}
+}
+
+// reclaimShard evicts LRW-position blocks until the shard's free space
+// exceeds High_f.
+func (p *Pool) reclaimShard(sh *shard) {
+	batch := int64(0)
 	for {
-		p.mu.Lock()
-		if len(p.free) >= p.highWater() {
-			p.mu.Unlock()
-			return
+		sh.mu.Lock()
+		if len(sh.free) >= sh.high {
+			sh.mu.Unlock()
+			break
 		}
-		victim := p.victimLocked()
+		victim := sh.victimLocked()
 		if victim == nil {
-			p.mu.Unlock()
-			return
+			sh.mu.Unlock()
+			break
 		}
-		p.detachLocked(victim)
-		p.mu.Unlock()
+		sh.detachLocked(victim)
+		sh.mu.Unlock()
 		p.flushBlock(victim)
 		p.evictions.Add(1)
 		p.releaseBlock(victim)
+		batch++
+	}
+	if batch > 0 {
+		p.wbBatches.Add(1)
+		p.wbBlocks.Add(batch)
 	}
 }
 
-// victimLocked picks the eviction victim per the configured policy from
-// unpinned blocks; nil if none. Caller holds p.mu.
-func (p *Pool) victimLocked() *block {
-	if p.cfg.Policy == LFW {
-		var victim *block
-		min := int64(1) << 62
-		for b := p.tail; b != nil; b = b.prev {
-			if b.pins.Load() != 0 {
-				continue
-			}
-			if w := b.writes.Load(); w < min {
-				min, victim = w, b
-			}
-		}
-		return victim
-	}
-	for b := p.tail; b != nil; b = b.prev {
-		if b.pins.Load() == 0 {
-			return b
-		}
-	}
-	return nil
-}
-
-// flushAged writes back dirty blocks older than MaxDirtyAge without
-// evicting them; they stay cached clean.
-func (p *Pool) flushAged() {
+// flushAgedFrom writes back dirty blocks older than MaxDirtyAge without
+// evicting them; they stay cached clean. The sweep starts at shard offset
+// off.
+func (p *Pool) flushAgedFrom(off int) {
 	cutoff := p.clk.Now().Add(-p.cfg.MaxDirtyAge).UnixNano()
+	n := len(p.shards)
 	var victims []*block
-	p.mu.Lock()
-	for b := p.tail; b != nil; b = b.prev {
-		if b.pins.Load() == 0 && b.dirtyMap().Any() && b.lastWrite.Load() < cutoff {
-			b.pins.Add(1)
-			victims = append(victims, b)
+	for k := 0; k < n; k++ {
+		sh := p.shards[(off+k)%n]
+		victims = victims[:0]
+		sh.mu.Lock()
+		for b := sh.tail; b != nil; b = b.prev {
+			if b.pins.Load() == 0 && b.dirtyMap().Any() && b.lastWrite.Load() < cutoff {
+				b.pins.Add(1)
+				victims = append(victims, b)
+			}
 		}
-	}
-	p.mu.Unlock()
-	for _, b := range victims {
-		p.flushBlock(b)
-		b.pins.Add(-1)
+		sh.mu.Unlock()
+		for _, b := range victims {
+			p.flushBlock(b)
+			b.pins.Add(-1)
+		}
+		if len(victims) > 0 {
+			p.wbBatches.Add(1)
+			p.wbBlocks.Add(int64(len(victims)))
+		}
 	}
 }
 
@@ -515,33 +739,78 @@ func (p *Pool) kickWriteback() {
 	}
 }
 
-// allocBlock takes a free block. If the pool is exhausted the caller
+// stealFree takes a free block from the shard with the most free blocks
+// (excluding sh). It returns nil if every other shard is exhausted too.
+func (p *Pool) stealFree(sh *shard) *block {
+	var richest *shard
+	best := 0
+	for _, o := range p.shards {
+		if o == sh {
+			continue
+		}
+		if f := int(o.freeCount.Load()); f > best {
+			best, richest = f, o
+		}
+	}
+	if richest == nil {
+		return nil
+	}
+	richest.mu.Lock()
+	defer richest.mu.Unlock()
+	if len(richest.free) == 0 {
+		return nil
+	}
+	b := richest.free[len(richest.free)-1]
+	richest.free = richest.free[:len(richest.free)-1]
+	richest.freeCount.Store(int32(len(richest.free)))
+	return b
+}
+
+// allocBlock takes a free block for shard sh. If the shard is exhausted
+// the caller first steals a free block from another shard; failing that it
 // stalls (the paper's foreground stall behaviour): it kicks the writeback
-// threads and, as a liveness fallback, evicts one LRW block inline.
-func (p *Pool) allocBlock() *block {
-	p.mu.Lock()
-	for len(p.free) == 0 {
-		p.stalls.Add(1)
+// threads and, as a liveness fallback, evicts one LRW block inline. Stall
+// waits run on the pool clock so simulated-clock runs stay deterministic,
+// and stall duration is accounted in Stats.StallNanos.
+func (p *Pool) allocBlock(sh *shard) *block {
+	sh.mu.Lock()
+	var stallStart time.Time
+	stalled := false
+	for len(sh.free) == 0 {
+		if !stalled {
+			stalled = true
+			stallStart = p.clk.Now()
+			p.stalls.Add(1)
+		}
 		p.kickWriteback()
-		victim := p.victimLocked()
+		sh.mu.Unlock()
+		if b := p.stealFree(sh); b != nil {
+			p.stallNanos.Add(p.clk.Now().Sub(stallStart).Nanoseconds())
+			return b
+		}
+		sh.mu.Lock()
+		victim := sh.victimLocked()
 		if victim != nil {
-			p.detachLocked(victim)
-			p.mu.Unlock()
+			sh.detachLocked(victim)
+			sh.mu.Unlock()
 			p.flushBlock(victim)
 			p.evictions.Add(1)
 			p.releaseBlock(victim)
 		} else {
-			p.mu.Unlock()
-			time.Sleep(10 * time.Microsecond)
+			sh.mu.Unlock()
+			<-p.clk.After(stallBackoff)
 		}
-		p.mu.Lock()
+		sh.mu.Lock()
 	}
-	b := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	if len(p.free) < p.highWater() {
+	b := sh.free[len(sh.free)-1]
+	sh.free = sh.free[:len(sh.free)-1]
+	sh.freeCount.Store(int32(len(sh.free)))
+	if len(sh.free) < sh.low {
 		p.kickWriteback()
 	}
-	p.inUse++
-	p.mu.Unlock()
+	sh.mu.Unlock()
+	if stalled {
+		p.stallNanos.Add(p.clk.Now().Sub(stallStart).Nanoseconds())
+	}
 	return b
 }

@@ -1,0 +1,159 @@
+package buffer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/workload"
+)
+
+// TestShardedPoolConcurrentStress drives parallel Write / ReadMerge /
+// Flush / DropBlock / EvictBlock / FlushAll across several files and
+// goroutines over a small sharded pool, so eviction, stealing and the
+// background writeback threads all run under contention. It is meant to
+// run under -race (CI does); the assertions are the pool invariants that
+// survive any interleaving.
+//
+// Locking mirrors the production caller (internal/core): each file has an
+// inode RWMutex — writers and block droppers take it exclusively, readers
+// share it. FlushAll, like sync(2), takes no inode locks at all.
+func TestShardedPoolConcurrentStress(t *testing.T) {
+	dev, err := nvmm.New(nvmm.Config{Size: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(dev, clock.Real{}, Config{Blocks: 48, Shards: 4, CLFW: true})
+	defer p.Close()
+
+	const (
+		nFiles     = 6
+		nBlocks    = 16 // per file: 96 blocks contending for 48 slots
+		goroutines = 8
+		opsPerG    = 1500
+	)
+	type file struct {
+		mu sync.RWMutex
+		fb *FileBuf
+	}
+	files := make([]*file, nFiles)
+	for i := range files {
+		files[i] = &file{fb: p.NewFile()}
+	}
+	addr := func(f int, blk int64) int64 {
+		return int64(1<<20) + (int64(f)*nBlocks+blk)*BlockSize
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := workload.NewRand(seed)
+			buf := make([]byte, BlockSize)
+			for op := 0; op < opsPerG; op++ {
+				fi := rng.Intn(nFiles)
+				f := files[fi]
+				blk := int64(rng.Intn(nBlocks))
+				switch rng.Intn(10) {
+				case 0: // fsync path
+					f.mu.Lock()
+					f.fb.Flush()
+					f.mu.Unlock()
+				case 1: // truncate path
+					f.mu.Lock()
+					f.fb.DropBlock(blk)
+					f.mu.Unlock()
+				case 2: // eager-persistent case-1 path
+					f.mu.Lock()
+					f.fb.EvictBlock(blk)
+					f.mu.Unlock()
+				case 3: // sync(2): no inode locks
+					p.FlushAll()
+				case 4, 5, 6: // read
+					f.mu.RLock()
+					n := cacheline.Size * (1 + rng.Intn(4))
+					f.fb.ReadMerge(blk, 0, buf[:n], addr(fi, blk))
+					f.mu.RUnlock()
+				default: // buffered write
+					f.mu.Lock()
+					off := cacheline.Size * rng.Intn(cacheline.PerBlock)
+					n := 1 + rng.Intn(BlockSize-off)
+					f.fb.Write(blk, off, buf[:n], addr(fi, blk), true)
+					f.mu.Unlock()
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	wg.Wait()
+
+	if p.FlushAll(); p.DirtyBlocks() != 0 {
+		t.Fatalf("dirty blocks after quiescent FlushAll: %d", p.DirtyBlocks())
+	}
+	st := p.Stats()
+	inUse, free := 0, 0
+	for _, s := range st.Shards {
+		inUse += s.InUse
+		free += s.Free
+	}
+	if inUse+free != p.Capacity() {
+		t.Fatalf("block leak: inUse=%d free=%d capacity=%d", inUse, free, p.Capacity())
+	}
+	// Dropping every file must return all blocks to the free lists.
+	for _, f := range files {
+		f.fb.Drop()
+	}
+	if p.FreeBlocks() != p.Capacity() {
+		t.Fatalf("free=%d after dropping all files, want %d", p.FreeBlocks(), p.Capacity())
+	}
+}
+
+// TestShardedPropertyCrossShard reruns the multi-block shadow property on
+// an explicitly sharded pool with eviction churn, so merges, evictions and
+// cross-shard stealing are all exercised against a byte-exact oracle.
+func TestShardedPropertyCrossShard(t *testing.T) {
+	dev, err := nvmm.New(nvmm.Config{Size: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(dev, clock.Real{}, Config{Blocks: 6, Shards: 3, CLFW: true})
+	defer p.Close()
+	fb := p.NewFile()
+	rng := workload.NewRand(1234)
+
+	const nBlocks = 12
+	base := int64(1 << 20)
+	shadows := make([][]byte, nBlocks)
+	exists := make([]bool, nBlocks)
+	for i := range shadows {
+		shadows[i] = make([]byte, BlockSize)
+	}
+	data := make([]byte, BlockSize)
+	for op := 0; op < 800; op++ {
+		blk := rng.Intn(nBlocks)
+		addr := base + int64(blk)*BlockSize
+		off := rng.Intn(BlockSize)
+		n := 1 + rng.Intn(BlockSize-off)
+		for i := 0; i < n; i++ {
+			data[i] = byte(rng.Uint64())
+		}
+		fb.Write(int64(blk), off, data[:n], addr, exists[blk])
+		copy(shadows[blk][off:], data[:n])
+		exists[blk] = true
+
+		probe := rng.Intn(nBlocks)
+		if !exists[probe] {
+			continue
+		}
+		got := make([]byte, BlockSize)
+		if !fb.ReadMerge(int64(probe), 0, got, base+int64(probe)*BlockSize) {
+			dev.Read(got, base+int64(probe)*BlockSize)
+		}
+		if !bytes.Equal(got, shadows[probe]) {
+			t.Fatalf("op %d: block %d diverged from shadow", op, probe)
+		}
+	}
+}

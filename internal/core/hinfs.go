@@ -101,16 +101,17 @@ func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
 	bcfg := opts.Buffer
 	bcfg.Blocks = opts.BufferBlocks
 	bcfg.CLFW = !opts.DisableCLFW
+	pool := buffer.NewPool(dev, opts.Clock, bcfg)
 	mcfg := opts.Benefit
-	if mcfg.GhostBlocks == 0 {
-		mcfg.GhostBlocks = opts.BufferBlocks
-	}
+	// Size the ghost buffer from the pool's resolved (defaulted) config,
+	// not the raw mount options.
+	mcfg.SizeGhostFromBuffer(pool.Config())
 	if mcfg.NVMMWriteLatency == 0 {
 		mcfg.NVMMWriteLatency = dev.Config().WriteLatency
 	}
 	fs := &FS{
 		FS:    base,
-		pool:  buffer.NewPool(dev, opts.Clock, bcfg),
+		pool:  pool,
 		model: benefit.NewModel(opts.Clock, mcfg),
 		clk:   opts.Clock,
 		opts:  opts,

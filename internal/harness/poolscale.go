@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hinfs/internal/buffer"
+	"hinfs/internal/cacheline"
+	"hinfs/internal/clock"
+	"hinfs/internal/nvmm"
+)
+
+// poolScaleThreads is the goroutine sweep of the pool scaling report.
+func poolScaleThreads(quick bool) []int {
+	if quick {
+		return []int{1, 8}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// PoolScaling measures DRAM write-buffer lock scaling in isolation: a
+// pure write-hit workload (every write finds its block in DRAM, so no
+// device I/O and no eviction) hammered by N goroutines, on a single-lock
+// pool (Shards: 1) versus a sharded one. It reports ops/s, the sharded
+// speedup, foreground stall time and background writeback batches — the
+// multi-thread half of Fig. 13's scaling story, reduced to the buffer
+// itself.
+//
+// GOMAXPROCS is raised to the largest thread count for the duration of the
+// sweep (and restored), so the goroutines can actually contend. The
+// speedup column needs >= 2 physical cores to move: on a single-core host
+// threads time-slice, the global lock is almost never contended, and both
+// columns coincide.
+func PoolScaling(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	threads := poolScaleThreads(o.Quick)
+	if o.Threads > 0 {
+		threads = []int{o.Threads}
+	}
+	ops := o.Ops
+	if ops == 0 {
+		ops = 200000
+	}
+	maxThreads := threads[len(threads)-1]
+	prev := runtime.GOMAXPROCS(0)
+	if maxThreads > prev {
+		runtime.GOMAXPROCS(maxThreads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	fig := &Figure{Table: Table{
+		Title: "Pool scaling: write-hit ops/s, single-lock vs sharded DRAM buffer",
+		Note: fmt.Sprintf("%d ops/goroutine, 64 B write hits, zero-latency device (software path only). speedup = sharded/single-lock.",
+			ops),
+		Header: []string{"goroutines", "single-lock", "sharded", "shards", "speedup",
+			"stall-ms(1)", "stall-ms(n)", "wb-batches(n)"},
+	}}
+	for _, n := range threads {
+		single, sstall, _, err := poolScaleRun(1, n, ops)
+		if err != nil {
+			return nil, err
+		}
+		sharded, nstall, st, err := poolScaleRun(0, n, ops)
+		if err != nil {
+			return nil, err
+		}
+		fig.Table.Rows = append(fig.Table.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", single),
+			fmt.Sprintf("%.0f", sharded),
+			fmt.Sprintf("%d", len(st.Shards)),
+			ratio(sharded, single),
+			fmt.Sprintf("%.1f", float64(sstall)/1e6),
+			fmt.Sprintf("%.1f", float64(nstall)/1e6),
+			fmt.Sprintf("%d", st.WritebackBatches),
+		})
+		fig.put(fmt.Sprintf("%d/single", n), single)
+		fig.put(fmt.Sprintf("%d/sharded", n), sharded)
+	}
+	return fig, nil
+}
+
+// poolScaleRun executes the write-hit workload on a fresh pool and returns
+// ops/s, cumulative stall nanos and the final pool stats.
+func poolScaleRun(shards, goroutines, opsPer int) (float64, int64, buffer.Stats, error) {
+	dev, err := nvmm.New(nvmm.Config{Size: 64 << 20})
+	if err != nil {
+		return 0, 0, buffer.Stats{}, err
+	}
+	pool := buffer.NewPool(dev, clock.Real{}, buffer.Config{
+		Blocks: 8192, Shards: shards, CLFW: true})
+	defer pool.Close()
+
+	const blocksPer = 64
+	fbs := make([]*buffer.FileBuf, goroutines)
+	addr := func(g int, blk int64) int64 {
+		return int64(1<<20) + (int64(g)*blocksPer+blk)*buffer.BlockSize
+	}
+	line := make([]byte, cacheline.Size)
+	for g := range fbs {
+		fbs[g] = pool.NewFile()
+		for blk := int64(0); blk < blocksPer; blk++ {
+			fbs[g].Write(blk, 0, line, addr(g, blk), false)
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fb := fbs[g]
+			buf := make([]byte, cacheline.Size)
+			for i := 0; i < opsPer; i++ {
+				blk := int64(i % blocksPer)
+				off := (i % cacheline.PerBlock) * cacheline.Size
+				fb.Write(blk, off, buf, addr(g, blk), true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := pool.Stats()
+	opsPerSec := float64(goroutines*opsPer) / elapsed.Seconds()
+	return opsPerSec, st.StallNanos, st, nil
+}

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"hinfs/internal/buffer"
 	"hinfs/internal/nvmm"
 	"hinfs/internal/workload"
 )
@@ -20,6 +21,10 @@ type RunResult struct {
 	Dev nvmm.Stats
 	// OpsPerSec is the Filebench-style throughput metric.
 	OpsPerSec float64
+	// Pool snapshots the DRAM write-buffer counters after the run for
+	// HiNFS-family systems (nil otherwise): shard occupancy, stall time
+	// and writeback batch sizes for scaling analysis.
+	Pool *buffer.Stats
 }
 
 // RunWorkload mounts a fresh instance of sys, runs w's setup phase, then
@@ -69,6 +74,10 @@ func RunOn(inst *Instance, w workload.Workload, threads, ops int) (RunResult, er
 	}
 	if elapsed > 0 {
 		out.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	if inst.HiNFS != nil {
+		ps := inst.HiNFS.Pool().Stats()
+		out.Pool = &ps
 	}
 	return out, nil
 }

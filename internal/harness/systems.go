@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hinfs/internal/blockdev"
+	"hinfs/internal/buffer"
 	"hinfs/internal/core"
 	"hinfs/internal/extfs"
 	"hinfs/internal/nvmm"
@@ -55,6 +56,9 @@ type Config struct {
 	// BufferBlocks is HiNFS's DRAM buffer capacity (default 4864 blocks =
 	// 19 MB ≈ 0.4× the fileserver dataset, the paper's 2 GB : 5 GB ratio).
 	BufferBlocks int
+	// BufferShards is the number of independent DRAM buffer shards
+	// (0 = one per GOMAXPROCS, capped by pool size; see buffer.Config).
+	BufferShards int
 	// CachePages is the page cache size for the NVMMBD baselines (default
 	// 4096 pages = 16 MB ≈ 1/3 of the fileserver dataset; at the paper's
 	// scale the sustained write stream far exceeds what the 3 GB system
@@ -145,6 +149,7 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 			BufferBlocks:        cfg.BufferBlocks,
 			DisableCLFW:         sys == HiNFSNCLFW,
 			DisableEagerChecker: sys == HiNFSWB,
+			Buffer:              buffer.Config{Shards: cfg.BufferShards},
 			PMFS:                pmfs.Options{MaxInodes: cfg.MaxInodes},
 		})
 		if err != nil {
