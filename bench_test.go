@@ -18,6 +18,7 @@ import (
 	"hinfs/internal/core"
 	"hinfs/internal/harness"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 	"hinfs/internal/pmfs"
 	"hinfs/internal/workload"
 )
@@ -104,13 +105,25 @@ func BenchmarkPoolParallelWrite(b *testing.B) {
 	prev := runtime.GOMAXPROCS(workers)
 	defer runtime.GOMAXPROCS(prev)
 	for _, sc := range []struct {
-		name   string
-		shards int
-	}{{"single-lock", 1}, {"sharded", 0}} {
+		name    string
+		shards  int
+		observe bool
+	}{
+		{"single-lock", 1, false},
+		{"sharded", 0, false},
+		// Same pool with an obs.Collector attached: the write-hit path
+		// carries no recording calls (only stalls and writeback do), so
+		// the delta vs "sharded" bounds the observability overhead.
+		{"sharded-observed", 0, true},
+	} {
 		b.Run(sc.name, func(b *testing.B) {
 			dev := microDevice(b)
+			var col *obs.Collector
+			if sc.observe {
+				col = obs.New()
+			}
 			pool := buffer.NewPool(dev, clock.Real{}, buffer.Config{
-				Blocks: 8192, Shards: sc.shards, CLFW: true})
+				Blocks: 8192, Shards: sc.shards, CLFW: true, Obs: col})
 			defer pool.Close()
 			const blocksPer = 64
 			addr := func(g int, blk int64) int64 {

@@ -9,6 +9,8 @@
 //	hinfs-bench -fig 8 -ops 500 -latency 400ns -device 512
 //	hinfs-bench -fig pool         # DRAM buffer lock-scaling report
 //	hinfs-bench -fig 8 -shards 1  # pin the buffer to a single shard
+//	hinfs-bench -fig latency      # per-op latency percentiles + path mix
+//	hinfs-bench -fig 7 -debug-addr :6060   # live expvar/pprof while running
 //
 // Figures 3-5 are design diagrams with no measurements and are not
 // regenerated.
@@ -18,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hinfs/internal/harness"
+	"hinfs/internal/obs"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 		device    = flag.Int64("device", 256, "emulated device size (MiB)")
 		buffer    = flag.Int("buffer", 0, "HiNFS DRAM buffer in 4 KiB blocks (0 = calibrated default)")
 		shards    = flag.Int("shards", 0, "DRAM buffer shards (0 = one per GOMAXPROCS, capped by pool size)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/obs and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -44,36 +49,51 @@ func main() {
 		BufferBlocks:   *buffer,
 		BufferShards:   *shards,
 	}
+	if *debugAddr != "" {
+		// Live metrics imply collection: every instance gets a collector
+		// registered in obs.Default, which the debug server serves.
+		cfg.Observe = true
+		srv, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hinfs-bench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hinfs-bench: debug server on http://%s/debug/obs\n", srv.Addr)
+	}
 	opts := harness.Opts{Ops: *ops, Threads: *threads, Quick: *quick}
 
 	type figFn func(harness.Config, harness.Opts) (*harness.Figure, error)
 	figures := map[string]figFn{
-		"1":    harness.Figure1,
-		"2":    harness.Figure2,
-		"6":    harness.Figure6,
-		"7":    harness.Figure7,
-		"8":    harness.Figure8,
-		"9":    harness.Figure9,
-		"10":   harness.Figure10,
-		"11":   harness.Figure11,
-		"12":   harness.Figure12,
-		"13":   harness.Figure13,
-		"pool": harness.PoolScaling,
+		"1":       harness.Figure1,
+		"2":       harness.Figure2,
+		"6":       harness.Figure6,
+		"7":       harness.Figure7,
+		"8":       harness.Figure8,
+		"9":       harness.Figure9,
+		"10":      harness.Figure10,
+		"11":      harness.Figure11,
+		"12":      harness.Figure12,
+		"13":      harness.Figure13,
+		"pool":    harness.PoolScaling,
+		"latency": harness.FigureLatency,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "latency"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
 		fmt.Println("figures 3-5 are design diagrams with no measurements")
 		fmt.Println("'pool' is the DRAM buffer lock-scaling report (not a paper figure)")
+		fmt.Println("'latency' is the per-op-class percentile + path-mix report (not a paper figure)")
 		return
 	}
 
 	run := func(name string) {
 		fn, ok := figures[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "hinfs-bench: unknown figure %q (have 1,2,6,7,8,9,10,11,12,13,pool)\n", name)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "hinfs-bench: unknown figure %q (valid: %s, all, list)\n",
+				name, strings.Join(order, ", "))
+			os.Exit(1)
 		}
 		start := time.Now()
 		fig, err := fn(cfg, opts)

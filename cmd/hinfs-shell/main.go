@@ -21,20 +21,33 @@ import (
 	"time"
 
 	"hinfs"
+	"hinfs/internal/obs"
 )
 
 func main() {
 	var (
-		device  = flag.Int64("device", 64, "device size (MiB)")
-		buffer  = flag.Int("buffer", 2048, "DRAM buffer (4 KiB blocks)")
-		latency = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency")
-		image   = flag.String("image", "", "device image file: loaded if present, saved on quit")
+		device    = flag.Int64("device", 64, "device size (MiB)")
+		buffer    = flag.Int("buffer", 2048, "DRAM buffer (4 KiB blocks)")
+		latency   = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency")
+		image     = flag.String("image", "", "device image file: loaded if present, saved on quit")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/obs and /debug/pprof on this address")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "hinfs-shell:", err)
 		os.Exit(1)
+	}
+	var col *obs.Collector
+	if *debugAddr != "" {
+		col = obs.New()
+		obs.Default.RegisterCollector("shell", col)
+		srv, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hinfs-shell: debug server on http://%s/debug/obs\n", srv.Addr)
 	}
 	cfg := hinfs.DeviceConfig{
 		Size:           *device << 20,
@@ -51,7 +64,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fs, err = hinfs.Mount(dev, hinfs.Options{BufferBlocks: *buffer})
+			fs, err = hinfs.Mount(dev, hinfs.Options{BufferBlocks: *buffer, Obs: col})
 			if err != nil {
 				fail(err)
 			}
@@ -64,7 +77,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fs, err = hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: *buffer})
+		fs, err = hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: *buffer, Obs: col})
 		if err != nil {
 			fail(err)
 		}
@@ -98,7 +111,7 @@ func main() {
 			continue
 		}
 		args := strings.Fields(line)
-		if err := run(fs, dev, args); err != nil {
+		if err := run(fs, dev, col, args); err != nil {
 			if err == errQuit {
 				return
 			}
@@ -109,7 +122,7 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-func run(fs *hinfs.FS, dev *hinfs.Device, args []string) error {
+func run(fs *hinfs.FS, dev *hinfs.Device, col *obs.Collector, args []string) error {
 	cmd, rest := args[0], args[1:]
 	need := func(n int) error {
 		if len(rest) < n {
@@ -136,6 +149,7 @@ fsync <file>        persist file to NVMM
 sync                flush the whole DRAM buffer
 fsck                check on-device consistency
 stats               device/buffer/model statistics
+lat                 decision-path latency percentiles (needs -debug-addr)
 quit                exit`)
 	case "ls":
 		dir := "/"
@@ -270,6 +284,25 @@ quit                exit`)
 			fs.Pool().DirtyBlocks(), fs.Pool().FreeBlocks(), fs.Pool().Capacity())
 		fmt.Printf("clfw:    lines fetched=%d flushed=%d\n", ps.LinesFetched, ps.LinesFlushed)
 		fmt.Printf("model:   accuracy=%d/%d ghost=%d\n", acc, total, fs.Model().GhostLen())
+	case "lat":
+		if col == nil {
+			return fmt.Errorf("lat: no collector (start with -debug-addr)")
+		}
+		snap := col.Snapshot()
+		for _, p := range obs.Paths() {
+			h := snap.Path(p)
+			if h.Count == 0 {
+				continue
+			}
+			p50, p90, p99, p999 := h.Percentiles()
+			fmt.Printf("%-16s n=%-6d p50=%-8d p90=%-8d p99=%-8d p999=%-8d (ns)\n",
+				p, h.Count, p50, p90, p99, p999)
+		}
+		for _, c := range obs.Counters() {
+			if v := snap.Counter(c); v != 0 {
+				fmt.Printf("%-16s %d\n", c, v)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}

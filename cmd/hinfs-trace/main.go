@@ -7,7 +7,8 @@
 //	hinfs-trace -gen facebook -replay - -system hinfs-wb
 //
 // Replay reports the per-class time breakdown (read/write/unlink/fsync)
-// that the paper's Figure 12 is built from.
+// that the paper's Figure 12 is built from, plus per-class latency
+// percentiles (p50/p90/p99/p999) from the same run.
 package main
 
 import (
@@ -92,7 +93,12 @@ func main() {
 		if total > 0 {
 			p = 100 * float64(d) / float64(total)
 		}
-		fmt.Printf("  %-6s %8d ops  %10v  %5.1f%%\n", k, res.Counts[k], d.Round(time.Microsecond), p)
+		fmt.Printf("  %-6s %8d ops  %10v  %5.1f%%", k, res.Counts[k], d.Round(time.Microsecond), p)
+		if h := res.Lat[k]; h.Count > 0 {
+			p50, p90, p99, p999 := h.Percentiles()
+			fmt.Printf("  p50=%s p90=%s p99=%s p999=%s", us(p50), us(p90), us(p99), us(p999))
+		}
+		fmt.Println()
 	}
 	fmt.Printf("  read %d B, wrote %d B, fsync bytes %d (%.1f%%)\n",
 		res.BytesRead, res.BytesWritten, res.FsyncBytes,
@@ -104,4 +110,9 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// us renders nanoseconds as microseconds.
+func us(ns int64) string {
+	return fmt.Sprintf("%.1fus", float64(ns)/1e3)
 }

@@ -31,6 +31,7 @@ import (
 	"hinfs/internal/buffer"
 	"hinfs/internal/cacheline"
 	"hinfs/internal/clock"
+	"hinfs/internal/obs"
 )
 
 // Config parameterizes the model. Zero fields take paper defaults.
@@ -45,6 +46,10 @@ type Config struct {
 	// GhostBlocks bounds the ghost buffer (default 4096 blocks; size it
 	// like the real DRAM buffer).
 	GhostBlocks int
+	// Obs, when non-nil, counts each synchronization's per-block
+	// verdicts (obs.CtrBenefitEager / CtrBenefitLazy), exposing the
+	// ghost-buffer decision mix to the observability layer.
+	Obs *obs.Collector
 }
 
 // SizeGhostFromBuffer sizes the ghost buffer from the real DRAM write
@@ -289,6 +294,8 @@ func (m *Model) OnSync(ino uint64) (eager, lazy int) {
 		fst.newBlockEager = eager > lazy
 		fst.decidedAt = now
 	}
+	m.cfg.Obs.Add(obs.CtrBenefitEager, int64(eager))
+	m.cfg.Obs.Add(obs.CtrBenefitLazy, int64(lazy))
 	return eager, lazy
 }
 

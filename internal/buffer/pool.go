@@ -62,6 +62,7 @@ import (
 	"hinfs/internal/clock"
 	"hinfs/internal/journal"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 )
 
 // BlockSize is the DRAM buffer block size (equal to the FS block size).
@@ -112,6 +113,11 @@ type Config struct {
 	// other policies (LFU, ARC, 2Q) could be integrated; LRW, FIFO and a
 	// simple LFW are provided for the ablation benches.
 	Policy Policy
+	// Obs, when non-nil, receives foreground stall latencies
+	// (obs.PathStall), background writeback batch sizes
+	// (obs.PathWriteback) and the corresponding spans. Nil disables
+	// observability at zero cost on the write-hit fast path.
+	Obs *obs.Collector
 }
 
 // Policy is a buffer replacement policy.
@@ -674,6 +680,7 @@ func (p *Pool) reclaimFrom(off int) {
 // reclaimShard evicts LRW-position blocks until the shard's free space
 // exceeds High_f.
 func (p *Pool) reclaimShard(sh *shard) {
+	start := p.clk.Now()
 	batch := int64(0)
 	for {
 		sh.mu.Lock()
@@ -696,7 +703,27 @@ func (p *Pool) reclaimShard(sh *shard) {
 	if batch > 0 {
 		p.wbBatches.Add(1)
 		p.wbBlocks.Add(batch)
+		p.observeWriteback(sh, start, batch, "reclaim")
 	}
+}
+
+// observeWriteback records one background writeback batch (size in
+// blocks, plus a span timed on the pool clock) into the collector.
+func (p *Pool) observeWriteback(sh *shard, start time.Time, blocks int64, outcome string) {
+	c := p.cfg.Obs
+	if c == nil {
+		return
+	}
+	c.Path(obs.PathWriteback, blocks)
+	c.Span(obs.Span{
+		Start:   start.UnixNano(),
+		Dur:     p.clk.Now().Sub(start).Nanoseconds(),
+		Op:      obs.OpWrite,
+		Path:    obs.PathWriteback,
+		Size:    blocks,
+		Shard:   int32(sh.id),
+		Outcome: outcome,
+	})
 }
 
 // flushAgedFrom writes back dirty blocks older than MaxDirtyAge without
@@ -708,6 +735,7 @@ func (p *Pool) flushAgedFrom(off int) {
 	var victims []*block
 	for k := 0; k < n; k++ {
 		sh := p.shards[(off+k)%n]
+		start := p.clk.Now()
 		victims = victims[:0]
 		sh.mu.Lock()
 		for b := sh.tail; b != nil; b = b.prev {
@@ -724,6 +752,7 @@ func (p *Pool) flushAgedFrom(off int) {
 		if len(victims) > 0 {
 			p.wbBatches.Add(1)
 			p.wbBlocks.Add(int64(len(victims)))
+			p.observeWriteback(sh, start, int64(len(victims)), "age")
 		}
 	}
 }
@@ -785,7 +814,7 @@ func (p *Pool) allocBlock(sh *shard) *block {
 		p.kickWriteback()
 		sh.mu.Unlock()
 		if b := p.stealFree(sh); b != nil {
-			p.stallNanos.Add(p.clk.Now().Sub(stallStart).Nanoseconds())
+			p.observeStall(sh, stallStart)
 			return b
 		}
 		sh.mu.Lock()
@@ -810,7 +839,25 @@ func (p *Pool) allocBlock(sh *shard) *block {
 	}
 	sh.mu.Unlock()
 	if stalled {
-		p.stallNanos.Add(p.clk.Now().Sub(stallStart).Nanoseconds())
+		p.observeStall(sh, stallStart)
 	}
 	return b
+}
+
+// observeStall accounts one completed foreground stall episode: the
+// cumulative StallNanos counter, the stall-latency histogram and a span.
+func (p *Pool) observeStall(sh *shard, start time.Time) {
+	ns := p.clk.Now().Sub(start).Nanoseconds()
+	p.stallNanos.Add(ns)
+	if c := p.cfg.Obs; c != nil {
+		c.Path(obs.PathStall, ns)
+		c.Span(obs.Span{
+			Start:   start.UnixNano(),
+			Dur:     ns,
+			Op:      obs.OpWrite,
+			Path:    obs.PathStall,
+			Shard:   int32(sh.id),
+			Outcome: "stall",
+		})
+	}
 }

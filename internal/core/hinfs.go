@@ -30,6 +30,7 @@ import (
 	"hinfs/internal/cacheline"
 	"hinfs/internal/clock"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 	"hinfs/internal/pmfs"
 	"hinfs/internal/vfs"
 )
@@ -61,6 +62,12 @@ type Options struct {
 	Clock clock.Clock
 	// PMFS tunes the persistent substrate's format parameters (Mkfs only).
 	PMFS pmfs.Options
+	// Obs, when non-nil, receives decision-path latency histograms
+	// (direct vs buffered read, eager vs lazy write), per-block routing
+	// counters and op spans from this mount, and is propagated to the
+	// write buffer, the benefit model and the device. Nil (the default)
+	// costs one pointer test per operation.
+	Obs *obs.Collector
 }
 
 // FS is a mounted HiNFS instance. It implements vfs.FileSystem.
@@ -70,6 +77,7 @@ type FS struct {
 	model *benefit.Model
 	clk   clock.Clock
 	opts  Options
+	obs   *obs.Collector
 
 	mu    sync.Mutex
 	files map[pmfs.Ino]*buffer.FileBuf
@@ -101,8 +109,14 @@ func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
 	bcfg := opts.Buffer
 	bcfg.Blocks = opts.BufferBlocks
 	bcfg.CLFW = !opts.DisableCLFW
+	if bcfg.Obs == nil {
+		bcfg.Obs = opts.Obs
+	}
 	pool := buffer.NewPool(dev, opts.Clock, bcfg)
 	mcfg := opts.Benefit
+	if mcfg.Obs == nil {
+		mcfg.Obs = opts.Obs
+	}
 	// Size the ghost buffer from the pool's resolved (defaulted) config,
 	// not the raw mount options.
 	mcfg.SizeGhostFromBuffer(pool.Config())
@@ -115,7 +129,11 @@ func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
 		model: benefit.NewModel(opts.Clock, mcfg),
 		clk:   opts.Clock,
 		opts:  opts,
+		obs:   opts.Obs,
 		files: make(map[pmfs.Ino]*buffer.FileBuf),
+	}
+	if opts.Obs != nil {
+		dev.SetObs(opts.Obs)
 	}
 	// Under journal space pressure, drain deferred (ordered-mode) commits
 	// by flushing the write buffer.
@@ -246,6 +264,12 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInvalid
 	}
+	c := f.fs.obs
+	var start time.Time
+	if c != nil {
+		start = time.Now()
+	}
+	merged := false
 	f.pf.RLock()
 	defer f.pf.RUnlock()
 	size := f.pf.SizeLocked()
@@ -276,8 +300,24 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			} else {
 				f.fs.Device().Read(dst, addr+int64(bo))
 			}
+		} else {
+			merged = true
 		}
 		read += chunk
+	}
+	if c != nil {
+		dur := time.Since(start).Nanoseconds()
+		path := obs.PathDirectRead
+		if merged {
+			path = obs.PathBufferedRead
+		}
+		c.Path(path, dur)
+		c.Span(obs.Span{
+			Start: start.UnixNano(), Dur: dur,
+			Op: obs.OpRead, Path: path,
+			File: uint64(f.pf.Ino()), Off: off, Size: int64(n),
+			Shard: -1, Outcome: "ok",
+		})
 	}
 	return n, nil
 }
@@ -291,6 +331,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	if len(p) == 0 {
 		return 0, nil
+	}
+	c := f.fs.obs
+	var start time.Time
+	if c != nil {
+		start = time.Now()
 	}
 	f.pf.Lock()
 	defer f.pf.Unlock()
@@ -310,6 +355,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	written := 0
 	pendingBlocks := 0
 	anyDirect := false
+	eagerBlocks, lazyBlocks := int64(0), int64(0)
 	for _, e := range plan.Extents {
 		blkOff := 0
 		if e.Index == off/BlockSize {
@@ -334,6 +380,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			f.fb.Write(e.Index, blkOff, data, e.Addr, !e.Created)
 			f.fb.EvictBlock(e.Index)
 			anyDirect = true
+			eagerBlocks++
 		case eager:
 			// Direct NVMM write; invalidate any stale buffered lines so
 			// reads cannot see old data (case-2 blocks are clean since
@@ -341,9 +388,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			f.fb.Invalidate(e.Index, blkOff, chunk)
 			dev.WriteNT(data, e.Addr+int64(blkOff))
 			anyDirect = true
+			eagerBlocks++
 		default:
 			f.fb.Write(e.Index, blkOff, data, e.Addr, !e.Created, tx)
 			pendingBlocks++
+			lazyBlocks++
 		}
 		written += chunk
 	}
@@ -355,18 +404,56 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	// now (data already durable via WriteNT).
 	tx.AddPending(pendingBlocks)
 	tx.Seal()
+	if c != nil {
+		dur := time.Since(start).Nanoseconds()
+		// An op with any direct block pays NVMM latency inline, so it
+		// belongs to the eager-persistent distribution; pure-DRAM ops
+		// belong to the lazy one. The block-level split stays exact in
+		// the counters.
+		path, outcome := obs.PathLazyWrite, "lazy"
+		if anyDirect {
+			path, outcome = obs.PathEagerWrite, "eager"
+			if lazyBlocks > 0 {
+				outcome = "mixed"
+			}
+		}
+		c.Path(path, dur)
+		c.Add(obs.CtrEagerBlocks, eagerBlocks)
+		c.Add(obs.CtrLazyBlocks, lazyBlocks)
+		c.Span(obs.Span{
+			Start: start.UnixNano(), Dur: dur,
+			Op: obs.OpWrite, Path: path,
+			File: ino, Off: off, Size: int64(written),
+			Shard: -1, Outcome: outcome,
+		})
+	}
 	return written, nil
 }
 
 // Fsync implements vfs.File: flush the file's dirty DRAM blocks to NVMM,
 // fence, and let the Buffer Benefit Model re-evaluate block states.
 func (f *File) Fsync() error {
+	c := f.fs.obs
+	var start time.Time
+	if c != nil {
+		start = time.Now()
+	}
 	f.pf.Lock()
-	f.fb.Flush()
+	flushed := f.fb.Flush()
 	f.fs.Device().Fence()
 	f.pf.Unlock()
 	f.fs.model.OnSync(uint64(f.pf.Ino()))
 	f.pf.MarkSynced(f.fs.clk.Now())
+	if c != nil {
+		dur := time.Since(start).Nanoseconds()
+		// Size carries the cachelines the sync itself flushed (N_cf).
+		c.Span(obs.Span{
+			Start: start.UnixNano(), Dur: dur,
+			Op: obs.OpFsync, Path: obs.PathWriteback,
+			File: uint64(f.pf.Ino()), Size: int64(flushed),
+			Shard: -1, Outcome: "ok",
+		})
+	}
 	return nil
 }
 

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hinfs/internal/obs"
+	"hinfs/internal/workload"
+)
+
+// latencySystems is the lineup of the latency report: HiNFS against the
+// direct-access baseline (and EXT4-DAX for the double-copy contrast in
+// full runs).
+func latencySystems(quick bool) []System {
+	if quick {
+		return []System{HiNFS, PMFS}
+	}
+	return []System{HiNFS, PMFS, EXT4DAX}
+}
+
+// FigureLatency is the repo's Fig.4/5-style breakdown: per-op-class
+// latency percentiles for HiNFS and the baselines on the Varmail
+// workload, plus HiNFS's decision-path split (direct vs buffered reads,
+// eager vs lazy writes, foreground stalls, writeback batches). Varmail
+// is the lineup's only workload that exercises every op class (it
+// fsyncs every append), and its sync pressure drives the Buffer Benefit
+// Model into both verdicts, so the eager/lazy split is populated. Where
+// the paper decomposes mean op latency into NVMM-write exposure and
+// double-copy overhead, this report shows the full distribution per
+// path, which is what tail-latency work needs.
+//
+// Series keys: "<system>/<op>/p50|p90|p99|p999" (µs) and, for HiNFS,
+// "hinfs/path/<path>/count" plus "hinfs/eager-blocks"/"hinfs/lazy-blocks".
+func FigureLatency(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	cfg.Observe = true
+	ops := o.Ops
+	if ops == 0 {
+		ops = 400
+	}
+	threads := o.Threads
+	if threads == 0 {
+		threads = 4
+	}
+	fig := &Figure{Table: Table{
+		Title: "Latency: per-op-class percentiles and HiNFS path mix (Varmail)",
+		Header: []string{"system", "op", "count", "p50(us)", "p90(us)",
+			"p99(us)", "p999(us)", "max(us)"},
+	}}
+	var hinfsSnap *obs.Snapshot
+	for _, sys := range latencySystems(o.Quick) {
+		w := &workload.Varmail{}
+		res, err := RunWorkload(sys, cfg, w, threads, ops)
+		if err != nil {
+			return nil, err
+		}
+		if res.Obs == nil {
+			return nil, fmt.Errorf("latency: no obs snapshot for %s", sys)
+		}
+		if sys == HiNFS {
+			hinfsSnap = res.Obs
+		}
+		for _, op := range obs.OpClasses() {
+			h := res.Obs.Op(op)
+			if h.Count == 0 {
+				continue
+			}
+			fig.Table.Rows = append(fig.Table.Rows, latencyRow(string(sys), op.String(), h))
+			putPercentiles(fig, fmt.Sprintf("%s/%s", sys, op), h)
+		}
+	}
+	// HiNFS decision paths, from the same run's collector.
+	if hinfsSnap != nil {
+		for _, p := range obs.Paths() {
+			if p == obs.PathWriteback {
+				continue // batch sizes, not latencies: reported in the note
+			}
+			h := hinfsSnap.Path(p)
+			if h.Count == 0 {
+				continue
+			}
+			fig.Table.Rows = append(fig.Table.Rows,
+				latencyRow("hinfs", "["+p.String()+"]", h))
+			putPercentiles(fig, "hinfs/path/"+p.String(), h)
+			fig.put(fmt.Sprintf("hinfs/path/%s/count", p), float64(h.Count))
+		}
+		eb := hinfsSnap.Counter(obs.CtrEagerBlocks)
+		lb := hinfsSnap.Counter(obs.CtrLazyBlocks)
+		wb := hinfsSnap.Path(obs.PathWriteback)
+		fig.put("hinfs/eager-blocks", float64(eb))
+		fig.put("hinfs/lazy-blocks", float64(lb))
+		eagerPct := 0.0
+		if eb+lb > 0 {
+			eagerPct = 100 * float64(eb) / float64(eb+lb)
+		}
+		fig.Table.Note = fmt.Sprintf(
+			"HiNFS write routing: %d eager / %d lazy blocks (%.1f%% eager); "+
+				"%d writeback batches (mean %.1f blocks); benefit verdicts %d eager / %d lazy. "+
+				"Bracketed rows are HiNFS-internal decision paths.",
+			eb, lb, eagerPct, wb.Count, wb.Mean(),
+			hinfsSnap.Counter(obs.CtrBenefitEager), hinfsSnap.Counter(obs.CtrBenefitLazy))
+	}
+	return fig, nil
+}
+
+// latencyRow formats one histogram as a table row in microseconds.
+func latencyRow(sys, op string, h obs.HistSnapshot) []string {
+	p50, p90, p99, p999 := h.Percentiles()
+	return []string{
+		sys, op,
+		fmt.Sprintf("%d", h.Count),
+		us(p50), us(p90), us(p99), us(p999), us(h.Max),
+	}
+}
+
+// putPercentiles stores a histogram's percentile series (µs) under key.
+func putPercentiles(fig *Figure, key string, h obs.HistSnapshot) {
+	p50, p90, p99, p999 := h.Percentiles()
+	fig.put(key+"/p50", float64(p50)/1e3)
+	fig.put(key+"/p90", float64(p90)/1e3)
+	fig.put(key+"/p99", float64(p99)/1e3)
+	fig.put(key+"/p999", float64(p999)/1e3)
+}
+
+// us renders nanoseconds as microseconds.
+func us(ns int64) string {
+	return fmt.Sprintf("%.1f", float64(ns)/float64(time.Microsecond))
+}

@@ -9,6 +9,7 @@ import (
 
 	"hinfs/internal/buffer"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 	"hinfs/internal/workload"
 )
 
@@ -25,6 +26,10 @@ type RunResult struct {
 	// HiNFS-family systems (nil otherwise): shard occupancy, stall time
 	// and writeback batch sizes for scaling analysis.
 	Pool *buffer.Stats
+	// Obs snapshots the instance's observability collector over the run
+	// phase (nil unless Config.Observe): per-op-class and per-path
+	// latency histograms plus routing counters.
+	Obs *obs.Snapshot
 }
 
 // RunWorkload mounts a fresh instance of sys, runs w's setup phase, then
@@ -51,6 +56,8 @@ func RunOn(inst *Instance, w workload.Workload, threads, ops int) (RunResult, er
 	if inst.Ext != nil {
 		inst.Ext.DropCaches()
 	}
+	// Setup traffic is not part of the measured phase.
+	inst.Obs.Reset()
 	before := inst.Dev.Stats()
 	start := time.Now()
 	res, err := w.Run(inst.FS, threads, ops)
@@ -78,6 +85,9 @@ func RunOn(inst *Instance, w workload.Workload, threads, ops int) (RunResult, er
 	if inst.HiNFS != nil {
 		ps := inst.HiNFS.Pool().Stats()
 		out.Pool = &ps
+	}
+	if inst.Obs != nil {
+		out.Obs = inst.Obs.Snapshot()
 	}
 	return out, nil
 }

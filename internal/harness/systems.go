@@ -14,6 +14,7 @@ import (
 	"hinfs/internal/core"
 	"hinfs/internal/extfs"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 	"hinfs/internal/pmfs"
 	"hinfs/internal/vfs"
 )
@@ -81,6 +82,15 @@ type Config struct {
 	// across goroutines even on machines with few cores; every figure
 	// reports ratios, which scaling preserves. Set 1 for real-time scale.
 	TimeScale float64
+	// Observe attaches an obs.Collector to the instance: op-class
+	// latency histograms at the VFS boundary (all systems), decision-path
+	// histograms and spans inside HiNFS, and device flush latency. The
+	// collector is registered in obs.Default (for -debug-addr scrapes)
+	// and snapshotted into RunResult.Obs. Off by default.
+	Observe bool
+	// TraceSpans bounds the span ring attached to the collector when
+	// Observe is set (0 = no tracer).
+	TraceSpans int
 }
 
 // Fill applies defaults.
@@ -126,6 +136,8 @@ type Instance struct {
 	HiNFS *core.FS
 	// Ext is non-nil for the extfs-based systems.
 	Ext *extfs.FS
+	// Obs is the instance's collector (nil unless Config.Observe).
+	Obs *obs.Collector
 }
 
 // NewInstance formats a fresh emulated device and mounts the requested
@@ -143,6 +155,14 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	inst := &Instance{System: sys, Dev: dev}
+	if cfg.Observe {
+		inst.Obs = obs.New()
+		if cfg.TraceSpans > 0 {
+			inst.Obs.SetTracer(obs.NewTracer(cfg.TraceSpans))
+		}
+		dev.SetObs(inst.Obs)
+		obs.Default.RegisterCollector(string(sys), inst.Obs)
+	}
 	switch sys {
 	case HiNFS, HiNFSNCLFW, HiNFSWB:
 		fs, err := core.Mkfs(dev, core.Options{
@@ -151,6 +171,7 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 			DisableEagerChecker: sys == HiNFSWB,
 			Buffer:              buffer.Config{Shards: cfg.BufferShards},
 			PMFS:                pmfs.Options{MaxInodes: cfg.MaxInodes},
+			Obs:                 inst.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -182,6 +203,9 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 	if cfg.SyscallOverhead > 0 {
 		inst.FS = WithSyscallOverhead(inst.FS, scaled(cfg.SyscallOverhead, cfg.TimeScale))
 	}
+	// The obs wrapper sits outermost so op-class latencies include the
+	// modelled syscall overhead — the user-visible latency.
+	inst.FS = obs.WrapFS(inst.FS, inst.Obs)
 	return inst, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"hinfs/internal/cacheline"
+	"hinfs/internal/obs"
 )
 
 // Config describes the emulated device.
@@ -97,6 +98,11 @@ type Device struct {
 	effWrite time.Duration // scaled write latency per cacheline
 	effRead  time.Duration // scaled read latency per cacheline
 
+	// statsMu serializes whole-snapshot reads (Stats) against whole-set
+	// resets (ResetStats): the counters themselves are atomics, but
+	// without the lock a snapshot racing a reset could mix pre- and
+	// post-reset values.
+	statsMu      sync.Mutex
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 	bytesFlushed atomic.Int64
@@ -104,6 +110,10 @@ type Device struct {
 	fences       atomic.Int64
 	readTime     atomic.Int64
 	writeTime    atomic.Int64
+
+	// col, when set, receives per-persist flush latency observations
+	// (obs.PathNVMMFlush). Set before concurrent use.
+	col atomic.Pointer[obs.Collector]
 
 	// Persistence tracking (TrackPersistence only).
 	pmu     sync.Mutex
@@ -218,12 +228,21 @@ func (d *Device) Flush(off int64, n int) {
 	d.writeTime.Add(int64(time.Since(start)))
 }
 
+// SetObs attaches a collector receiving flush-latency observations
+// (including bandwidth queueing time), or detaches with nil.
+func (d *Device) SetObs(c *obs.Collector) { d.col.Store(c) }
+
 // persist charges latency and bandwidth for the covered cachelines and, in
 // persistence-tracking mode, copies them to the durable image.
 func (d *Device) persist(off int64, n int) {
 	lines := cacheline.LineCount(off, n)
 	d.flushes.Add(1)
 	d.bytesFlushed.Add(int64(lines) * cacheline.Size)
+	c := d.col.Load()
+	var start time.Time
+	if c != nil {
+		start = time.Now()
+	}
 	if d.effWrite > 0 {
 		cost := int64(lines) * int64(d.effWrite)
 		if d.ports == nil {
@@ -234,6 +253,9 @@ func (d *Device) persist(off int64, n int) {
 	}
 	if d.cfg.TrackPersistence {
 		d.commitPending(off, n)
+	}
+	if c != nil {
+		c.Path(obs.PathNVMMFlush, time.Since(start).Nanoseconds())
 	}
 }
 
@@ -321,8 +343,13 @@ func (d *Device) PendingLines() int {
 	return len(d.pending)
 }
 
-// Stats returns a snapshot of the device counters.
+// Stats returns a snapshot of the device counters. It takes the same
+// lock as ResetStats, so a snapshot can never observe a half-applied
+// reset (it can still straddle an in-flight operation's own updates,
+// which touch one counter at a time).
 func (d *Device) Stats() Stats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	return Stats{
 		BytesRead:    d.bytesRead.Load(),
 		BytesWritten: d.bytesWritten.Load(),
@@ -334,8 +361,11 @@ func (d *Device) Stats() Stats {
 	}
 }
 
-// ResetStats zeroes the device counters.
+// ResetStats zeroes the device counters, under the same lock Stats
+// takes, so concurrent snapshots see either all-old or all-new values.
 func (d *Device) ResetStats() {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	d.bytesRead.Store(0)
 	d.bytesWritten.Store(0)
 	d.bytesFlushed.Store(0)

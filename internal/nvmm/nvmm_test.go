@@ -255,3 +255,80 @@ func TestImageLoadWithPersistenceTracking(t *testing.T) {
 		t.Fatal("loaded image not treated as durable")
 	}
 }
+
+// TestStatsResetNotTorn checks the satellite fix: a Stats snapshot
+// racing ResetStats must see either the full pre-reset counters or the
+// full post-reset zeros, never a mix. The device is quiesced, so any
+// partially-zero snapshot is a torn read.
+func TestStatsResetNotTorn(t *testing.T) {
+	d := MustNew(Config{Size: 1 << 20})
+	for iter := 0; iter < 200; iter++ {
+		// Populate every counter with known values, then quiesce.
+		d.Write(make([]byte, 128), 0)
+		d.Flush(0, 128)
+		d.Read(make([]byte, 64), 0)
+		d.Fence()
+		want := d.Stats()
+		if want.BytesWritten == 0 || want.BytesRead == 0 || want.Fences == 0 {
+			t.Fatalf("setup did not populate counters: %+v", want)
+		}
+
+		var (
+			start = make(chan struct{})
+			got   Stats
+			wg    sync.WaitGroup
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			got = d.Stats()
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			d.ResetStats()
+		}()
+		close(start)
+		wg.Wait()
+
+		zero := Stats{}
+		if got != want && got != zero {
+			t.Fatalf("iter %d: torn snapshot %+v (want %+v or zero)", iter, got, want)
+		}
+		d.ResetStats()
+	}
+}
+
+// TestStatsConcurrentWithWritersRace exercises Stats/ResetStats under
+// live traffic for the race detector.
+func TestStatsConcurrentWithWritersRace(t *testing.T) {
+	d := MustNew(Config{Size: 1 << 20})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(off int64) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					d.Write(buf, off)
+					d.Flush(off, 64)
+					d.Read(buf, off)
+				}
+			}
+		}(int64(w) * 4096)
+	}
+	for i := 0; i < 500; i++ {
+		d.Stats()
+		if i%10 == 0 {
+			d.ResetStats()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

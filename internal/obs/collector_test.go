@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCollectorRoundTrip(t *testing.T) {
+	c := New()
+	c.Op(OpRead, 10*time.Microsecond)
+	c.Op(OpRead, 20*time.Microsecond)
+	c.Path(PathEagerWrite, 5000)
+	c.Path(PathWriteback, 64) // blocks, not ns
+	c.Add(CtrEagerBlocks, 7)
+	c.Add(CtrLazyBlocks, 0) // no-op: zero adds keep the snapshot sparse
+
+	s := c.Snapshot()
+	if got := s.Op(OpRead).Count; got != 2 {
+		t.Fatalf("read count %d", got)
+	}
+	if got := s.Path(PathEagerWrite).Count; got != 1 {
+		t.Fatalf("eager count %d", got)
+	}
+	if got := s.Path(PathWriteback).Max; got != 64 {
+		t.Fatalf("writeback max %d", got)
+	}
+	if got := s.Counter(CtrEagerBlocks); got != 7 {
+		t.Fatalf("eager blocks %d", got)
+	}
+	if _, ok := s.Counters[CtrLazyBlocks.String()]; ok {
+		t.Fatal("zero counter exported")
+	}
+	if got := s.Op(OpFsync); got.Count != 0 {
+		t.Fatalf("absent op %+v", got)
+	}
+
+	c.Reset()
+	s = c.Snapshot()
+	if len(s.Ops) != 0 || len(s.Paths) != 0 || len(s.Counters) != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Op(OpRead, time.Second)
+	c.Path(PathStall, 1)
+	c.Add(CtrLazyBlocks, 1)
+	c.Reset()
+	if c.Counter(CtrLazyBlocks) != 0 || c.OpHist(OpRead) != nil || c.PathHist(PathStall) != nil {
+		t.Fatal("nil collector leaked state")
+	}
+	s := c.Snapshot()
+	if s == nil || s.Op(OpRead).Count != 0 {
+		t.Fatal("nil collector snapshot")
+	}
+	var ns *Snapshot
+	if ns.Op(OpRead).Count != 0 || ns.Path(PathStall).Count != 0 || ns.Counter(CtrEagerBlocks) != 0 {
+		t.Fatal("nil snapshot accessors")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if len(OpClasses()) != int(NumOps) {
+		t.Fatalf("OpClasses %d != NumOps %d", len(OpClasses()), NumOps)
+	}
+	if len(Paths()) != int(NumPaths) {
+		t.Fatalf("Paths %d != NumPaths %d", len(Paths()), NumPaths)
+	}
+	if len(Counters()) != int(NumCounters) {
+		t.Fatalf("Counters %d != NumCounters %d", len(Counters()), NumCounters)
+	}
+	seen := map[string]bool{}
+	for _, op := range OpClasses() {
+		if s := op.String(); s == "unknown" || seen[s] {
+			t.Fatalf("op %d string %q", op, s)
+		} else {
+			seen[s] = true
+		}
+	}
+	for _, p := range Paths() {
+		if s := p.String(); s == "unknown" || seen[s] {
+			t.Fatalf("path %d string %q", p, s)
+		} else {
+			seen[s] = true
+		}
+	}
+	for _, c := range Counters() {
+		if s := c.String(); s == "unknown" || seen[s] {
+			t.Fatalf("counter %d string %q", c, s)
+		} else {
+			seen[s] = true
+		}
+	}
+}

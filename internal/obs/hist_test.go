@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// The largest int64 lands in the last octave-63 sub-bucket; buckets
+	// beyond it exist in the array but are unreachable (their low bound
+	// would overflow int64).
+	maxBucket := bucketOf(int64(^uint64(0) >> 1))
+	if want := (63-histSubBits)*histSub + histSub - 1; maxBucket != want {
+		t.Fatalf("bucketOf(MaxInt64) = %d, want %d", maxBucket, want)
+	}
+	// Every reachable bucket's reported range must round-trip: its low
+	// bound maps back into it and the value just below the next bound
+	// does too.
+	for b := 0; b < maxBucket; b++ {
+		lo, hi := bucketLow(b), bucketLow(b+1)
+		if got := bucketOf(lo); got != b {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", b, lo, got)
+		}
+		if got := bucketOf(hi - 1); got != b {
+			t.Fatalf("bucketOf(%d) = %d, want %d", hi-1, got, b)
+		}
+	}
+}
+
+func TestBucketOfRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63()
+		b := bucketOf(v)
+		if lo := bucketLow(b); v < lo {
+			t.Fatalf("v=%d below its bucket %d low %d", v, b, lo)
+		}
+		if hi := bucketLow(b + 1); hi > 0 && v >= hi {
+			t.Fatalf("v=%d at/above bucket %d high %d", v, b, hi)
+		}
+		if mid := bucketMid(b); mid < bucketLow(b) {
+			t.Fatalf("bucket %d mid %d below low", b, mid)
+		}
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	prev := bucketOf(0)
+	for v := int64(1); v < 1<<22; v += 7 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+	// Exponential probe for the large range.
+	last := int64(-1)
+	for v := int64(1); v > 0; v <<= 1 {
+		if last >= 0 && bucketOf(v) <= bucketOf(last) {
+			t.Fatalf("bucketOf(%d) <= bucketOf(%d)", v, last)
+		}
+		last = v
+	}
+}
+
+func randomHist(seed int64, n int) *Hist {
+	rng := rand.New(rand.NewSource(seed))
+	h := &Hist{}
+	for i := 0; i < n; i++ {
+		// Mix magnitudes so many octaves are populated.
+		h.Observe(rng.Int63n(1 << uint(4+rng.Intn(40))))
+	}
+	return h
+}
+
+func TestMergeAssociative(t *testing.T) {
+	a1, b1, c1 := randomHist(1, 2000), randomHist(2, 1500), randomHist(3, 999)
+	a2, b2, c2 := randomHist(1, 2000), randomHist(2, 1500), randomHist(3, 999)
+
+	// (a ⊕ b) ⊕ c
+	left := &Hist{}
+	left.Merge(a1)
+	left.Merge(b1)
+	left.Merge(c1)
+	// a ⊕ (b ⊕ c)
+	bc := &Hist{}
+	bc.Merge(b2)
+	bc.Merge(c2)
+	right := &Hist{}
+	right.Merge(a2)
+	right.Merge(bc)
+
+	ls, rs := left.Snapshot(), right.Snapshot()
+	if !reflect.DeepEqual(ls, rs) {
+		t.Fatalf("merge not associative:\n left %+v\nright %+v", ls, rs)
+	}
+	if ls.Count != 2000+1500+999 {
+		t.Fatalf("merged count %d", ls.Count)
+	}
+}
+
+func TestQuantileMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := &Hist{}
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << uint(2+rng.Intn(30)))
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.3f: %d < %d", q, v, prev)
+		}
+		if v > s.Max {
+			t.Fatalf("quantile %d above max %d", v, s.Max)
+		}
+		prev = v
+	}
+	// The bucketed quantile must be within one sub-bucket (6.25%) of the
+	// exact order statistic, give or take the bucket the exact value
+	// straddles.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := s.Quantile(q)
+		lo, hi := bucketLow(bucketOf(exact)), bucketLow(bucketOf(exact)+1)
+		if got < lo-(hi-lo) || got > hi+(hi-lo) {
+			t.Fatalf("q=%v: got %d, exact %d (bucket [%d,%d))", q, got, exact, lo, hi)
+		}
+	}
+	if s.Quantile(1) != s.Max || s.Quantile(2) != s.Max {
+		t.Fatal("q>=1 must return max")
+	}
+}
+
+func TestHistNegativeClampsAndNil(t *testing.T) {
+	h := &Hist{}
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 0 || s.Sum != 0 {
+		t.Fatalf("negative clamp: %+v", s)
+	}
+	var nh *Hist
+	nh.Observe(1) // must not panic
+	nh.Merge(h)
+	nh.Reset()
+	if nh.Count() != 0 {
+		t.Fatal("nil hist count")
+	}
+	if got := nh.Snapshot(); got.Count != 0 {
+		t.Fatalf("nil snapshot %+v", got)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	h := &Hist{}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 20))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	h := randomHist(9, 100)
+	h.Reset()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []int64{1, 2, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	cdf := h.Snapshot().CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty cdf")
+	}
+	prevV, prevF := int64(-1), 0.0
+	for _, p := range cdf {
+		if p.Value < prevV || p.Frac < prevF {
+			t.Fatalf("cdf not monotone: %+v", cdf)
+		}
+		prevV, prevF = p.Value, p.Frac
+	}
+	if last := cdf[len(cdf)-1]; last.Frac != 1 {
+		t.Fatalf("cdf ends at %v", last.Frac)
+	}
+}
+
+func BenchmarkHistObserve(b *testing.B) {
+	h := &Hist{}
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v * 2862933555777941757) & (1<<40 - 1)
+		}
+	})
+}
+
+func BenchmarkHistObserveNil(b *testing.B) {
+	var h *Hist
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+)
+
+// Registry is a named set of metric sources. Each source is a function
+// producing a JSON-marshalable value on demand (typically a
+// Collector.Snapshot), so registration costs nothing until somebody
+// actually scrapes the registry.
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]func() any
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]func() any)}
+}
+
+// Default is the process-wide registry the debug server and the CLIs
+// use. Harness instances register their collectors here when
+// observability is on, so a live `-debug-addr` scrape always sees the
+// most recent run.
+var Default = NewRegistry()
+
+// Register installs (or replaces) source name.
+func (r *Registry) Register(name string, fn func() any) {
+	r.mu.Lock()
+	r.vars[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterCollector installs c's live snapshot under name.
+func (r *Registry) RegisterCollector(name string, c *Collector) {
+	r.Register(name, func() any { return c.Snapshot() })
+}
+
+// Snapshot evaluates every source.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vars))
+	for n := range r.vars {
+		names = append(names, n)
+	}
+	fns := make(map[string]func() any, len(names))
+	for _, n := range names {
+		fns[n] = r.vars[n]
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(fns))
+	for n, fn := range fns {
+		out[n] = fn()
+	}
+	return out
+}
+
+// Names returns the registered source names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.vars))
+	for n := range r.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Publish exposes the registry under the given expvar name (visible at
+// /debug/vars). Publishing the same name twice is a no-op rather than
+// the expvar panic, so tests and multiple servers can share a registry.
+func (r *Registry) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// DebugServer is a running observability endpoint.
+type DebugServer struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/vars   expvar JSON (includes the registry under "obs")
+//	/debug/obs    the registry snapshot alone, pretty-printed
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// It returns once the listener is bound; serving continues in the
+// background until Close.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	if r == nil {
+		r = Default
+	}
+	r.Publish("obs")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryNamesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := New()
+	c.Op(OpRead, 5*time.Microsecond)
+	c.Add(CtrEagerBlocks, 3)
+	r.RegisterCollector("sys-a", c)
+	r.Register("answer", func() any { return 42 })
+	if got, want := r.Names(), []string{"answer", "sys-a"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("names %v", got)
+	}
+	snap := r.Snapshot()
+	if snap["answer"] != 42 {
+		t.Fatalf("answer %v", snap["answer"])
+	}
+	cs, ok := snap["sys-a"].(*Snapshot)
+	if !ok {
+		t.Fatalf("sys-a type %T", snap["sys-a"])
+	}
+	if cs.Op(OpRead).Count != 1 || cs.Counter(CtrEagerBlocks) != 3 {
+		t.Fatalf("collector snapshot %+v", cs)
+	}
+}
+
+func TestPublishTwiceNoPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Publish("obs-test-publish")
+	r.Publish("obs-test-publish") // expvar would panic on a raw re-publish
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	c := New()
+	c.Op(OpWrite, time.Millisecond)
+	c.Path(PathLazyWrite, 12345)
+	r.RegisterCollector("hinfs", c)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var obsBody map[string]*Snapshot
+	if err := json.Unmarshal(get("/debug/obs"), &obsBody); err != nil {
+		t.Fatalf("/debug/obs not JSON: %v", err)
+	}
+	hs, ok := obsBody["hinfs"]
+	if !ok {
+		t.Fatalf("/debug/obs missing hinfs: %v", obsBody)
+	}
+	if hs.Op(OpWrite).Count != 1 || hs.Path(PathLazyWrite).Count != 1 {
+		t.Fatalf("scraped snapshot %+v", hs)
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["obs"]; !ok {
+		t.Fatal("/debug/vars missing obs")
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.RegisterCollector(fmt.Sprintf("c%d", i), New())
+				r.Snapshot()
+				r.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Names()) != 4 {
+		t.Fatalf("names %v", r.Names())
+	}
+}

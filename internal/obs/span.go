@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Span is one completed operation event: which op ran, on which file,
+// where, how it was routed, and how long it took. Spans are recorded
+// whole at op end (begin/end collapse into Start+Dur), so a record is a
+// single ring write.
+type Span struct {
+	// Start is the op start in nanoseconds (clock of the recorder:
+	// wall-clock unix nanos for the file systems, pool-clock nanos for
+	// background writeback under a fake clock).
+	Start int64
+	// Dur is the op duration in nanoseconds.
+	Dur int64
+	// Op is the operation class.
+	Op OpClass
+	// Path is the decision path the op took.
+	Path Path
+	// File identifies the file (inode number; 0 when not applicable).
+	File uint64
+	// Off and Size locate the I/O (0 for non-data ops). For writeback
+	// spans Size is the batch size in blocks.
+	Off  int64
+	Size int64
+	// Shard is the DRAM buffer shard involved (-1 when not applicable).
+	Shard int32
+	// Outcome labels how the op ended ("ok", "eager", "lazy", "mixed",
+	// "stall", "error", ...).
+	Outcome string
+}
+
+// jsonSpan is the JSON-lines wire form of a Span.
+type jsonSpan struct {
+	Start   int64  `json:"start"`
+	Dur     int64  `json:"dur"`
+	Op      string `json:"op"`
+	Path    string `json:"path"`
+	File    uint64 `json:"file,omitempty"`
+	Off     int64  `json:"off,omitempty"`
+	Size    int64  `json:"size,omitempty"`
+	Shard   int32  `json:"shard"`
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// Tracer is a bounded in-memory span recorder. The ring is sharded so
+// concurrent writers contend only on their shard's short critical
+// section; when a shard wraps, its oldest spans are overwritten (total
+// recorded vs retained is reported by Stats). A disabled tracer costs
+// one atomic load per record call.
+type Tracer struct {
+	enabled  atomic.Bool
+	recorded atomic.Int64
+	pick     atomic.Uint64
+	shards   []traceShard
+}
+
+type traceShard struct {
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // total spans written to this shard
+	_    [4]uint64
+}
+
+// defaultTracerShards bounds write contention without fragmenting small
+// rings.
+const defaultTracerShards = 8
+
+// NewTracer creates a tracer retaining up to capacity spans, enabled.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	shards := defaultTracerShards
+	if capacity < shards {
+		shards = 1
+	}
+	return newTracer(capacity, shards)
+}
+
+func newTracer(capacity, shards int) *Tracer {
+	t := &Tracer{shards: make([]traceShard, shards)}
+	base := capacity / shards
+	rem := capacity % shards
+	for i := range t.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		t.shards[i].buf = make([]Span, n)
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled turns recording on or off (Record becomes a no-op when off).
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Record stores s. Nil-safe; a disabled tracer records nothing.
+func (t *Tracer) Record(s Span) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.recorded.Add(1)
+	sh := &t.shards[t.pick.Add(1)%uint64(len(t.shards))]
+	sh.mu.Lock()
+	sh.buf[sh.next%uint64(len(sh.buf))] = s
+	sh.next++
+	sh.mu.Unlock()
+}
+
+// Len returns the number of spans currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if sh.next < uint64(len(sh.buf)) {
+			n += int(sh.next)
+		} else {
+			n += len(sh.buf)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Recorded returns the total spans ever recorded (including overwritten).
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Spans returns the retained spans ordered by start time.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n := uint64(len(sh.buf))
+		if sh.next < n {
+			out = append(out, sh.buf[:sh.next]...)
+		} else {
+			out = append(out, sh.buf...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Dump writes the retained spans as JSON lines (one span per line,
+// ordered by start time) for offline analysis.
+func (t *Tracer) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(jsonSpan{
+			Start:   s.Start,
+			Dur:     s.Dur,
+			Op:      s.Op.String(),
+			Path:    s.Path.String(),
+			File:    s.File,
+			Off:     s.Off,
+			Size:    s.Size,
+			Shard:   s.Shard,
+			Outcome: s.Outcome,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	// One shard makes the overwrite order deterministic.
+	tr := newTracer(4, 1)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Start: int64(i), Op: OpWrite})
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded %d", tr.Recorded())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans %d", len(spans))
+	}
+	// The four newest (6..9), sorted by start.
+	for i, s := range spans {
+		if want := int64(6 + i); s.Start != want {
+			t.Fatalf("span %d start %d, want %d", i, s.Start, want)
+		}
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(256)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(Span{
+					Start:   int64(id*per + i),
+					Dur:     int64(i),
+					Op:      OpWrite,
+					Path:    PathLazyWrite,
+					Shard:   int32(id),
+					Outcome: "ok",
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Recorded() != workers*per {
+		t.Fatalf("recorded %d, want %d", tr.Recorded(), workers*per)
+	}
+	if n := tr.Len(); n > 256 || n == 0 {
+		t.Fatalf("len %d", n)
+	}
+	spans := tr.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(false)
+	tr.Record(Span{Start: 1})
+	if tr.Recorded() != 0 || tr.Len() != 0 {
+		t.Fatal("disabled tracer recorded")
+	}
+	tr.SetEnabled(true)
+	tr.Record(Span{Start: 2})
+	if tr.Len() != 1 {
+		t.Fatal("re-enabled tracer did not record")
+	}
+}
+
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{})
+	tr.SetEnabled(true)
+	if tr.Enabled() || tr.Len() != 0 || tr.Recorded() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestTracerDumpJSONLines(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Span{Start: 5, Dur: 7, Op: OpFsync, Path: PathWriteback,
+		File: 42, Size: 3, Shard: 1, Outcome: "age"})
+	tr.Record(Span{Start: 1, Dur: 2, Op: OpRead, Path: PathDirectRead, Shard: -1})
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Ordered by start: the read first.
+	if lines[0]["op"] != "read" || lines[0]["path"] != "direct-read" {
+		t.Fatalf("line 0: %v", lines[0])
+	}
+	if lines[1]["op"] != "fsync" || lines[1]["path"] != "writeback-batch" ||
+		lines[1]["file"] != float64(42) || lines[1]["outcome"] != "age" {
+		t.Fatalf("line 1: %v", lines[1])
+	}
+}
+
+func TestCollectorSpanForwarding(t *testing.T) {
+	c := New()
+	c.Span(Span{Start: 1}) // no tracer attached: dropped, no panic
+	tr := NewTracer(8)
+	c.SetTracer(tr)
+	c.Span(Span{Start: 2})
+	if tr.Len() != 1 {
+		t.Fatal("span not forwarded")
+	}
+	if c.Tracer() != tr {
+		t.Fatal("tracer accessor")
+	}
+	var nc *Collector
+	nc.Span(Span{})
+	nc.SetTracer(tr)
+	if nc.Tracer() != nil {
+		t.Fatal("nil collector tracer")
+	}
+}

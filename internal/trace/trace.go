@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 	"hinfs/internal/workload"
 )
@@ -122,6 +123,9 @@ type ReplayResult struct {
 	Time [nKinds]time.Duration
 	// Counts is the number of operations per class.
 	Counts [nKinds]int64
+	// Lat holds the per-class latency distribution of the same replay
+	// (log-bucketed; Percentiles() gives p50/p90/p99/p999).
+	Lat [nKinds]obs.HistSnapshot
 	// BytesWritten and BytesRead are the user-visible volumes.
 	BytesWritten int64
 	BytesRead    int64
@@ -190,8 +194,15 @@ func payload(rng *workload.Rand, buf []byte, n int) []byte {
 // Replay executes the trace against fs, timing each op class. Files are
 // opened lazily and re-created on first touch after an unlink, matching
 // how the paper extracts read/write/unlink/fsync from syscall traces.
-func (t *Trace) Replay(fs vfs.FileSystem) (ReplayResult, error) {
-	var res ReplayResult
+func (t *Trace) Replay(fs vfs.FileSystem) (res ReplayResult, err error) {
+	var hists [nKinds]obs.Hist
+	// Named result: the snapshot must land in res even on early error
+	// returns.
+	defer func() {
+		for k := range hists {
+			res.Lat[k] = hists[k].Snapshot()
+		}
+	}()
 	handles := make(map[int]vfs.File)
 	dirty := make(map[int]int64)
 	defer func() {
@@ -256,7 +267,9 @@ func (t *Trace) Replay(fs vfs.FileSystem) (ReplayResult, error) {
 			res.FsyncBytes += dirty[op.File]
 			delete(dirty, op.File)
 		}
-		res.Time[op.Kind] += time.Since(start)
+		d := time.Since(start)
+		res.Time[op.Kind] += d
+		hists[op.Kind].Observe(d.Nanoseconds())
 		res.Counts[op.Kind]++
 	}
 	return res, nil

@@ -181,3 +181,39 @@ func TestReplaySyntheticOnPMFS(t *testing.T) {
 		t.Fatalf("usr0 fsync byte fraction %.2f outside the moderate band", frac)
 	}
 }
+
+func TestReplayLatencyPercentiles(t *testing.T) {
+	tr, err := ByName("usr0", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := testFS(t)
+	if err := tr.Prepare(fs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Replay(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kind{Read, Write, Unlink, Fsync} {
+		h := res.Lat[k]
+		if h.Count != res.Counts[k] {
+			t.Errorf("%s: hist count %d != op count %d", k, h.Count, res.Counts[k])
+		}
+		if h.Count == 0 {
+			continue
+		}
+		p50, p90, p99, p999 := h.Percentiles()
+		if p50 > p90 || p90 > p99 || p99 > p999 {
+			t.Errorf("%s: percentiles not ordered: %d %d %d %d", k, p50, p90, p99, p999)
+		}
+		if p999 > h.Max {
+			t.Errorf("%s: p999 %d above max %d", k, p999, h.Max)
+		}
+		// Sanity: the histogram's total matches the wall-clock sum to
+		// within measurement noise (both record the same durations).
+		if h.Sum <= 0 || h.Sum > 2*res.Time[k].Nanoseconds()+1 {
+			t.Errorf("%s: hist sum %d vs time %d", k, h.Sum, res.Time[k].Nanoseconds())
+		}
+	}
+}
