@@ -8,7 +8,12 @@
 //	hinfs> stats
 //
 // Commands: ls, mkdir, rmdir, touch, write, append, cat, rm, mv, stat,
-// truncate, fsync, sync, stats, help, quit.
+// truncate, fsync, sync, fsck, crash, recover, stats, help, quit.
+//
+// The device tracks cacheline persistence, so `crash [seed]` can simulate
+// a power failure in place — unflushed stores are discarded (or a seeded
+// pseudo-random subset survives, imitating torn cache evictions) — and
+// remount through journal recovery; `fsck` then verifies the result.
 package main
 
 import (
@@ -24,7 +29,18 @@ import (
 	"hinfs/internal/obs"
 )
 
-func main() {
+// session is the REPL's mutable state: crash/recover swap the mounted
+// file-system instance while the device lives on.
+type session struct {
+	fs     *hinfs.FS
+	dev    *hinfs.Device
+	col    *obs.Collector
+	buffer int
+}
+
+func main() { os.Exit(shellMain()) }
+
+func shellMain() int {
 	var (
 		device    = flag.Int64("device", 64, "device size (MiB)")
 		buffer    = flag.Int("buffer", 2048, "DRAM buffer (4 KiB blocks)")
@@ -34,9 +50,9 @@ func main() {
 	)
 	flag.Parse()
 
-	fail := func(err error) {
+	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "hinfs-shell:", err)
-		os.Exit(1)
+		return 1
 	}
 	var col *obs.Collector
 	if *debugAddr != "" {
@@ -44,15 +60,16 @@ func main() {
 		obs.Default.RegisterCollector("shell", col)
 		srv, err := obs.ServeDebug(*debugAddr, obs.Default)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "hinfs-shell: debug server on http://%s/debug/obs\n", srv.Addr)
 	}
 	cfg := hinfs.DeviceConfig{
-		Size:           *device << 20,
-		WriteLatency:   *latency,
-		WriteBandwidth: 1 << 30,
+		Size:             *device << 20,
+		WriteLatency:     *latency,
+		WriteBandwidth:   1 << 30,
+		TrackPersistence: true, // lets the crash command work
 	}
 	var dev *hinfs.Device
 	var fs *hinfs.FS
@@ -62,11 +79,11 @@ func main() {
 			dev, err = hinfs.LoadDevice(in, cfg)
 			in.Close()
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			fs, err = hinfs.Mount(dev, hinfs.Options{BufferBlocks: *buffer, Obs: col})
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			fmt.Printf("hinfs-shell: loaded image %s"+"\n", *image)
 		}
@@ -75,28 +92,14 @@ func main() {
 		var err error
 		dev, err = hinfs.NewDevice(cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fs, err = hinfs.Mkfs(dev, hinfs.Options{BufferBlocks: *buffer, Obs: col})
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
-	defer func() {
-		fs.Unmount()
-		if *image != "" {
-			out, err := os.Create(*image)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "hinfs-shell: save:", err)
-				return
-			}
-			if err := dev.Save(out); err != nil {
-				fmt.Fprintln(os.Stderr, "hinfs-shell: save:", err)
-			}
-			out.Close()
-			fmt.Printf("saved image to %s"+"\n", *image)
-		}
-	}()
+	s := &session{fs: fs, dev: dev, col: col, buffer: *buffer}
 
 	fmt.Printf("hinfs-shell: %d MiB NVMM, %d-block DRAM buffer. Type 'help'.\n", *device, *buffer)
 	sc := bufio.NewScanner(os.Stdin)
@@ -104,25 +107,60 @@ func main() {
 		fmt.Print("hinfs> ")
 		if !sc.Scan() {
 			fmt.Println()
-			return
+			break
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		args := strings.Fields(line)
-		if err := run(fs, dev, col, args); err != nil {
+		if err := run(s, args); err != nil {
 			if err == errQuit {
-				return
+				break
 			}
-			fmt.Println("error:", err)
+			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
+
+	s.fs.Unmount()
+	if *image != "" {
+		if err := saveImage(s.dev, *image); err != nil {
+			fmt.Fprintln(os.Stderr, "hinfs-shell: save:", err)
+			return 1
+		}
+		fmt.Printf("saved image to %s"+"\n", *image)
+	}
+	return 0
+}
+
+func saveImage(dev *hinfs.Device, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dev.Save(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 var errQuit = fmt.Errorf("quit")
 
-func run(fs *hinfs.FS, dev *hinfs.Device, col *obs.Collector, args []string) error {
+// remount runs journal recovery on the session's device and swaps the
+// mounted instance. The old instance must already be abandoned.
+func (s *session) remount() error {
+	fs, rolled, err := hinfs.MountRecover(s.dev, hinfs.Options{BufferBlocks: s.buffer, Obs: s.col})
+	if err != nil {
+		return fmt.Errorf("recovery failed: %v", err)
+	}
+	s.fs = fs
+	fmt.Printf("recovered: %d journal transaction(s) rolled back\n", rolled)
+	return nil
+}
+
+func run(s *session, args []string) error {
+	fs, dev, col := s.fs, s.dev, s.col
 	cmd, rest := args[0], args[1:]
 	need := func(n int) error {
 		if len(rest) < n {
@@ -148,6 +186,10 @@ truncate <file> <n> resize file
 fsync <file>        persist file to NVMM
 sync                flush the whole DRAM buffer
 fsck                check on-device consistency
+crash [seed]        simulate power failure and remount with recovery
+                    (seed keeps a pseudo-random subset of unflushed
+                    cachelines; default 0 drops them all)
+recover             remount through journal recovery (no crash)
 stats               device/buffer/model statistics
 lat                 decision-path latency percentiles (needs -debug-addr)
 quit                exit`)
@@ -273,6 +315,26 @@ quit                exit`)
 			return fmt.Errorf("%d problem(s) found", len(errs))
 		}
 		fmt.Println("clean")
+	case "crash":
+		var seed uint64
+		if len(rest) > 0 {
+			var err error
+			if seed, err = strconv.ParseUint(rest[0], 0, 64); err != nil {
+				return fmt.Errorf("crash: bad seed %q: %v", rest[0], err)
+			}
+		}
+		// Power failure: the DRAM buffer vanishes without writeback and
+		// every store the CPU cache had not flushed is lost (or, with a
+		// nonzero seed, a pseudo-random subset survives as if evicted
+		// just before the cut).
+		fs.Abandon()
+		pending := dev.PendingLines()
+		dev.CrashPartial(seed)
+		fmt.Printf("crash: power cut with %d unflushed cacheline(s), keep-seed %#x\n", pending, seed)
+		return s.remount()
+	case "recover":
+		fs.Abandon()
+		return s.remount()
 	case "stats":
 		ds := dev.Stats()
 		ps := fs.Pool().Stats()

@@ -110,6 +110,12 @@ func Mkfs(dev *Device, opts Options) (*FS, error) { return core.Mkfs(dev, opts) 
 // Mount mounts HiNFS on a formatted device, running journal recovery.
 func Mount(dev *Device, opts Options) (*FS, error) { return core.Mount(dev, opts) }
 
+// MountRecover is Mount, also reporting the number of journal
+// transactions rolled back during recovery.
+func MountRecover(dev *Device, opts Options) (*FS, int, error) {
+	return core.MountRecover(dev, opts)
+}
+
 // PMFSOptions tunes the PMFS substrate/baseline format.
 type PMFSOptions = pmfs.Options
 

@@ -120,7 +120,7 @@ func TestFlushWritesOnlyDirtyRuns(t *testing.T) {
 	fb.Write(0, 0, make([]byte, cacheline.Size), addr, false)
 	fb.Write(0, 32*cacheline.Size, make([]byte, cacheline.Size), addr, false)
 	dev.ResetStats()
-	n := fb.Flush()
+	n, _ := fb.Flush()
 	if n != 2 {
 		t.Fatalf("flushed %d lines, want 2", n)
 	}
@@ -128,7 +128,7 @@ func TestFlushWritesOnlyDirtyRuns(t *testing.T) {
 		t.Fatalf("device flushed %d bytes, want %d", got, 2*cacheline.Size)
 	}
 	// Second flush is a no-op.
-	if n := fb.Flush(); n != 0 {
+	if n, _ := fb.Flush(); n != 0 {
 		t.Fatalf("re-flush wrote %d lines", n)
 	}
 }
@@ -232,7 +232,7 @@ func TestFlushAll(t *testing.T) {
 	fbb := p.NewFile()
 	fa.Write(0, 0, []byte{1}, 1<<20, false)
 	fbb.Write(0, 0, []byte{2}, 2<<20, false)
-	if n := p.FlushAll(); n != 2 {
+	if n, _ := p.FlushAll(); n != 2 {
 		t.Fatalf("FlushAll flushed %d lines, want 2", n)
 	}
 	if p.DirtyBlocks() != 0 {

@@ -239,10 +239,14 @@ func (fb *FileBuf) DirtyLines(idx int64) int {
 // Flush writes back every dirty block of the file (the fsync path) and
 // returns the number of cachelines flushed — the Buffer Benefit Model's
 // N_cf as performed by the synchronization process itself. Blocks stay
-// cached clean. Shards are visited in index order, one at a time.
-func (fb *FileBuf) Flush() int {
+// cached clean. Shards are visited in index order, one at a time. If a
+// block's writeback episode exhausts its retries the remaining blocks are
+// still flushed and the first error is returned; failed blocks keep their
+// dirty lines (fsync must not report durability it does not have).
+func (fb *FileBuf) Flush() (int, error) {
 	p := fb.pool
 	flushed := 0
+	var firstErr error
 	var victims []*block
 	for _, sh := range p.shards {
 		victims = victims[:0]
@@ -254,21 +258,34 @@ func (fb *FileBuf) Flush() int {
 			}
 		}
 		sh.mu.Unlock()
+		// Flush in file-block order, not map order: the device-write
+		// schedule (and with it the persist-event stream crash exploration
+		// replays) must be identical across runs.
+		sort.Slice(victims, func(i, j int) bool { return victims[i].idx < victims[j].idx })
 		for _, b := range victims {
 			b.fmu.Lock()
-			flushed += b.dirtyMap().Count()
-			p.flushBlockLocked(b)
+			n := b.dirtyMap().Count()
+			err := p.flushBlockRetryLocked(b)
 			b.fmu.Unlock()
 			b.pins.Add(-1)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			flushed += n
 		}
 	}
-	return flushed
+	return flushed, firstErr
 }
 
 // EvictBlock flushes block idx if dirty and removes it from the buffer
 // (the paper's case-1 eager-persistent consistency path: write to the
-// DRAM block, then explicitly evict it before returning).
-func (fb *FileBuf) EvictBlock(idx int64) {
+// DRAM block, then explicitly evict it before returning). On a writeback
+// error the block stays buffered with its dirty data and the error is
+// returned — the eager durability contract was not met.
+func (fb *FileBuf) EvictBlock(idx int64) error {
 	p := fb.pool
 	sh := p.shardFor(fb, idx)
 	for {
@@ -276,34 +293,52 @@ func (fb *FileBuf) EvictBlock(idx int64) {
 		b := fb.blocks[sh.id][idx]
 		if b == nil {
 			sh.mu.Unlock()
-			return
+			return nil
 		}
 		if b.pins.Load() != 0 {
 			sh.mu.Unlock()
 			runtime.Gosched()
 			continue
 		}
-		sh.detachLocked(b)
+		b.pins.Add(1)
 		sh.mu.Unlock()
-		p.flushBlock(b)
-		p.releaseBlock(b)
-		return
+		err := p.flushBlock(b)
+		sh.mu.Lock()
+		ok := err == nil && b.fb != nil && b.pins.Load() == 1 && !b.dirtyMap().Any()
+		if ok {
+			sh.detachLocked(b)
+		}
+		sh.mu.Unlock()
+		b.pins.Add(-1)
+		if err != nil {
+			return err
+		}
+		if ok {
+			p.releaseBlock(b)
+			return nil
+		}
 	}
 }
 
 // Invalidate drops the valid/dirty state of every cacheline overlapping
 // [blkOff, blkOff+n) of block idx, flushing first if any covered line is
 // dirty. HiNFS calls it when an eager-persistent write goes directly to
-// NVMM so stale DRAM lines cannot shadow the new data.
-func (fb *FileBuf) Invalidate(idx int64, blkOff, n int) {
+// NVMM so stale DRAM lines cannot shadow the new data. If the flush fails
+// the lines stay valid and dirty and the error is returned — invalidating
+// unflushed dirty data would lose writes.
+func (fb *FileBuf) Invalidate(idx int64, blkOff, n int) error {
 	b := fb.lookupPin(idx, false)
 	if b == nil {
-		return
+		return nil
 	}
 	mask := cacheline.RangeMask(blkOff, n)
 	b.fmu.Lock()
 	if (b.dirtyMap() & mask).Any() {
-		fb.pool.flushBlockLocked(b)
+		if err := fb.pool.flushBlockRetryLocked(b); err != nil {
+			b.fmu.Unlock()
+			b.pins.Add(-1)
+			return err
+		}
 	}
 	b.valid.Store(uint64(b.validMap() &^ mask))
 	b.dirty.Store(uint64(b.dirtyMap() &^ mask))
@@ -312,6 +347,7 @@ func (fb *FileBuf) Invalidate(idx int64, blkOff, n int) {
 	if !b.validMap().Any() {
 		fb.dropIfEmpty(idx)
 	}
+	return nil
 }
 
 // dropIfEmpty releases block idx if it holds no valid lines.
@@ -326,7 +362,9 @@ func (fb *FileBuf) dropIfEmpty(idx int64) {
 	}
 	sh.detachLocked(b)
 	sh.mu.Unlock()
-	p.flushBlock(b) // releases any gated transactions; dirty is empty
+	// No valid lines means no dirty lines: this only releases any gated
+	// transactions and cannot fail.
+	_ = p.flushBlock(b)
 	p.releaseBlock(b)
 }
 
@@ -340,10 +378,11 @@ func (fb *FileBuf) Drop() {
 		for {
 			var victim *block
 			sh.mu.Lock()
+			// Lowest block index first, for a deterministic release order of
+			// any gated transactions (see Flush).
 			for _, b := range fb.blocks[sh.id] {
-				if b.pins.Load() == 0 {
+				if b.pins.Load() == 0 && (victim == nil || b.idx < victim.idx) {
 					victim = b
-					break
 				}
 			}
 			if victim != nil {

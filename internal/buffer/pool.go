@@ -118,6 +118,19 @@ type Config struct {
 	// (obs.PathWriteback) and the corresponding spans. Nil disables
 	// observability at zero cost on the write-hit fast path.
 	Obs *obs.Collector
+	// WriteFault, when non-nil, is consulted before every writeback
+	// device write with the target range and may return an error to
+	// inject a transient write failure (fault-injection testing). Failed
+	// writeback attempts are retried with exponential backoff on the pool
+	// clock; a block whose retries are exhausted keeps its dirty data and
+	// is quarantined from eviction for a short period.
+	WriteFault func(addr int64, n int) error
+	// FaultRetries is the number of writeback retries after a failed
+	// attempt before giving up on the attempt (default 5).
+	FaultRetries int
+	// FaultBackoff is the initial retry backoff, doubled per retry
+	// (default 50 µs).
+	FaultBackoff time.Duration
 }
 
 // Policy is a buffer replacement policy.
@@ -178,6 +191,12 @@ func (c *Config) fill() {
 	if c.WritebackThreads < 0 {
 		c.WritebackThreads = 0
 	}
+	if c.FaultRetries == 0 {
+		c.FaultRetries = 5
+	}
+	if c.FaultBackoff == 0 {
+		c.FaultBackoff = 50 * time.Microsecond
+	}
 }
 
 // ShardStats reports one shard's occupancy (lock-free snapshot).
@@ -218,6 +237,16 @@ type Stats struct {
 	// Drops counts dirty blocks discarded because their file was deleted —
 	// writes that never had to reach NVMM.
 	Drops int64
+	// WritebackFaults counts injected writeback write errors observed
+	// (Config.WriteFault returning non-nil).
+	WritebackFaults int64
+	// WritebackRetries counts writeback attempts re-run after a fault,
+	// each preceded by an exponential-backoff wait on the pool clock.
+	WritebackRetries int64
+	// WritebackGiveUps counts writeback episodes that exhausted their
+	// retries; the block keeps its dirty data (background paths quarantine
+	// it and retry later, sync paths surface the error).
+	WritebackGiveUps int64
 	// Shards snapshots per-shard occupancy.
 	Shards []ShardStats
 }
@@ -235,6 +264,7 @@ type block struct {
 
 	lastWrite atomic.Int64 // unix nanos of the last buffered write
 	writes    atomic.Int64 // buffered write count (LFW policy)
+	retryAt   atomic.Int64 // pool-clock nanos before which eviction skips the block (fault quarantine)
 
 	fmu sync.Mutex    // serializes content mutation: write, flush, invalidate
 	txs []*journal.Tx // ordered-mode commits gated on this block (under fmu)
@@ -296,6 +326,9 @@ type Pool struct {
 	wbBatches    atomic.Int64
 	wbBlocks     atomic.Int64
 	drops        atomic.Int64
+	wbFaults     atomic.Int64
+	wbRetries    atomic.Int64
+	wbGiveUps    atomic.Int64
 }
 
 // NewPool creates a pool of cfg.Blocks DRAM blocks over dev and starts the
@@ -375,6 +408,9 @@ func (p *Pool) Stats() Stats {
 		WritebackBatches: p.wbBatches.Load(),
 		WritebackBlocks:  p.wbBlocks.Load(),
 		Drops:            p.drops.Load(),
+		WritebackFaults:  p.wbFaults.Load(),
+		WritebackRetries: p.wbRetries.Load(),
+		WritebackGiveUps: p.wbGiveUps.Load(),
 		Shards:           make([]ShardStats, len(p.shards)),
 	}
 	for i, sh := range p.shards {
@@ -422,8 +458,21 @@ func (p *Pool) DirtyBlocks() int {
 	return n
 }
 
+// Abandon stops the background writeback threads without flushing
+// anything. Crash-simulation harnesses use it in place of Close so the
+// NVMM image stays exactly as the persist events issued so far made it.
+func (p *Pool) Abandon() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+}
+
 // Close flushes every dirty block to NVMM and stops the writeback threads
-// (the paper flushes all DRAM blocks at unmount).
+// (the paper flushes all DRAM blocks at unmount). A block whose writeback
+// exhausts its retries stays installed with its dirty data — never
+// discarded — and is skipped for the rest of the unmount sweep.
 func (p *Pool) Close() {
 	if p.closed.Swap(true) {
 		return
@@ -431,29 +480,45 @@ func (p *Pool) Close() {
 	close(p.quit)
 	p.wg.Wait()
 	for _, sh := range p.shards {
+		failed := make(map[*block]bool)
 		for {
 			sh.mu.Lock()
 			var victim *block
+			remaining := 0
 			for b := sh.tail; b != nil; b = b.prev {
-				if b.pins.Load() == 0 {
+				if failed[b] {
+					continue
+				}
+				remaining++
+				if victim == nil && b.pins.Load() == 0 {
 					victim = b
-					break
 				}
 			}
 			if victim != nil {
-				sh.detachLocked(victim)
+				victim.pins.Add(1)
 			}
-			empty := sh.head == nil
 			sh.mu.Unlock()
 			if victim == nil {
-				if empty {
+				if remaining == 0 {
 					break
 				}
 				runtime.Gosched()
 				continue
 			}
-			p.flushBlock(victim)
-			p.releaseBlock(victim)
+			err := p.flushBlock(victim)
+			sh.mu.Lock()
+			ok := err == nil && victim.fb != nil && victim.pins.Load() == 1 &&
+				!victim.dirtyMap().Any()
+			if ok {
+				sh.detachLocked(victim)
+			}
+			sh.mu.Unlock()
+			victim.pins.Add(-1)
+			if ok {
+				p.releaseBlock(victim)
+			} else if err != nil {
+				failed[victim] = true
+			}
 		}
 	}
 }
@@ -514,7 +579,9 @@ func (sh *shard) installLocked(b *block, fb *FileBuf, idx, addr int64) {
 }
 
 // detachLocked removes b from its file index and the LRW list; the caller
-// then owns the block exclusively (pins must be zero). Caller holds sh.mu.
+// then owns the block exclusively (pins must be zero, or the caller holds
+// the only pin — new pins require the map entry this deletes). Caller
+// holds sh.mu.
 func (sh *shard) detachLocked(b *block) {
 	sh.unlinkList(b)
 	delete(b.fb.blocks[sh.id], b.idx)
@@ -524,13 +591,18 @@ func (sh *shard) detachLocked(b *block) {
 }
 
 // victimLocked picks the eviction victim per the configured policy from
-// unpinned blocks; nil if none. Caller holds sh.mu.
+// unpinned blocks, skipping blocks quarantined after a failed writeback;
+// nil if none. Caller holds sh.mu.
 func (sh *shard) victimLocked() *block {
+	now := sh.pool.clk.Now().UnixNano()
+	skip := func(b *block) bool {
+		return b.pins.Load() != 0 || b.retryAt.Load() > now
+	}
 	if sh.pool.cfg.Policy == LFW {
 		var victim *block
 		min := int64(1) << 62
 		for b := sh.tail; b != nil; b = b.prev {
-			if b.pins.Load() != 0 {
+			if skip(b) {
 				continue
 			}
 			if w := b.writes.Load(); w < min {
@@ -540,7 +612,7 @@ func (sh *shard) victimLocked() *block {
 		return victim
 	}
 	for b := sh.tail; b != nil; b = b.prev {
-		if b.pins.Load() == 0 {
+		if !skip(b) {
 			return b
 		}
 	}
@@ -552,6 +624,7 @@ func (p *Pool) releaseBlock(b *block) {
 	b.valid.Store(0)
 	b.dirty.Store(0)
 	b.writes.Store(0)
+	b.retryAt.Store(0)
 	b.idx, b.addr = 0, 0
 	sh := b.sh
 	sh.mu.Lock()
@@ -569,20 +642,67 @@ func notifyTxsLocked(b *block) {
 	b.txs = nil
 }
 
-// flushBlock writes b's dirty lines back to NVMM. With CLFW only dirty
-// runs are copied and flushed; without it the whole block is written. The
-// caller must hold a pin or have detached the block.
-func (p *Pool) flushBlock(b *block) {
+// faultQuarantine is how long a block whose writeback exhausted its
+// retries is exempted from eviction scans, so a persistently failing
+// block cannot pin the reclaim loop in a hot spin.
+const faultQuarantine = 5 * time.Millisecond
+
+// flushBlock writes b's dirty lines back to NVMM, retrying injected write
+// faults with exponential backoff. The caller must hold a pin or have
+// detached the block. On error the block keeps its dirty lines.
+func (p *Pool) flushBlock(b *block) error {
 	b.fmu.Lock()
 	defer b.fmu.Unlock()
-	p.flushBlockLocked(b)
+	return p.flushBlockRetryLocked(b)
 }
 
-func (p *Pool) flushBlockLocked(b *block) {
+// flushBlockRetryLocked runs one writeback episode: an attempt plus up to
+// FaultRetries retries with exponential backoff on the pool clock. If the
+// episode fails the block stays dirty (nothing is lost), is quarantined
+// from eviction for faultQuarantine, and the error is returned for sync
+// paths to surface. Caller holds b.fmu.
+func (p *Pool) flushBlockRetryLocked(b *block) error {
+	err := p.flushBlockLocked(b)
+	if err == nil {
+		return nil
+	}
+	backoff := p.cfg.FaultBackoff
+	for i := 0; i < p.cfg.FaultRetries; i++ {
+		<-p.clk.After(backoff)
+		backoff *= 2
+		p.wbRetries.Add(1)
+		p.cfg.Obs.Add(obs.CtrWritebackRetries, 1)
+		if err = p.flushBlockLocked(b); err == nil {
+			return nil
+		}
+	}
+	p.wbGiveUps.Add(1)
+	b.retryAt.Store(p.clk.Now().Add(faultQuarantine).UnixNano())
+	return err
+}
+
+// flushBlockLocked is one writeback attempt. With CLFW only dirty runs are
+// copied and flushed; without it the whole block is written. The dirty map
+// is cleared — and gated transactions notified — only after every write
+// succeeded, so a failed attempt is safe to retry (undone runs stay dirty,
+// re-written runs are idempotent). Caller holds b.fmu.
+func (p *Pool) flushBlockLocked(b *block) error {
 	dirty := b.dirtyMap()
 	if !dirty.Any() {
 		notifyTxsLocked(b)
-		return
+		return nil
+	}
+	write := func(data []byte, addr int64) error {
+		if f := p.cfg.WriteFault; f != nil {
+			if err := f(addr, len(data)); err != nil {
+				p.wbFaults.Add(1)
+				p.cfg.Obs.Add(obs.CtrWritebackFaults, 1)
+				return err
+			}
+		}
+		p.dev.Write(data, addr)
+		p.dev.Flush(addr, len(data))
+		return nil
 	}
 	if p.cfg.CLFW {
 		runs := dirty.Runs(nil, 0, cacheline.PerBlock-1)
@@ -590,18 +710,22 @@ func (p *Pool) flushBlockLocked(b *block) {
 			if !r.Set {
 				continue
 			}
-			p.dev.Write(b.data[r.Off:r.Off+r.Len], b.addr+int64(r.Off))
-			p.dev.Flush(b.addr+int64(r.Off), r.Len)
+			if err := write(b.data[r.Off:r.Off+r.Len], b.addr+int64(r.Off)); err != nil {
+				p.dev.Fence() // runs already issued drain; all lines stay dirty
+				return err
+			}
 			p.linesFlushed.Add(int64(r.Len / cacheline.Size))
 		}
 	} else {
-		p.dev.Write(b.data, b.addr)
-		p.dev.Flush(b.addr, BlockSize)
+		if err := write(b.data, b.addr); err != nil {
+			return err
+		}
 		p.linesFlushed.Add(cacheline.PerBlock)
 	}
 	p.dev.Fence()
 	b.dirty.Store(0)
 	notifyTxsLocked(b)
+	return nil
 }
 
 // FlushAll writes back every dirty block in the pool (the sync(2) path)
@@ -611,9 +735,12 @@ func (p *Pool) flushBlockLocked(b *block) {
 // count: a pin only prevents detachment, never writeback, so a concurrent
 // reader (ReadMerge) must not exempt a block from sync durability. Shards
 // are visited in index order; blocks dirtied after their shard was scanned
-// belong to the next sync.
-func (p *Pool) FlushAll() int {
+// belong to the next sync. If a block's writeback episode exhausts its
+// retries the remaining blocks are still flushed and the first error is
+// returned; failed blocks keep their dirty lines for a later attempt.
+func (p *Pool) FlushAll() (int, error) {
 	flushed := 0
+	var firstErr error
 	var victims []*block
 	for _, sh := range p.shards {
 		victims = victims[:0]
@@ -627,13 +754,20 @@ func (p *Pool) FlushAll() int {
 		sh.mu.Unlock()
 		for _, b := range victims {
 			b.fmu.Lock()
-			flushed += b.dirtyMap().Count()
-			p.flushBlockLocked(b)
+			n := b.dirtyMap().Count()
+			err := p.flushBlockRetryLocked(b)
 			b.fmu.Unlock()
 			b.pins.Add(-1)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			flushed += n
 		}
 	}
-	return flushed
+	return flushed, firstErr
 }
 
 // writebackLoop is the background flusher (§3.2): it reclaims blocks from
@@ -678,7 +812,10 @@ func (p *Pool) reclaimFrom(off int) {
 }
 
 // reclaimShard evicts LRW-position blocks until the shard's free space
-// exceeds High_f.
+// exceeds High_f. Eviction pins and flushes the victim first and detaches
+// it only once writeback succeeded and the block is still installed,
+// unshared and clean — a failed (fault-injected) writeback leaves the
+// block buffered and quarantined rather than detached with dirty data.
 func (p *Pool) reclaimShard(sh *shard) {
 	start := p.clk.Now()
 	batch := int64(0)
@@ -693,18 +830,38 @@ func (p *Pool) reclaimShard(sh *shard) {
 			sh.mu.Unlock()
 			break
 		}
-		sh.detachLocked(victim)
+		victim.pins.Add(1)
 		sh.mu.Unlock()
-		p.flushBlock(victim)
-		p.evictions.Add(1)
-		p.releaseBlock(victim)
-		batch++
+		if p.evictPinned(sh, victim) {
+			batch++
+		}
 	}
 	if batch > 0 {
 		p.wbBatches.Add(1)
 		p.wbBlocks.Add(batch)
 		p.observeWriteback(sh, start, batch, "reclaim")
 	}
+}
+
+// evictPinned flushes a pinned eviction victim and, if the flush succeeded
+// and the block is still installed, clean and exclusively ours, detaches
+// and releases it. The pin is always dropped. Reports whether the block
+// was reclaimed.
+func (p *Pool) evictPinned(sh *shard, victim *block) bool {
+	err := p.flushBlock(victim)
+	sh.mu.Lock()
+	ok := err == nil && victim.fb != nil && victim.pins.Load() == 1 &&
+		!victim.dirtyMap().Any()
+	if ok {
+		sh.detachLocked(victim)
+	}
+	sh.mu.Unlock()
+	victim.pins.Add(-1)
+	if ok {
+		p.evictions.Add(1)
+		p.releaseBlock(victim)
+	}
+	return ok
 }
 
 // observeWriteback records one background writeback batch (size in
@@ -746,7 +903,9 @@ func (p *Pool) flushAgedFrom(off int) {
 		}
 		sh.mu.Unlock()
 		for _, b := range victims {
-			p.flushBlock(b)
+			// A failed episode quarantines the block; the next periodic
+			// sweep retries it.
+			_ = p.flushBlock(b)
 			b.pins.Add(-1)
 		}
 		if len(victims) > 0 {
@@ -820,11 +979,13 @@ func (p *Pool) allocBlock(sh *shard) *block {
 		sh.mu.Lock()
 		victim := sh.victimLocked()
 		if victim != nil {
-			sh.detachLocked(victim)
+			victim.pins.Add(1)
 			sh.mu.Unlock()
-			p.flushBlock(victim)
-			p.evictions.Add(1)
-			p.releaseBlock(victim)
+			if !p.evictPinned(sh, victim) {
+				// Writeback failed (victim is quarantined) or the block
+				// was re-dirtied; back off before rescanning.
+				<-p.clk.After(stallBackoff)
+			}
 		} else {
 			sh.mu.Unlock()
 			<-p.clk.After(stallBackoff)

@@ -79,7 +79,7 @@ func TestShardedWriteReadFlushAcrossFiles(t *testing.T) {
 			fb.Write(int64(blk), 0, data, addr(f, blk), false)
 		}
 	}
-	if n := p.FlushAll(); n == 0 {
+	if n, _ := p.FlushAll(); n == 0 {
 		t.Fatal("FlushAll flushed nothing")
 	}
 	if p.DirtyBlocks() != 0 {
@@ -145,7 +145,7 @@ func TestFlushAllFlushesPinnedBlocks(t *testing.T) {
 	fb.Write(0, 0, bytes.Repeat([]byte{0xD1}, BlockSize), addr, false)
 	b := fb.lookupPin(0, false) // a reader holds the block pinned
 	defer b.pins.Add(-1)
-	if n := p.FlushAll(); n == 0 {
+	if n, _ := p.FlushAll(); n == 0 {
 		t.Fatal("FlushAll skipped the pinned dirty block")
 	}
 	if p.DirtyBlocks() != 0 {
@@ -160,12 +160,15 @@ func TestFlushAllFlushesPinnedBlocks(t *testing.T) {
 
 // TestFlushAllVsReadMergeRace races sync(2) against concurrent readers:
 // after every FlushAll (with no concurrent writers) the pool must hold
-// zero dirty lines.
+// zero dirty lines. Same-file writer/reader exclusion is the owning file
+// system's job (the inode lock), so the test provides it with an RWMutex;
+// FlushAll itself runs outside that lock, racing the readers.
 func TestFlushAllVsReadMergeRace(t *testing.T) {
 	p, _ := shardedPool(t, 32, 2)
 	const nBlocks = 8
 	fb := p.NewFile()
 	addr := func(blk int64) int64 { return 1<<20 + blk*BlockSize }
+	var ino sync.RWMutex // stand-in for the owning inode lock
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
@@ -180,13 +183,17 @@ func TestFlushAllVsReadMergeRace(t *testing.T) {
 				default:
 				}
 				blk := int64(i % nBlocks)
+				ino.RLock()
 				fb.ReadMerge(blk, 0, buf, addr(blk))
+				ino.RUnlock()
 			}
 		}()
 	}
 	for round := 0; round < 100; round++ {
 		for blk := int64(0); blk < nBlocks; blk++ {
+			ino.Lock()
 			fb.Write(blk, 0, []byte{byte(round)}, addr(blk), round > 0)
+			ino.Unlock()
 		}
 		p.FlushAll()
 		if n := p.DirtyBlocks(); n != 0 {

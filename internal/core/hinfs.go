@@ -68,6 +68,13 @@ type Options struct {
 	// write buffer, the benefit model and the device. Nil (the default)
 	// costs one pointer test per operation.
 	Obs *obs.Collector
+	// UnsafeSkipOrderedCommit deliberately breaks the paper's §4.1
+	// ordered-mode coupling: a lazy write's metadata commit record is
+	// written at once instead of waiting for the buffered data to reach
+	// NVMM, so a crash can expose metadata describing data that was never
+	// persisted. It exists only so the crash-point explorer's self-test
+	// can prove it detects real ordering bugs. Never set it otherwise.
+	UnsafeSkipOrderedCommit bool
 }
 
 // FS is a mounted HiNFS instance. It implements vfs.FileSystem.
@@ -99,6 +106,16 @@ func Mount(dev *nvmm.Device, opts Options) (*FS, error) {
 		return nil, err
 	}
 	return wrap(base, dev, opts), nil
+}
+
+// MountRecover is Mount, also reporting the number of journal
+// transactions rolled back during recovery.
+func MountRecover(dev *nvmm.Device, opts Options) (*FS, int, error) {
+	base, rolled, err := pmfs.MountRecover(dev)
+	if err != nil {
+		return nil, 0, err
+	}
+	return wrap(base, dev, opts), rolled, nil
 }
 
 func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
@@ -136,8 +153,10 @@ func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
 		dev.SetObs(opts.Obs)
 	}
 	// Under journal space pressure, drain deferred (ordered-mode) commits
-	// by flushing the write buffer.
-	base.Journal().SetPressure(func() { fs.pool.FlushAll() })
+	// by flushing the write buffer. A writeback error is not actionable
+	// here; failed blocks stay dirty and their transactions stay open until
+	// a later flush succeeds.
+	base.Journal().SetPressure(func() { _, _ = fs.pool.FlushAll() })
 	return fs
 }
 
@@ -231,7 +250,9 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 
 // Sync implements vfs.FileSystem: flush the whole DRAM buffer to NVMM.
 func (fs *FS) Sync() error {
-	fs.pool.FlushAll()
+	if _, err := fs.pool.FlushAll(); err != nil {
+		return err
+	}
 	return fs.FS.Sync()
 }
 
@@ -241,6 +262,12 @@ func (fs *FS) Unmount() error {
 	fs.pool.Close()
 	return fs.FS.Unmount()
 }
+
+// Abandon stops the background writeback threads without flushing the
+// DRAM buffer — the crash-simulation counterpart of Unmount. The device
+// image is left exactly as the persist events issued so far made it;
+// buffered dirty state evaporates as a power failure would drop it.
+func (fs *FS) Abandon() { fs.pool.Abandon() }
 
 // File is an open HiNFS file handle.
 type File struct {
@@ -355,6 +382,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	written := 0
 	pendingBlocks := 0
 	anyDirect := false
+	var wbErr error
 	eagerBlocks, lazyBlocks := int64(0), int64(0)
 	for _, e := range plan.Extents {
 		blkOff := 0
@@ -376,16 +404,31 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		switch {
 		case eager && case1 && f.fb.Buffered(e.Index):
 			// Case-1 consistency (§3.3.2): the block is already in DRAM;
-			// write it there, then explicitly evict it before returning.
+			// write it there, then explicitly evict it before returning. An
+			// eviction error means the data is buffered but not yet durable;
+			// it is surfaced after the transaction is sealed.
 			f.fb.Write(e.Index, blkOff, data, e.Addr, !e.Created)
-			f.fb.EvictBlock(e.Index)
+			if err := f.fb.EvictBlock(e.Index); err != nil && wbErr == nil {
+				wbErr = err
+			}
 			anyDirect = true
 			eagerBlocks++
 		case eager:
 			// Direct NVMM write; invalidate any stale buffered lines so
 			// reads cannot see old data (case-2 blocks are clean since
-			// their last sync, so this drops no dirty state).
-			f.fb.Invalidate(e.Index, blkOff, chunk)
+			// their last sync, so this drops no dirty state). If the
+			// invalidating flush fails, fall back to buffering the write:
+			// dirty lines that could not reach NVMM would shadow a direct
+			// write when their writeback eventually succeeds.
+			if err := f.fb.Invalidate(e.Index, blkOff, chunk); err != nil {
+				if wbErr == nil {
+					wbErr = err
+				}
+				f.fb.Write(e.Index, blkOff, data, e.Addr, !e.Created, tx)
+				pendingBlocks++
+				lazyBlocks++
+				break
+			}
 			dev.WriteNT(data, e.Addr+int64(blkOff))
 			anyDirect = true
 			eagerBlocks++
@@ -401,9 +444,17 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	// Ordered-mode commit: the transaction's commit record is written when
 	// its last buffered block persists; with no buffered blocks it commits
-	// now (data already durable via WriteNT).
-	tx.AddPending(pendingBlocks)
+	// now (data already durable via WriteNT). The unsafe knob skips the
+	// wait (seeded ordering bug for the crash explorer's self-test).
+	if !f.fs.opts.UnsafeSkipOrderedCommit {
+		tx.AddPending(pendingBlocks)
+	}
 	tx.Seal()
+	if wbErr != nil {
+		// The bytes are buffered (nothing lost), but an eager block's
+		// durability contract was not met this call.
+		return written, wbErr
+	}
 	if c != nil {
 		dur := time.Since(start).Nanoseconds()
 		// An op with any direct block pays NVMM latency inline, so it
@@ -439,22 +490,30 @@ func (f *File) Fsync() error {
 		start = time.Now()
 	}
 	f.pf.Lock()
-	flushed := f.fb.Flush()
+	flushed, ferr := f.fb.Flush()
 	f.fs.Device().Fence()
 	f.pf.Unlock()
-	f.fs.model.OnSync(uint64(f.pf.Ino()))
-	f.pf.MarkSynced(f.fs.clk.Now())
+	if ferr == nil {
+		// A failed fsync must not advance the sync clock: the file still
+		// has dirty DRAM state, and re-running fsync must retry it.
+		f.fs.model.OnSync(uint64(f.pf.Ino()))
+		f.pf.MarkSynced(f.fs.clk.Now())
+	}
 	if c != nil {
 		dur := time.Since(start).Nanoseconds()
+		outcome := "ok"
+		if ferr != nil {
+			outcome = "error"
+		}
 		// Size carries the cachelines the sync itself flushed (N_cf).
 		c.Span(obs.Span{
 			Start: start.UnixNano(), Dur: dur,
 			Op: obs.OpFsync, Path: obs.PathWriteback,
 			File: uint64(f.pf.Ino()), Size: int64(flushed),
-			Shard: -1, Outcome: "ok",
+			Shard: -1, Outcome: outcome,
 		})
 	}
-	return nil
+	return ferr
 }
 
 // Truncate implements vfs.File. Buffered blocks beyond the new size are
@@ -499,8 +558,11 @@ func (f *File) Close() error {
 // Eager-Persistent until Munmap, and the returned slice aliases NVMM.
 func (f *File) Mmap(index int64) ([]byte, error) {
 	f.pf.Lock()
-	f.fb.Flush()
+	_, ferr := f.fb.Flush()
 	f.pf.Unlock()
+	if ferr != nil {
+		return nil, ferr
+	}
 	size := f.pf.Size()
 	nblocks := (size + BlockSize - 1) / BlockSize
 	if index >= nblocks {
@@ -517,7 +579,9 @@ func (f *File) Mmap(index int64) ([]byte, error) {
 		return nil, err
 	}
 	// Reads must not see stale DRAM lines for the mapped block.
-	f.fb.EvictBlock(index)
+	if err := f.fb.EvictBlock(index); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 

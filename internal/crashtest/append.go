@@ -1,0 +1,97 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"hinfs/internal/vfs"
+	"hinfs/internal/workload"
+)
+
+// AppendSync is a crash-test workload personality: a handful of log
+// files receive unaligned appends, fsynced only every SyncEvery-th
+// operation. The sparse fsyncs leave wide lazy-write windows — exactly
+// where the §4.1 data-before-commit coupling matters — and the payload
+// is fully random so any lost or torn byte fails the content oracle.
+type AppendSync struct {
+	Files      int // default 8
+	AppendSize int // max append length; default 3 KB (unaligned tails)
+	SyncEvery  int // fsync every Nth op; default 4
+}
+
+func (w *AppendSync) fill() {
+	if w.Files == 0 {
+		w.Files = 8
+	}
+	if w.AppendSize == 0 {
+		w.AppendSize = 3 << 10
+	}
+	if w.SyncEvery == 0 {
+		w.SyncEvery = 4
+	}
+}
+
+func (w *AppendSync) path(i int) string { return fmt.Sprintf("/app/log%d", i) }
+
+// Name implements workload.Workload.
+func (w *AppendSync) Name() string { return "append" }
+
+// Setup implements workload.Workload.
+func (w *AppendSync) Setup(fs vfs.FileSystem) error {
+	w.fill()
+	if err := fs.Mkdir("/app"); err != nil && err != vfs.ErrExist {
+		return err
+	}
+	for i := 0; i < w.Files; i++ {
+		f, err := fs.Create(w.path(i))
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements workload.Workload. Threads are executed sequentially —
+// the crash explorer requires a single-threaded, fully deterministic op
+// stream anyway.
+func (w *AppendSync) Run(fs vfs.FileSystem, threads, ops int) (workload.Result, error) {
+	w.fill()
+	if threads <= 0 {
+		threads = 1
+	}
+	var res workload.Result
+	rng := workload.NewRand(0xA99E17)
+	buf := make([]byte, w.AppendSize)
+	for op := 0; op < ops*threads; op++ {
+		i := rng.Intn(w.Files)
+		f, err := fs.Open(w.path(i), vfs.ORdwr|vfs.OAppend)
+		if err != nil {
+			return res, err
+		}
+		n := 1 + rng.Intn(w.AppendSize)
+		for j := 0; j < n; j++ {
+			buf[j] = byte(rng.Uint64())
+		}
+		wn, werr := f.WriteAt(buf[:n], 0)
+		res.BytesWritten += int64(wn)
+		if werr != nil {
+			f.Close()
+			return res, werr
+		}
+		if op%w.SyncEvery == w.SyncEvery-1 {
+			if err := f.Fsync(); err != nil {
+				f.Close()
+				return res, err
+			}
+			res.Fsyncs++
+			res.FsyncBytes += int64(wn)
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+		res.Ops++
+	}
+	return res, nil
+}

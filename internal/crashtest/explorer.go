@@ -1,0 +1,360 @@
+package crashtest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hinfs/internal/buffer"
+	"hinfs/internal/clock"
+	"hinfs/internal/core"
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/workload"
+)
+
+// Config parameterizes one exploration.
+type Config struct {
+	// Workload names the personality: "varmail" (default — the paper's
+	// fsync- and namespace-heavy mail server) or "append" (append-heavy
+	// logs with sparse fsyncs, the widest lazy-write windows).
+	Workload string
+	// Ops is the per-run operation count (default 120).
+	Ops int
+	// Points is the number of crash points to explore (default 48).
+	// Points are drawn from the workload phase's persist-event window:
+	// half on a systematic stride, half seeded-random, deduplicated.
+	Points int
+	// Perms is the number of torn-cacheline permutations per point
+	// (default 3). The first is always seed 0 — the classic crash that
+	// drops every pending line; the rest keep pseudo-random subsets.
+	Perms int
+	// Seed drives every random choice (default 1). Same seed, same
+	// exploration, same report.
+	Seed uint64
+	// FirstEvent/LastEvent optionally clamp the crash window to a
+	// sub-range of persist events (0 = unbounded), for replaying one
+	// region of the schedule.
+	FirstEvent, LastEvent int64
+	// DeviceSize is the emulated NVMM capacity (default 24 MB).
+	DeviceSize int64
+	// BufferBlocks is the DRAM write-buffer size (default 512).
+	BufferBlocks int
+	// UnsafeSkipOrderedCommit mounts with the deliberately seeded §4.1
+	// ordering bug; the self-test uses it to prove the explorer detects
+	// real ordering violations.
+	UnsafeSkipOrderedCommit bool
+	// Log, when non-nil, receives a line per verified crash case and
+	// per violation.
+	Log io.Writer
+}
+
+func (cfg *Config) fill() {
+	if cfg.Workload == "" {
+		cfg.Workload = "varmail"
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 120
+	}
+	if cfg.Points == 0 {
+		cfg.Points = 48
+	}
+	if cfg.Perms == 0 {
+		cfg.Perms = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DeviceSize == 0 {
+		cfg.DeviceSize = 24 << 20
+	}
+	if cfg.BufferBlocks == 0 {
+		cfg.BufferBlocks = 512
+	}
+}
+
+// fsOpts builds the deterministic mount used for every run: one shard,
+// inline-only writeback, a fake clock that never advances — the whole
+// persist-event schedule must be a pure function of the op stream.
+func (cfg *Config) fsOpts() core.Options {
+	return core.Options{
+		BufferBlocks:            cfg.BufferBlocks,
+		Clock:                   clock.NewFake(time.Unix(0, 0)),
+		Buffer:                  buffer.Config{Shards: 1, WritebackThreads: -1},
+		PMFS:                    pmfs.Options{JournalBlocks: 512, MaxInodes: 2048},
+		UnsafeSkipOrderedCommit: cfg.UnsafeSkipOrderedCommit,
+	}
+}
+
+func (cfg *Config) newWorkload() (workload.Workload, error) {
+	switch cfg.Workload {
+	case "varmail":
+		// Scaled-down Varmail: same op mix (delete / create-append-fsync
+		// / read-append-fsync / read), sized so a few hundred ops give a
+		// few thousand crashable events.
+		return &workload.Varmail{Files: 64, FileSize: 4 << 10, AppendSize: 4 << 10}, nil
+	case "append":
+		return &AppendSync{}, nil
+	}
+	return nil, fmt.Errorf("crashtest: unknown workload %q (have varmail, append)", cfg.Workload)
+}
+
+// Violation is one detected crash-consistency failure, with everything
+// needed to reproduce it: the crash event, the torn-subset seed and the
+// failing invariant.
+type Violation struct {
+	// Event is the persist-event ordinal the crash was injected at.
+	Event int64
+	// Seed selected the kept subset of pending cachelines (0 = none).
+	Seed uint64
+	// Invariant names the failed check: "recovery" (remount failed),
+	// "fsck" (metadata checker), or an oracle invariant such as
+	// "content", "torn-size", "synced-data-lost", "missing",
+	// "resurrected", "dir-missing".
+	Invariant string
+	// Path is the affected file (oracle violations only).
+	Path string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders the minimal repro line.
+func (v Violation) String() string {
+	s := fmt.Sprintf("event %d seed %#016x: %s", v.Event, v.Seed, v.Invariant)
+	if v.Path != "" {
+		s += " " + v.Path
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	return s
+}
+
+// Report aggregates one exploration.
+type Report struct {
+	Workload    string
+	Ops         int
+	SetupEvents int64 // persist events consumed by Setup (not crashed into)
+	TotalEvents int64 // schedule length of the full run
+	Points      int   // crash points explored
+	Cases       int   // points × permutations
+	Recovered   int   // cases that remounted successfully
+	RolledBack  int   // journal transactions rolled back across all cases
+	FsckErrors  int   // metadata-checker failures
+	Violations  []Violation
+	// Suppressed counts violations beyond the reporting cap (a seeded
+	// bug can fail thousands of cases; the first maxViolations carry
+	// all the signal).
+	Suppressed int
+}
+
+const maxViolations = 512
+
+func (r *Report) add(v Violation, log io.Writer) {
+	if len(r.Violations) >= maxViolations {
+		r.Suppressed++
+		return
+	}
+	r.Violations = append(r.Violations, v)
+	if log != nil {
+		fmt.Fprintf(log, "VIOLATION %s\n", v)
+	}
+}
+
+// Summary renders a one-paragraph result.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("workload %s: %d events (%d setup), %d crash points × %d perms = %d cases, %d recovered, %d txs rolled back",
+		r.Workload, r.TotalEvents, r.SetupEvents, r.Points, r.Cases/max(r.Points, 1), r.Cases, r.Recovered, r.RolledBack)
+	if n := len(r.Violations) + r.Suppressed; n > 0 {
+		s += fmt.Sprintf(", %d VIOLATIONS", n)
+	} else {
+		s += ", no violations"
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runResult is one full workload execution.
+type runResult struct {
+	recs    []opRecord
+	setupEv int64
+	totalEv int64
+	state   *nvmm.CrashState
+}
+
+// runOnce executes the workload start to finish on a fresh device. With
+// target > 0 a CrashPlan snapshots the durability state at exactly that
+// persist event; the run still completes (the crash is virtual) and the
+// pool is abandoned rather than flushed, like a machine losing power.
+func (cfg *Config) runOnce(target int64, keep bool) (*runResult, error) {
+	dev, err := nvmm.New(nvmm.Config{Size: cfg.DeviceSize, TrackPersistence: true})
+	if err != nil {
+		return nil, err
+	}
+	fs, err := core.Mkfs(dev, cfg.fsOpts())
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Abandon()
+	rec := &recorder{fs: fs, dev: dev, keep: keep}
+	w, err := cfg.newWorkload()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Setup(rec); err != nil {
+		return nil, fmt.Errorf("crashtest: %s setup: %w", w.Name(), err)
+	}
+	setupEv := dev.PersistEvents()
+	if target > 0 {
+		dev.SetCrashPlan(func(ev int64, _ nvmm.EventKind) bool { return ev == target })
+	}
+	if _, err := w.Run(rec, 1, cfg.Ops); err != nil {
+		return nil, fmt.Errorf("crashtest: %s run: %w", w.Name(), err)
+	}
+	return &runResult{
+		recs:    rec.recs,
+		setupEv: setupEv,
+		totalEv: dev.PersistEvents(),
+		state:   dev.TakeCrashState(),
+	}, nil
+}
+
+// pickPoints chooses n distinct crash events in (lo, hi]: half on a
+// systematic stride (coverage), half seeded-random (surprise), sorted.
+func pickPoints(lo, hi int64, n int, seed uint64) []int64 {
+	span := hi - lo
+	if span <= 0 || n <= 0 {
+		return nil
+	}
+	if int64(n) >= span {
+		all := make([]int64, span)
+		for i := range all {
+			all[i] = lo + 1 + int64(i)
+		}
+		return all
+	}
+	set := make(map[int64]bool, n)
+	pts := make([]int64, 0, n)
+	take := func(p int64) {
+		if p > lo && p <= hi && !set[p] {
+			set[p] = true
+			pts = append(pts, p)
+		}
+	}
+	stride := n / 2
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < stride; i++ {
+		take(lo + 1 + int64(i)*span/int64(stride))
+	}
+	rng := workload.NewRand(seed*0x9E3779B97F4A7C15 + 1)
+	for len(pts) < n {
+		take(lo + 1 + rng.Int63n(span))
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	return pts
+}
+
+// permSeeds builds the torn-subset seed list: always seed 0 (drop every
+// pending line) first, then perms-1 pseudo-random keeps.
+func permSeeds(seed uint64, perms int) []uint64 {
+	out := []uint64{0}
+	rng := workload.NewRand(seed*0xD6E8FEB86659FD93 + 2)
+	for len(out) < perms {
+		if s := rng.Uint64(); s != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Explore runs the full record / crash / verify loop and returns the
+// aggregated report. A non-nil error means the exploration itself broke
+// (workload failure, non-deterministic schedule); consistency failures
+// are returned inside the report, not as errors.
+func Explore(cfg Config) (*Report, error) {
+	cfg.fill()
+	base, err := cfg.runOnce(0, true)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := base.setupEv, base.totalEv
+	if cfg.FirstEvent > lo+1 {
+		lo = cfg.FirstEvent - 1
+	}
+	if cfg.LastEvent > 0 && cfg.LastEvent < hi {
+		hi = cfg.LastEvent
+	}
+	if lo >= hi {
+		return nil, fmt.Errorf("crashtest: empty crash window (%d, %d] (schedule has %d events, %d in setup)",
+			lo, hi, base.totalEv, base.setupEv)
+	}
+	points := pickPoints(lo, hi, cfg.Points, cfg.Seed)
+	seeds := permSeeds(cfg.Seed, cfg.Perms)
+	rep := &Report{
+		Workload:    cfg.Workload,
+		Ops:         cfg.Ops,
+		SetupEvents: base.setupEv,
+		TotalEvents: base.totalEv,
+	}
+	for _, pt := range points {
+		run, err := cfg.runOnce(pt, false)
+		if err != nil {
+			return rep, err
+		}
+		if run.totalEv != base.totalEv {
+			return rep, fmt.Errorf("crashtest: non-deterministic persist-event schedule: record run has %d events, replay for point %d has %d",
+				base.totalEv, pt, run.totalEv)
+		}
+		if run.state == nil || run.state.Event() != pt {
+			return rep, fmt.Errorf("crashtest: crash plan armed at event %d captured nothing", pt)
+		}
+		rep.Points++
+		for _, s := range seeds {
+			rep.Cases++
+			cfg.verifyCase(rep, base, run.state, pt, s)
+		}
+	}
+	return rep, nil
+}
+
+// verifyCase materializes one torn image, remounts it through recovery
+// and checks both the metadata checker and the application oracle.
+func (cfg *Config) verifyCase(rep *Report, base *runResult, state *nvmm.CrashState, pt int64, seed uint64) {
+	dev, err := state.Materialize(nvmm.Config{}, seed)
+	if err != nil {
+		rep.add(Violation{Event: pt, Seed: seed, Invariant: "materialize", Detail: err.Error()}, cfg.Log)
+		return
+	}
+	fs, rolled, err := core.MountRecover(dev, cfg.fsOpts())
+	if err != nil {
+		rep.add(Violation{Event: pt, Seed: seed, Invariant: "recovery",
+			Detail: "remount failed: " + err.Error()}, cfg.Log)
+		return
+	}
+	defer fs.Abandon()
+	rep.Recovered++
+	rep.RolledBack += rolled
+	before := len(rep.Violations) + rep.Suppressed
+	for _, cerr := range fs.Fsck() {
+		rep.FsckErrors++
+		rep.add(Violation{Event: pt, Seed: seed, Invariant: "fsck", Detail: cerr.Error()}, cfg.Log)
+	}
+	m := buildModel(base.recs, pt, base.setupEv)
+	for _, ov := range m.verify(fs) {
+		rep.add(Violation{Event: pt, Seed: seed, Invariant: ov.invariant,
+			Path: ov.path, Detail: ov.detail}, cfg.Log)
+	}
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "point %d seed %#016x (%s, %d pending lines): rolled back %d, %d violations\n",
+			pt, seed, state.Kind(), state.PendingLines(), rolled, len(rep.Violations)+rep.Suppressed-before)
+	}
+}

@@ -1,0 +1,271 @@
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"hinfs/internal/vfs"
+)
+
+// The oracle is prefix-based. Per-inode commit chaining (pmfs.storeInode)
+// totally orders every recorded operation on a path — appends chain on
+// the file inode, namespace ops on the directory inode and on the file
+// inode they link or unlink — and recovery rolls back uncommitted
+// transactions in reverse order, so the recovered state of a path is
+// always the state after some PREFIX of its recorded operations. Two
+// things pin the prefix down further:
+//
+//   - a completed fsync is a durability barrier: it forces the file's
+//     whole chain (data writeback, deferred commits, and every namespace
+//     op ordered before it), so prefixes older than the last completed
+//     fsync are inadmissible;
+//   - setup-phase namespace operations commit inline (their chains hold
+//     only other inline-committed namespace transactions), so the crash
+//     window — which starts after setup — can never roll them back.
+//
+// Everything else is deliberately one-sided: a completed-but-unfsynced
+// op (even an unlink) may legitimately be rolled back when its commit
+// was chained behind an open lazy-write transaction.
+
+// candidate is one admissible recovered state of a path: one prefix
+// segment between namespace operations.
+type candidate struct {
+	exists bool
+	// mirror holds every byte written in this generation; the recovered
+	// content must be a prefix of it.
+	mirror []byte
+	// sizes holds the admissible recovered sizes: the length after each
+	// recorded write (commit chaining makes anything else a torn write).
+	sizes map[int64]bool
+	// minSize is the fsync floor inside this generation.
+	minSize int64
+}
+
+// pathModel is the admissible-state set for one path, oldest candidate
+// first.
+type pathModel struct {
+	// tracked turns false when the path sees an operation the oracle
+	// does not model (truncate, rename); it is then skipped for the
+	// rest of this crash point's verification.
+	tracked bool
+	cands   []*candidate
+}
+
+func (pm *pathModel) cur() *candidate { return pm.cands[len(pm.cands)-1] }
+
+type model struct {
+	files map[string]*pathModel
+	dirs  map[string]bool
+}
+
+// buildModel folds the recorded operation stream into the admissible
+// states at crash event e. Completed operations (ev < e) apply; the one
+// operation in flight at the crash (startEv < e <= ev) applies too —
+// prefix semantics make its before-state admissible automatically —
+// except that an in-flight fsync raises no barrier. Operations completed
+// during setup (ev <= setupEv) are durable: they reset the candidate
+// list instead of extending it.
+func buildModel(recs []opRecord, e, setupEv int64) *model {
+	m := &model{files: make(map[string]*pathModel), dirs: make(map[string]bool)}
+	get := func(p string) *pathModel {
+		pm := m.files[p]
+		if pm == nil {
+			pm = &pathModel{tracked: true, cands: []*candidate{{exists: false, sizes: map[int64]bool{0: true}}}}
+			m.files[p] = pm
+		}
+		return pm
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.startEv >= e {
+			break // single-threaded: nothing later has started
+		}
+		completed := rec.ev < e
+		durable := completed && rec.ev <= setupEv
+		switch rec.kind {
+		case opMkdir:
+			// Only setup-phase mkdirs are asserted; a workload-phase
+			// mkdir's commit could be chain-deferred.
+			if durable {
+				m.dirs[rec.path] = true
+			}
+		case opRmdir:
+			delete(m.dirs, rec.path)
+		case opCreate:
+			pm := get(rec.path)
+			if !pm.tracked {
+				break
+			}
+			c := &candidate{exists: true, sizes: map[int64]bool{0: true}}
+			if durable {
+				pm.cands = []*candidate{c}
+			} else {
+				pm.cands = append(pm.cands, c)
+			}
+		case opWrite:
+			pm := get(rec.path)
+			if !pm.tracked {
+				break
+			}
+			c := pm.cur()
+			if !c.exists {
+				// A write through a handle whose path was unlinked:
+				// detached from the namespace, not modellable here.
+				pm.tracked = false
+				break
+			}
+			end := rec.off + int64(len(rec.data))
+			if int64(len(c.mirror)) < end {
+				c.mirror = append(c.mirror, make([]byte, end-int64(len(c.mirror)))...)
+			}
+			copy(c.mirror[rec.off:end], rec.data)
+			c.sizes[int64(len(c.mirror))] = true
+		case opFsync:
+			pm := get(rec.path)
+			if !pm.tracked || !completed {
+				break
+			}
+			c := pm.cur()
+			if !c.exists {
+				pm.tracked = false
+				break
+			}
+			pm.cands = []*candidate{c}
+			c.minSize = int64(len(c.mirror))
+		case opUnlink:
+			pm := get(rec.path)
+			if !pm.tracked {
+				break
+			}
+			pm.cands = append(pm.cands, &candidate{exists: false, sizes: map[int64]bool{0: true}})
+		case opUntrack:
+			get(rec.path).tracked = false
+		}
+	}
+	return m
+}
+
+// oracleViolation is one oracle failure for one path.
+type oracleViolation struct {
+	path      string
+	invariant string
+	detail    string
+}
+
+// verify checks the recovered file system against the model, returning
+// violations in deterministic (path-sorted) order.
+func (m *model) verify(fs vfs.FileSystem) []oracleViolation {
+	var out []oracleViolation
+	paths := make([]string, 0, len(m.files))
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pm := m.files[path]
+		if !pm.tracked {
+			continue
+		}
+		if v := checkPath(fs, path, pm.cands); v != nil {
+			out = append(out, *v)
+		}
+	}
+	dirs := make([]string, 0, len(m.dirs))
+	for d := range m.dirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		fi, err := fs.Stat(dir)
+		if err != nil || !fi.IsDir {
+			out = append(out, oracleViolation{path: dir, invariant: "dir-missing",
+				detail: "directory from a durable mkdir is gone"})
+		}
+	}
+	return out
+}
+
+// checkPath accepts the recovered file if ANY admissible candidate
+// matches, trying newest first; the reported detail comes from the
+// newest (expected-current) candidate.
+func checkPath(fs vfs.FileSystem, path string, cands []*candidate) *oracleViolation {
+	fi, serr := fs.Stat(path)
+	exists := serr == nil
+	var content []byte
+	if exists {
+		var err error
+		if content, err = readBack(fs, path, fi.Size); err != nil {
+			return &oracleViolation{path: path, invariant: "unreadable",
+				detail: fmt.Sprintf("read of %d bytes failed: %v", fi.Size, err)}
+		}
+		if int64(len(content)) != fi.Size {
+			return &oracleViolation{path: path, invariant: "short-read",
+				detail: fmt.Sprintf("stat says %d bytes, read returned %d", fi.Size, len(content))}
+		}
+	}
+	var first *oracleViolation
+	for i := len(cands) - 1; i >= 0; i-- {
+		v := matchCandidate(path, cands[i], exists, fi.Size, content)
+		if v == nil {
+			return nil
+		}
+		if first == nil {
+			first = v
+		}
+	}
+	return first
+}
+
+func matchCandidate(path string, c *candidate, exists bool, size int64, content []byte) *oracleViolation {
+	if c.exists != exists {
+		if c.exists {
+			return &oracleViolation{path: path, invariant: "missing",
+				detail: fmt.Sprintf("file gone (expected ≤%d bytes, fsync floor %d)", len(c.mirror), c.minSize)}
+		}
+		return &oracleViolation{path: path, invariant: "resurrected",
+			detail: "file exists after a completed unlink"}
+	}
+	if !exists {
+		return nil
+	}
+	if size < c.minSize {
+		return &oracleViolation{path: path, invariant: "synced-data-lost",
+			detail: fmt.Sprintf("size %d below fsync floor %d", size, c.minSize)}
+	}
+	if !c.sizes[size] {
+		return &oracleViolation{path: path, invariant: "torn-size",
+			detail: fmt.Sprintf("size %d is not a write boundary (fsync floor %d, mirror %d)",
+				size, c.minSize, len(c.mirror))}
+	}
+	if !bytes.Equal(content, c.mirror[:size]) {
+		off := 0
+		for off < len(content) && content[off] == c.mirror[off] {
+			off++
+		}
+		return &oracleViolation{path: path, invariant: "content",
+			detail: fmt.Sprintf("byte %d of %d differs from the write mirror (fsync floor %d): committed metadata describes data that never persisted", off, size, c.minSize)}
+	}
+	return nil
+}
+
+func readBack(fs vfs.FileSystem, path string, size int64) ([]byte, error) {
+	f, err := fs.Open(path, vfs.ORdonly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	var off int64
+	for off < size {
+		n, err := f.ReadAt(buf[off:], off)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		off += int64(n)
+	}
+	return buf[:off], nil
+}

@@ -1,0 +1,237 @@
+// Package crashtest explores HiNFS crash consistency systematically.
+//
+// An exploration has three phases:
+//
+//  1. Record: run a deterministic workload once against a fresh HiNFS
+//     instance on a persistence-tracking device, stamping every
+//     state-changing VFS call with the device's persist-event ordinal
+//     (internal/nvmm's monotonic counter over Flush/WriteNT/Fence).
+//  2. Crash: for each chosen crash point, replay the identical workload
+//     with a CrashPlan armed at that event; the device captures the
+//     durable image plus the pending (stored-but-unflushed) cachelines.
+//  3. Verify: materialize several torn-subset images per point (seed 0
+//     drops every pending line; other seeds keep pseudo-random halves),
+//     remount each through journal recovery, run the metadata checker,
+//     and verify an application-level oracle built from the recorded
+//     operation stream.
+//
+// The oracle asserts the paper's §4.1 contract: fsynced data survives
+// with correct contents, a lazy write is visible wholly or not at all
+// (the recovered size is a prefix boundary of the recorded write
+// sequence and the bytes below it match), and namespace operations are
+// atomic. Operations in flight at the crash point are allowed either
+// their before- or after-state.
+//
+// Everything is deterministic by construction: workloads run single
+// threaded on a single-shard pool with inline-only writeback and a fake
+// clock, so the replay's persist-event schedule is identical to the
+// recording's — the explorer asserts this and fails loudly otherwise.
+package crashtest
+
+import (
+	"sync"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/vfs"
+)
+
+// opKind classifies a recorded operation.
+type opKind uint8
+
+const (
+	opMkdir opKind = iota
+	opRmdir
+	opCreate
+	opWrite
+	opFsync
+	opUnlink
+	// opUntrack marks a path whose state the oracle stops modelling
+	// (truncate and rename are not used by the crash workloads; rather
+	// than model them half-right, the oracle skips such paths until a
+	// later unlink or create re-establishes a known state).
+	opUntrack
+)
+
+// opRecord is one state-changing operation, stamped with the device's
+// persist-event counter at call entry (startEv) and return (ev). An
+// operation completed before crash event e iff ev < e; it was in flight
+// iff startEv < e <= ev.
+type opRecord struct {
+	kind    opKind
+	path    string
+	off     int64
+	data    []byte
+	startEv int64
+	ev      int64
+}
+
+// recorder wraps a FileSystem, logging every state-changing call with
+// persist-event stamps. With keep=false it is a transparent passthrough
+// (crash replays re-run the identical op stream but do not need a second
+// copy of the log). Read-only calls are never recorded; fs.Sync is
+// passed through unrecorded, which is sound — modelling it could only
+// make the oracle stricter, never looser.
+type recorder struct {
+	fs   vfs.FileSystem
+	dev  *nvmm.Device
+	keep bool
+
+	mu   sync.Mutex
+	recs []opRecord
+}
+
+func (r *recorder) events() int64 { return r.dev.PersistEvents() }
+
+func (r *recorder) add(rec opRecord) {
+	if !r.keep {
+		return
+	}
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+// Create implements vfs.FileSystem.
+func (r *recorder) Create(path string) (vfs.File, error) {
+	start := r.events()
+	f, err := r.fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	r.add(opRecord{kind: opCreate, path: path, startEv: start, ev: r.events()})
+	return &recFile{r: r, f: f, path: path}, nil
+}
+
+// Open implements vfs.FileSystem. An OCreate open of a missing path is
+// recorded as a creation (the pre-existence probe is a read and emits no
+// persist events).
+func (r *recorder) Open(path string, flags int) (vfs.File, error) {
+	start := r.events()
+	creating := false
+	if flags&vfs.OCreate != 0 {
+		_, serr := r.fs.Stat(path)
+		creating = serr != nil
+	}
+	f, err := r.fs.Open(path, flags)
+	if err != nil {
+		return nil, err
+	}
+	if creating {
+		r.add(opRecord{kind: opCreate, path: path, startEv: start, ev: r.events()})
+	} else if flags&vfs.OTrunc != 0 {
+		r.add(opRecord{kind: opUntrack, path: path, startEv: start, ev: r.events()})
+	}
+	return &recFile{r: r, f: f, path: path, app: flags&vfs.OAppend != 0}, nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (r *recorder) Mkdir(path string) error {
+	start := r.events()
+	err := r.fs.Mkdir(path)
+	if err == nil {
+		r.add(opRecord{kind: opMkdir, path: path, startEv: start, ev: r.events()})
+	}
+	return err
+}
+
+// Rmdir implements vfs.FileSystem.
+func (r *recorder) Rmdir(path string) error {
+	start := r.events()
+	err := r.fs.Rmdir(path)
+	if err == nil {
+		r.add(opRecord{kind: opRmdir, path: path, startEv: start, ev: r.events()})
+	}
+	return err
+}
+
+// Unlink implements vfs.FileSystem.
+func (r *recorder) Unlink(path string) error {
+	start := r.events()
+	err := r.fs.Unlink(path)
+	if err == nil {
+		r.add(opRecord{kind: opUnlink, path: path, startEv: start, ev: r.events()})
+	}
+	return err
+}
+
+// Rename implements vfs.FileSystem. Both endpoints leave the tracked
+// set; the crash workloads do not rename.
+func (r *recorder) Rename(oldpath, newpath string) error {
+	start := r.events()
+	err := r.fs.Rename(oldpath, newpath)
+	if err == nil {
+		ev := r.events()
+		r.add(opRecord{kind: opUntrack, path: oldpath, startEv: start, ev: ev})
+		r.add(opRecord{kind: opUntrack, path: newpath, startEv: start, ev: ev})
+	}
+	return err
+}
+
+// Stat implements vfs.FileSystem.
+func (r *recorder) Stat(path string) (vfs.FileInfo, error) { return r.fs.Stat(path) }
+
+// ReadDir implements vfs.FileSystem.
+func (r *recorder) ReadDir(path string) ([]vfs.DirEntry, error) { return r.fs.ReadDir(path) }
+
+// Sync implements vfs.FileSystem.
+func (r *recorder) Sync() error { return r.fs.Sync() }
+
+// Unmount implements vfs.FileSystem.
+func (r *recorder) Unmount() error { return r.fs.Unmount() }
+
+// recFile wraps an open handle, recording writes (with a private copy of
+// the data — the oracle replays it as the content mirror), fsyncs and
+// truncates.
+type recFile struct {
+	r    *recorder
+	f    vfs.File
+	path string
+	app  bool
+}
+
+// ReadAt implements vfs.File.
+func (f *recFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+// WriteAt implements vfs.File. For OAppend handles the recorded offset
+// is the actual append position (size after the write minus the bytes
+// written), not the ignored caller offset.
+func (f *recFile) WriteAt(p []byte, off int64) (int, error) {
+	start := f.r.events()
+	n, err := f.f.WriteAt(p, off)
+	if n > 0 && f.r.keep {
+		at := off
+		if f.app {
+			at = f.f.Size() - int64(n)
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		f.r.add(opRecord{kind: opWrite, path: f.path, off: at, data: data, startEv: start, ev: f.r.events()})
+	}
+	return n, err
+}
+
+// Fsync implements vfs.File.
+func (f *recFile) Fsync() error {
+	start := f.r.events()
+	err := f.f.Fsync()
+	if err == nil {
+		f.r.add(opRecord{kind: opFsync, path: f.path, startEv: start, ev: f.r.events()})
+	}
+	return err
+}
+
+// Truncate implements vfs.File.
+func (f *recFile) Truncate(size int64) error {
+	start := f.r.events()
+	err := f.f.Truncate(size)
+	if err == nil {
+		f.r.add(opRecord{kind: opUntrack, path: f.path, startEv: start, ev: f.r.events()})
+	}
+	return err
+}
+
+// Size implements vfs.File.
+func (f *recFile) Size() int64 { return f.f.Size() }
+
+// Close implements vfs.File.
+func (f *recFile) Close() error { return f.f.Close() }

@@ -1,31 +1,44 @@
 // Package journal implements PMFS-style metadata undo logging on an NVMM
 // device region (paper §4.1).
 //
-// Each log entry is exactly one cacheline (64 B). An entry carries up to 48
-// bytes of the *old* contents of a metadata range (undo image) or marks a
-// transaction commit. The last byte of every entry is a valid flag written
-// after the rest of the entry; because stores within one cacheline are
-// never reordered by the cache hierarchy, a set valid flag guarantees the
-// entry is complete. Recovery rolls back every transaction that has logged
-// entries but no commit entry.
+// Each log entry is exactly one cacheline (64 B). An entry carries up to 40
+// bytes of the *old* contents of a metadata range (undo image), an 8-byte
+// XOR mask for one allocation-bitmap word, or marks a transaction commit.
+// The last byte of every entry is a valid flag written after the rest of
+// the entry; because stores within one cacheline are never reordered by the
+// cache hierarchy, a set valid flag guarantees the entry is complete.
+// Recovery rolls back every transaction that has logged entries but no
+// commit entry, applying physical undo images in reverse global sequence
+// order (each entry carries a monotonic sequence number) and bitmap masks
+// by XOR, which is order-independent — so interleaved transactions on
+// overlapping metadata unwind correctly.
 //
 // HiNFS's ordered-mode coupling (data blocks must be durable before the
 // commit record of the transaction that made them visible) is supported by
 // deferred commits: a transaction may be left open with pending block
 // references and committed later by whichever path persists its last data
-// block (fsync or the background writeback threads). Because deferred
-// transactions stay open for seconds, the log area is managed as two
-// ping-pong halves: entries fill one half while the other drains; a half
-// is zeroed and reused once no open transaction has entries in it. Every
-// transaction reserves its commit slot at Begin, so writing a commit
-// record never blocks — only new undo logging can stall on a full log,
-// and the registered pressure callback (HiNFS wires it to the write
+// block (fsync or the background writeback threads). Deferred commits can
+// finish out of begin order; when two transactions touch the same inode's
+// metadata that would make rollback unsound, so Tx.After chains a
+// transaction's commit record behind its predecessor's. Once a commit
+// record is durable the transaction's entries are stale; they are
+// invalidated eagerly (entries first, then the commit record, fenced in
+// that order) so that outside a crash window the log contains entries only
+// for open transactions — an invariant pmfs.Check verifies via Residue.
+//
+// Because deferred transactions stay open for seconds, the log area is
+// managed as two ping-pong halves: entries fill one half while the other
+// drains; a half is zeroed and reused once no open transaction has entries
+// in it. Every transaction reserves its commit slot at Begin, so writing a
+// commit record never blocks — only new undo logging can stall on a full
+// log, and the registered pressure callback (HiNFS wires it to the write
 // buffer's flusher) accelerates draining.
 package journal
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,21 +51,23 @@ import (
 const EntrySize = cacheline.Size
 
 // MaxUndoBytes is the undo payload capacity of one entry.
-const MaxUndoBytes = 48
+const MaxUndoBytes = 40
 
 // Entry kinds.
 const (
 	kindUndo   = 1
 	kindCommit = 2
+	kindBitmap = 3
 )
 
 // Entry layout within the 64-byte cacheline:
 //
 //	[0:4)   txid (uint32)
-//	[4:12)  addr (uint64 device offset of the undone range)
-//	[12]    length of undo data (<= 48)
+//	[4:12)  addr (uint64 device offset of the undone range / bitmap word)
+//	[12]    length of undo data (<= 40; always 8 for bitmap entries)
 //	[13]    kind
-//	[14:62) undo data (48 bytes)
+//	[14:54) undo data (40 bytes; bitmap entries hold the XOR mask in [14:22))
+//	[54:62) global sequence number (uint64), orders rollback
 //	[62]    reserved
 //	[63]    valid flag, written last
 const (
@@ -61,6 +76,7 @@ const (
 	offLen   = 12
 	offKind  = 13
 	offData  = 14
+	offSeq   = 54
 	offValid = 63
 )
 
@@ -83,6 +99,13 @@ type Journal struct {
 	halves [2]half
 	cur    int
 	nextID int64
+	open   map[uint32]struct{} // txids begun but not yet fully committed
+
+	// depMu guards the commit-chaining state (Tx.waiting/ready/recorded/
+	// waiters). Never held during device I/O.
+	depMu sync.Mutex
+
+	seq atomic.Uint64 // global entry sequence, stamps rollback order
 
 	// pressure, if set, is invoked (without the journal lock) when the
 	// log is under space pressure, to accelerate deferred-commit draining.
@@ -95,18 +118,26 @@ type Journal struct {
 }
 
 // Tx is an open transaction. A Tx is created by Begin, fills undo entries
-// via LogRange, and finishes with Commit or with deferred commit via
-// AddPending/Seal/BlockPersisted.
+// via LogRange/LogBitmap, and finishes with Commit or with deferred commit
+// via AddPending/Seal/BlockPersisted. After chains the commit record behind
+// another transaction's.
 type Tx struct {
 	j          *Journal
 	id         uint32
 	commitSlot int64   // device address reserved at Begin
 	touched    [2]bool // halves containing this tx's entries
 	hasEntries bool
+	slots      []int64 // addresses of this tx's undo entries (for invalidation)
 
 	pending   atomic.Int32 // blocks that must persist before commit
 	sealed    atomic.Bool  // no more pending blocks will be added
-	committed atomic.Bool
+	committed atomic.Bool  // commit requested (record may trail behind deps)
+
+	// Commit-chaining state, guarded by j.depMu.
+	waiting  int   // predecessors whose records are not yet written
+	ready    bool  // commit requested while predecessors were outstanding
+	recorded bool  // commit record written and entries invalidated
+	waiters  []*Tx // transactions chained behind this one
 }
 
 // New creates a journal over [base, base+size) of dev. The caller must
@@ -115,7 +146,7 @@ func New(dev *nvmm.Device, base, size int64) (*Journal, error) {
 	if size < 2*cacheline.BlockSize || size%(2*cacheline.BlockSize) != 0 {
 		return nil, fmt.Errorf("journal: area size %d must be a positive multiple of two blocks", size)
 	}
-	j := &Journal{dev: dev, base: base, size: size, nextID: 1}
+	j := &Journal{dev: dev, base: base, size: size, nextID: 1, open: make(map[uint32]struct{})}
 	hs := size / 2
 	j.halves[0] = half{base: base, count: int(hs / EntrySize)}
 	j.halves[1] = half{base: base + hs, count: int(hs / EntrySize)}
@@ -141,6 +172,7 @@ func (j *Journal) Begin() *Tx {
 	t := &Tx{j: j}
 	t.id = uint32(j.nextID)
 	j.nextID++
+	j.open[t.id] = struct{}{}
 	t.commitSlot = j.allocSlotLocked(t)
 	j.mu.Unlock()
 	return t
@@ -193,18 +225,30 @@ func (j *Journal) zeroHalfLocked(h *half) {
 	j.dev.Fence()
 }
 
-// writeEntry persists one entry. The entry is one cacheline and stores
-// within a cacheline are never reordered by the caching hierarchy (§4.1),
-// so writing the body first, the valid byte last, and issuing a single
-// flush+fence guarantees a torn entry is never seen as valid.
+// writeEntry persists one entry, stamping its global sequence number. The
+// entry is one cacheline and stores within a cacheline are never reordered
+// by the caching hierarchy (§4.1), so writing the body first, the valid
+// byte last, and issuing a single flush+fence guarantees a torn entry is
+// never seen as valid.
 func (j *Journal) writeEntry(addr int64, e [EntrySize]byte) {
 	body := e
+	binary.LittleEndian.PutUint64(body[offSeq:], j.seq.Add(1))
 	body[offValid] = 0
 	j.dev.Write(body[:], addr)
 	j.dev.Write([]byte{1}, addr+offValid)
 	j.dev.Flush(addr, EntrySize)
 	j.dev.Fence()
 	j.entriesLogged.Add(1)
+}
+
+// logEntry allocates a slot for t and writes e into it.
+func (t *Tx) logEntry(e [EntrySize]byte) {
+	t.j.mu.Lock()
+	slot := t.j.allocSlotLocked(t)
+	t.j.mu.Unlock()
+	t.j.writeEntry(slot, e)
+	t.slots = append(t.slots, slot)
+	t.hasEntries = true
 }
 
 // LogRange records the current contents of [addr, addr+n) on the device as
@@ -224,14 +268,49 @@ func (t *Tx) LogRange(addr int64, n int) {
 		e[offLen] = byte(chunk)
 		e[offKind] = kindUndo
 		t.j.dev.Read(e[offData:offData+chunk], addr)
-		t.j.mu.Lock()
-		slot := t.j.allocSlotLocked(t)
-		t.j.mu.Unlock()
-		t.j.writeEntry(slot, e)
-		t.hasEntries = true
+		t.logEntry(e)
 		addr += int64(chunk)
 		n -= chunk
 	}
+}
+
+// LogBitmap records a logical undo for one 8-byte allocation-bitmap word:
+// mask is the XOR the transaction is about to apply to the word at addr.
+// Rollback re-applies the XOR, which is its own inverse and commutes with
+// other transactions' bitmap undos — so bitmap words, which many
+// transactions legitimately share, unwind correctly regardless of commit
+// interleaving. It must be called before the word is modified.
+func (t *Tx) LogBitmap(addr int64, mask uint64) {
+	if t.committed.Load() {
+		panic("journal: LogBitmap on committed transaction")
+	}
+	var e [EntrySize]byte
+	binary.LittleEndian.PutUint32(e[offTxid:], t.id)
+	binary.LittleEndian.PutUint64(e[offAddr:], uint64(addr))
+	e[offLen] = 8
+	e[offKind] = kindBitmap
+	binary.LittleEndian.PutUint64(e[offData:], mask)
+	t.logEntry(e)
+}
+
+// After chains t's commit record behind prev's: even if t's commit is
+// requested first, its record is not written until prev's record is
+// durable. Transactions touching the same inode's metadata must be chained
+// in begin order, or an out-of-order crash could roll an earlier
+// uncommitted transaction's undo image over a later committed one's
+// update. Must be called before t's commit is requested; nil prev is a
+// no-op.
+func (t *Tx) After(prev *Tx) {
+	if prev == nil || prev == t {
+		return
+	}
+	j := t.j
+	j.depMu.Lock()
+	if !prev.recorded {
+		prev.waiters = append(prev.waiters, t)
+		t.waiting++
+	}
+	j.depMu.Unlock()
 }
 
 // Commit writes the commit record immediately. Use Seal/AddPending for
@@ -265,25 +344,126 @@ func (t *Tx) BlockPersisted() {
 	}
 }
 
-// Committed reports whether the commit record has been written.
+// Committed reports whether commit has been requested (the record itself
+// may still be waiting on chained predecessors, see After).
 func (t *Tx) Committed() bool { return t.committed.Load() }
 
+// finishCommit requests the commit. If chained predecessors have not
+// written their records yet the transaction is marked ready and the last
+// predecessor's record-writer completes it; otherwise the record is
+// written here.
 func (t *Tx) finishCommit() {
 	if t.committed.Swap(true) {
 		return
 	}
+	j := t.j
+	j.depMu.Lock()
+	if t.waiting > 0 {
+		t.ready = true
+		j.depMu.Unlock()
+		return
+	}
+	j.depMu.Unlock()
+	j.writeRecordChain(t)
+}
+
+// writeRecordChain writes t's commit record and then the records of every
+// chained transaction that became unblocked and was already
+// commit-requested, in dependency order.
+func (j *Journal) writeRecordChain(t *Tx) {
+	queue := []*Tx{t}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		j.writeRecord(cur)
+		j.depMu.Lock()
+		cur.recorded = true
+		for _, w := range cur.waiters {
+			w.waiting--
+			if w.waiting == 0 && w.ready {
+				queue = append(queue, w)
+			}
+		}
+		cur.waiters = nil
+		j.depMu.Unlock()
+	}
+}
+
+// writeRecord makes cur's commit durable and then eagerly retires its log
+// entries. Ordering is crash-critical and relies on flushes completing
+// before later stores are issued:
+//
+//  1. commit record written, flushed, fenced — the transaction is
+//     committed; a crash after this never rolls it back;
+//  2. every undo/bitmap entry's valid byte cleared and flushed, fence —
+//     entries of a committed transaction can no longer resurface;
+//  3. the commit record's valid byte cleared, flushed, fenced — only after
+//     step 2 is durable, so no crash state shows live undo entries without
+//     their commit record.
+func (j *Journal) writeRecord(cur *Tx) {
 	var e [EntrySize]byte
-	binary.LittleEndian.PutUint32(e[offTxid:], t.id)
+	binary.LittleEndian.PutUint32(e[offTxid:], cur.id)
 	e[offKind] = kindCommit
-	t.j.writeEntry(t.commitSlot, e)
-	t.j.commits.Add(1)
-	t.j.mu.Lock()
-	for i := range t.touched {
-		if t.touched[i] {
-			t.j.halves[i].live--
+	j.writeEntry(cur.commitSlot, e)
+	j.commits.Add(1)
+
+	for _, slot := range cur.slots {
+		j.dev.Write([]byte{0}, slot+offValid)
+		j.dev.Flush(slot, EntrySize)
+	}
+	j.dev.Fence()
+	j.dev.Write([]byte{0}, cur.commitSlot+offValid)
+	j.dev.Flush(cur.commitSlot, EntrySize)
+	j.dev.Fence()
+
+	j.mu.Lock()
+	for i := range cur.touched {
+		if cur.touched[i] {
+			j.halves[i].live--
 		}
 	}
-	t.j.mu.Unlock()
+	delete(j.open, cur.id)
+	j.mu.Unlock()
+}
+
+// ResidueEntry describes a valid journal entry that does not belong to any
+// open transaction — residue that eager invalidation should have retired.
+type ResidueEntry struct {
+	// Slot is the entry index within the journal area.
+	Slot int
+	// TxID is the owning transaction.
+	TxID uint32
+	// Kind is the entry kind byte (1 undo, 2 commit, 3 bitmap).
+	Kind byte
+}
+
+// Residue scans the journal area and returns every valid entry whose
+// transaction is not currently open. The caller must guarantee quiescence
+// (no transactions begun or committed during the scan); pmfs.Check runs it
+// after recovery or sync to verify the log retired committed transactions.
+func (j *Journal) Residue() []ResidueEntry {
+	j.mu.Lock()
+	open := make(map[uint32]struct{}, len(j.open))
+	for id := range j.open {
+		open[id] = struct{}{}
+	}
+	j.mu.Unlock()
+
+	var out []ResidueEntry
+	count := int(j.size / EntrySize)
+	var e [EntrySize]byte
+	for s := 0; s < count; s++ {
+		j.dev.Read(e[:], j.base+int64(s)*EntrySize)
+		if e[offValid] != 1 {
+			continue
+		}
+		txid := binary.LittleEndian.Uint32(e[offTxid:])
+		if _, ok := open[txid]; ok {
+			continue
+		}
+		out = append(out, ResidueEntry{Slot: s, TxID: txid, Kind: e[offKind]})
+	}
+	return out
 }
 
 // Stats reports journal activity counters.
@@ -307,18 +487,24 @@ func (j *Journal) Stats() Stats {
 }
 
 // Recover scans the journal area, rolls back every transaction without a
-// commit record (applying undo entries in reverse log order), and resets
-// the area. It returns the number of transactions rolled back.
+// commit record, and resets the area. Physical undo entries are applied in
+// reverse global-sequence order across all uncommitted transactions (not
+// merely per transaction), so interleaved writers to overlapping ranges
+// unwind to the oldest pre-image; bitmap entries apply their XOR mask,
+// which commutes. It returns the number of transactions rolled back.
 func Recover(dev *nvmm.Device, base, size int64) (rolledBack int, err error) {
 	if size < 2*cacheline.BlockSize || size%(2*cacheline.BlockSize) != 0 {
 		return 0, fmt.Errorf("journal: bad area size %d", size)
 	}
 	count := int(size / EntrySize)
 	type undo struct {
+		seq  uint64
+		txid uint32
+		kind byte
 		addr int64
 		data []byte
 	}
-	undos := make(map[uint32][]undo)
+	var undos []undo
 	committed := make(map[uint32]bool)
 	var e [EntrySize]byte
 	for s := 0; s < count; s++ {
@@ -330,29 +516,47 @@ func Recover(dev *nvmm.Device, base, size int64) (rolledBack int, err error) {
 		switch e[offKind] {
 		case kindCommit:
 			committed[txid] = true
-		case kindUndo:
+		case kindUndo, kindBitmap:
 			n := int(e[offLen])
-			if n > MaxUndoBytes {
-				return 0, fmt.Errorf("journal: corrupt entry %d: undo length %d", s, n)
+			if n > MaxUndoBytes || (e[offKind] == kindBitmap && n != 8) {
+				return 0, fmt.Errorf("journal: corrupt entry %d: kind %d length %d", s, e[offKind], n)
 			}
 			data := make([]byte, n)
 			copy(data, e[offData:offData+n])
-			addr := int64(binary.LittleEndian.Uint64(e[offAddr:]))
-			undos[txid] = append(undos[txid], undo{addr: addr, data: data})
+			undos = append(undos, undo{
+				seq:  binary.LittleEndian.Uint64(e[offSeq:]),
+				txid: txid,
+				kind: e[offKind],
+				addr: int64(binary.LittleEndian.Uint64(e[offAddr:])),
+				data: data,
+			})
 		}
 	}
-	for txid, list := range undos {
-		if committed[txid] {
+	// Newest first: later modifications must be undone before earlier
+	// ones so overlapping ranges land on the oldest pre-image.
+	rolled := make(map[uint32]bool)
+	sort.Slice(undos, func(a, b int) bool { return undos[a].seq > undos[b].seq })
+	for _, u := range undos {
+		if committed[u.txid] {
 			continue
 		}
-		for i := len(list) - 1; i >= 0; i-- {
-			u := list[i]
+		if u.kind == kindBitmap {
+			var w [8]byte
+			dev.Read(w[:], u.addr)
+			v := binary.LittleEndian.Uint64(w[:]) ^ binary.LittleEndian.Uint64(u.data)
+			binary.LittleEndian.PutUint64(w[:], v)
+			dev.Write(w[:], u.addr)
+			dev.Flush(u.addr, 8)
+		} else {
 			dev.Write(u.data, u.addr)
 			dev.Flush(u.addr, len(u.data))
 		}
-		dev.Fence()
-		rolledBack++
+		rolled[u.txid] = true
 	}
+	if len(rolled) > 0 {
+		dev.Fence()
+	}
+	rolledBack = len(rolled)
 	// Reset the area.
 	zero := make([]byte, cacheline.BlockSize)
 	for off := int64(0); off < size; off += cacheline.BlockSize {

@@ -248,13 +248,20 @@ func TestPressureCallbackDrainsStall(t *testing.T) {
 	dev.WriteNT(make([]byte, 4096), addr)
 	// Fill both halves with entries from one open tx per half... simpler:
 	// hold open transactions in both halves via interleaving, and rely on
-	// the pressure callback to release them.
-	var held []*Tx
+	// the pressure callback to release them. The callback also fires from
+	// the journal's early-nudge goroutine, so held needs a lock.
+	var (
+		mu   sync.Mutex
+		held []*Tx
+	)
 	release := func() {
-		for _, tx := range held {
+		mu.Lock()
+		txs := held
+		held = nil
+		mu.Unlock()
+		for _, tx := range txs {
 			tx.BlockPersisted()
 		}
-		held = nil
 	}
 	j.SetPressure(release)
 	// Open deferred transactions faster than they commit; the journal
@@ -265,8 +272,11 @@ func TestPressureCallbackDrainsStall(t *testing.T) {
 		tx.LogRange(addr, 8)
 		tx.AddPending(1)
 		tx.Seal()
+		mu.Lock()
 		held = append(held, tx)
-		if len(held) > 64 {
+		n := len(held)
+		mu.Unlock()
+		if n > 64 {
 			// In HiNFS the background writeback drains these; here the
 			// pressure callback does when the journal stalls.
 			if j.Stats().Stalls > 0 {

@@ -1,0 +1,217 @@
+package nvmm
+
+import (
+	"fmt"
+	"sort"
+
+	"hinfs/internal/cacheline"
+)
+
+// EventKind classifies a persist event — every point where the emulated
+// cache hierarchy interacts with NVMM durability. These are the only
+// instants a crash can be scheduled at: between two events the pending
+// set does not change (stores only accumulate), so every reachable
+// crash state is "the state just before event N, minus an arbitrary
+// subset of pending cachelines".
+type EventKind uint8
+
+const (
+	// EvFlush is a Flush call (clflush loop), observed before any of its
+	// cachelines become durable.
+	EvFlush EventKind = iota
+	// EvWriteNT is a non-temporal store, observed before it persists.
+	EvWriteNT
+	// EvFence is an ordering fence (mfence).
+	EvFence
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvFlush:
+		return "flush"
+	case EvWriteNT:
+		return "writent"
+	case EvFence:
+		return "fence"
+	}
+	return "unknown"
+}
+
+// CrashPlan decides whether to capture a crash snapshot at a persist
+// event. It is invoked synchronously on the persisting goroutine with
+// the 1-based event ordinal, before the event's durability effects are
+// applied — so at event N the cachelines that event N itself would
+// persist are still pending and participate in torn-subset selection.
+type CrashPlan func(ev int64, kind EventKind) bool
+
+// SetCrashPlan installs (or, with nil, removes) the device's crash plan.
+// The first event for which the plan returns true captures a CrashState
+// snapshot, retrievable with TakeCrashState; subsequent triggers are
+// ignored until the state is taken. Requires TrackPersistence to capture
+// (the event counter itself always runs).
+func (d *Device) SetCrashPlan(p CrashPlan) {
+	if p == nil {
+		d.plan.Store(nil)
+		return
+	}
+	d.plan.Store(&p)
+}
+
+// PersistEvents returns the monotonic persist-event count: one per
+// Flush, WriteNT and Fence issued so far.
+func (d *Device) PersistEvents() int64 { return d.events.Load() }
+
+// CrashState is a self-contained snapshot of the device's durability
+// state at one persist event: the durable image plus the contents of
+// every pending (stored-but-unflushed) cacheline. It is immutable and
+// can materialize any number of post-crash device images, one per
+// torn-subset seed.
+type CrashState struct {
+	event   int64
+	kind    EventKind
+	durable []byte
+	lines   []pendingLine
+}
+
+type pendingLine struct {
+	off  int64
+	data [cacheline.Size]byte
+}
+
+// Event returns the 1-based persist-event ordinal the snapshot was
+// captured at.
+func (s *CrashState) Event() int64 { return s.event }
+
+// Kind returns the kind of the persist event the snapshot was captured at.
+func (s *CrashState) Kind() EventKind { return s.kind }
+
+// PendingLines returns the number of cachelines that were stored but not
+// yet durable at the crash point — the torn-subset candidates.
+func (s *CrashState) PendingLines() int { return len(s.lines) }
+
+// faultPoint advances the persist-event counter and, when an armed crash
+// plan fires, captures a snapshot of the durability state. Called before
+// the event's own persistence effects are applied.
+func (d *Device) faultPoint(kind EventKind) {
+	ev := d.events.Add(1)
+	pp := d.plan.Load()
+	if pp == nil {
+		return
+	}
+	if !(*pp)(ev, kind) {
+		return
+	}
+	if !d.cfg.TrackPersistence {
+		return
+	}
+	d.pmu.Lock()
+	if d.snapshot == nil {
+		s := &CrashState{
+			event:   ev,
+			kind:    kind,
+			durable: make([]byte, len(d.durable)),
+			lines:   make([]pendingLine, 0, len(d.pending)),
+		}
+		copy(s.durable, d.durable)
+		for off := range d.pending {
+			var l pendingLine
+			l.off = off
+			hi := off + cacheline.Size
+			if hi > d.cfg.Size {
+				hi = d.cfg.Size
+			}
+			copy(l.data[:], d.data[off:hi])
+			s.lines = append(s.lines, l)
+		}
+		sort.Slice(s.lines, func(i, j int) bool { return s.lines[i].off < s.lines[j].off })
+		d.snapshot = s
+	}
+	d.pmu.Unlock()
+}
+
+// TakeCrashState returns the snapshot captured by the crash plan and
+// clears it (re-arming the plan), or nil if none has been captured.
+func (d *Device) TakeCrashState() *CrashState {
+	d.pmu.Lock()
+	s := d.snapshot
+	d.snapshot = nil
+	d.pmu.Unlock()
+	return s
+}
+
+// keepLine decides, for one pending cacheline, whether the crash left it
+// persisted (true) or dropped (false). Seed 0 is the classic all-drop
+// crash; any other seed keeps a pseudo-random ~half of the pending set,
+// modelling arbitrary cache eviction order. The choice is a pure
+// function of (seed, offset), so a given seed is fully deterministic.
+func keepLine(seed uint64, off int64) bool {
+	if seed == 0 {
+		return false
+	}
+	x := seed ^ uint64(off)*0x9e3779b97f4a7c15
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x&1 == 1
+}
+
+// Materialize builds a fresh persistence-tracking device holding the
+// post-crash image: the durable state plus the pseudo-random subset of
+// pending cachelines selected by seed (seed 0 = all dropped). The new
+// device uses cfg for size-independent knobs; its size is forced to the
+// snapshot's.
+func (s *CrashState) Materialize(cfg Config, seed uint64) (*Device, error) {
+	cfg.Size = int64(len(s.durable))
+	cfg.TrackPersistence = true
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	copy(d.data, s.durable)
+	for _, l := range s.lines {
+		if keepLine(seed, l.off) {
+			hi := l.off + cacheline.Size
+			if hi > cfg.Size {
+				hi = cfg.Size
+			}
+			copy(d.data[l.off:hi], l.data[:hi-l.off])
+		}
+	}
+	copy(d.durable, d.data)
+	return d, nil
+}
+
+// CrashPartial simulates power loss in place, like Crash, but keeps the
+// pseudo-random subset of pending cachelines selected by seed (seed 0
+// drops all pending lines, equivalent to Crash). Kept lines become part
+// of the durable image — exactly as if the cache had evicted them just
+// before the power failed. It panics unless the device was created with
+// TrackPersistence.
+func (d *Device) CrashPartial(seed uint64) {
+	if !d.cfg.TrackPersistence {
+		panic("nvmm: CrashPartial requires TrackPersistence")
+	}
+	d.pmu.Lock()
+	for off := range d.pending {
+		if keepLine(seed, off) {
+			hi := off + cacheline.Size
+			if hi > d.cfg.Size {
+				hi = d.cfg.Size
+			}
+			copy(d.durable[off:hi], d.data[off:hi])
+		}
+	}
+	copy(d.data, d.durable)
+	d.pending = make(map[int64]struct{})
+	d.pmu.Unlock()
+}
+
+// String renders a short identification of the crash point for repro
+// output.
+func (s *CrashState) String() string {
+	return fmt.Sprintf("event %d (%s, %d pending lines)", s.event, s.kind, len(s.lines))
+}

@@ -1,0 +1,183 @@
+package nvmm
+
+import (
+	"bytes"
+	"testing"
+
+	"hinfs/internal/cacheline"
+)
+
+func trackedDev(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(Config{Size: 1 << 20, TrackPersistence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPersistEventCounter(t *testing.T) {
+	d := trackedDev(t)
+	buf := make([]byte, 128)
+	d.Write(buf, 0)
+	if got := d.PersistEvents(); got != 0 {
+		t.Fatalf("plain Write counted as persist event: %d", got)
+	}
+	d.Flush(0, 128)
+	d.Fence()
+	d.WriteNT(buf, 4096)
+	if got := d.PersistEvents(); got != 3 {
+		t.Fatalf("PersistEvents = %d, want 3 (flush+fence+writent)", got)
+	}
+}
+
+func TestCrashPlanSnapshotPrePersist(t *testing.T) {
+	d := trackedDev(t)
+	pattern := bytes.Repeat([]byte{0xab}, cacheline.Size)
+	d.Write(pattern, 0)
+	// Arm the plan to fire at the very next event: the Flush that would
+	// make the line durable. The snapshot must see the line still pending.
+	d.SetCrashPlan(func(ev int64, kind EventKind) bool { return true })
+	d.Flush(0, cacheline.Size)
+	s := d.TakeCrashState()
+	if s == nil {
+		t.Fatal("no snapshot captured")
+	}
+	if s.Kind() != EvFlush || s.Event() != 1 {
+		t.Fatalf("snapshot at %v, want event 1 flush", s)
+	}
+	if s.PendingLines() != 1 {
+		t.Fatalf("PendingLines = %d, want 1 (snapshot taken pre-persist)", s.PendingLines())
+	}
+	// The device itself carried on: the flush completed after the snapshot.
+	if d.PendingLines() != 0 {
+		t.Fatalf("device still has %d pending lines after flush", d.PendingLines())
+	}
+
+	// Seed 0 drops the pending line; a materialized image must not
+	// contain the pattern.
+	img, err := s.Materialize(Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, cacheline.Size)
+	img.Read(got, 0)
+	if bytes.Equal(got, pattern) {
+		t.Fatal("seed 0 materialization kept a pending line")
+	}
+}
+
+func TestMaterializeDeterministicSubset(t *testing.T) {
+	d := trackedDev(t)
+	// Dirty 64 distinct cachelines, none flushed.
+	line := bytes.Repeat([]byte{0x5a}, cacheline.Size)
+	for i := 0; i < 64; i++ {
+		d.Write(line, int64(i)*cacheline.Size)
+	}
+	d.SetCrashPlan(func(ev int64, kind EventKind) bool { return true })
+	d.Fence()
+	s := d.TakeCrashState()
+	if s == nil || s.PendingLines() != 64 {
+		t.Fatalf("snapshot = %v, want 64 pending lines", s)
+	}
+
+	kept := func(img *Device) []int {
+		var ks []int
+		got := make([]byte, cacheline.Size)
+		for i := 0; i < 64; i++ {
+			img.Read(got, int64(i)*cacheline.Size)
+			if bytes.Equal(got, line) {
+				ks = append(ks, i)
+			}
+		}
+		return ks
+	}
+	a1, err := s.Materialize(Config{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Materialize(Config{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Materialize(Config{}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2, kb := kept(a1), kept(a2), kept(b)
+	if len(k1) == 0 || len(k1) == 64 {
+		t.Fatalf("seed 42 kept %d/64 lines, want a proper subset", len(k1))
+	}
+	if !equalInts(k1, k2) {
+		t.Fatalf("same seed, different subsets: %v vs %v", k1, k2)
+	}
+	if equalInts(k1, kb) {
+		t.Fatalf("different seeds produced identical subsets")
+	}
+}
+
+func TestCrashPartialInPlace(t *testing.T) {
+	d := trackedDev(t)
+	line := bytes.Repeat([]byte{0x77}, cacheline.Size)
+	for i := 0; i < 32; i++ {
+		d.Write(line, int64(i)*cacheline.Size)
+	}
+	d.CrashPartial(7)
+	if d.PendingLines() != 0 {
+		t.Fatalf("pending after CrashPartial: %d", d.PendingLines())
+	}
+	keptN := 0
+	got := make([]byte, cacheline.Size)
+	for i := 0; i < 32; i++ {
+		d.Read(got, int64(i)*cacheline.Size)
+		if bytes.Equal(got, line) {
+			keptN++
+		}
+	}
+	if keptN == 0 || keptN == 32 {
+		t.Fatalf("CrashPartial kept %d/32 lines, want a proper subset", keptN)
+	}
+	// Seed 0 behaves like Crash: drop everything.
+	d2 := trackedDev(t)
+	d2.Write(line, 0)
+	d2.CrashPartial(0)
+	d2.Read(got, 0)
+	if bytes.Equal(got, line) {
+		t.Fatal("CrashPartial(0) kept a pending line")
+	}
+}
+
+func TestCrashPlanRearmsAfterTake(t *testing.T) {
+	d := trackedDev(t)
+	var fireAt int64 = 2
+	d.SetCrashPlan(func(ev int64, kind EventKind) bool { return ev == fireAt })
+	d.Write([]byte{1}, 0)
+	d.Flush(0, 1) // event 1
+	d.Fence()     // event 2: snapshot
+	if s := d.TakeCrashState(); s == nil || s.Event() != 2 {
+		t.Fatalf("first snapshot = %v, want event 2", s)
+	}
+	fireAt = 4
+	d.Fence() // event 3
+	d.Fence() // event 4: snapshot again after take
+	if s := d.TakeCrashState(); s == nil || s.Event() != 4 {
+		t.Fatalf("second snapshot missing (plan did not re-arm)")
+	}
+	d.SetCrashPlan(nil)
+	d.Fence()
+	if s := d.TakeCrashState(); s != nil {
+		t.Fatalf("snapshot captured with nil plan: %v", s)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

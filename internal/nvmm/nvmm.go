@@ -115,6 +115,12 @@ type Device struct {
 	// (obs.PathNVMMFlush). Set before concurrent use.
 	col atomic.Pointer[obs.Collector]
 
+	// Fault plane (see fault.go): persist-event counter, optional crash
+	// plan and the snapshot it captures.
+	events   atomic.Int64
+	plan     atomic.Pointer[CrashPlan]
+	snapshot *CrashState // guarded by pmu
+
 	// Persistence tracking (TrackPersistence only).
 	pmu     sync.Mutex
 	durable []byte
@@ -212,6 +218,7 @@ func (d *Device) WriteNT(src []byte, off int64) {
 	if d.cfg.TrackPersistence {
 		d.markPending(off, len(src))
 	}
+	d.faultPoint(EvWriteNT)
 	d.persist(off, len(src))
 	d.writeTime.Add(int64(time.Since(start)))
 }
@@ -224,6 +231,7 @@ func (d *Device) Flush(off int64, n int) {
 		return
 	}
 	start := time.Now()
+	d.faultPoint(EvFlush)
 	d.persist(off, n)
 	d.writeTime.Add(int64(time.Since(start)))
 }
@@ -294,8 +302,12 @@ func (d *Device) Slice(off int64, n int) []byte {
 }
 
 // Fence is an ordering point (mfence). The Go memory model plus the
-// file-system locks already order our operations, so it only counts.
-func (d *Device) Fence() { d.fences.Add(1) }
+// file-system locks already order our operations, so it only counts
+// (and feeds the persist-event stream, see fault.go).
+func (d *Device) Fence() {
+	d.faultPoint(EvFence)
+	d.fences.Add(1)
+}
 
 func (d *Device) markPending(off int64, n int) {
 	first := off &^ (cacheline.Size - 1)

@@ -111,6 +111,10 @@ const (
 	// ghost-buffer verdicts at synchronization points.
 	CtrBenefitEager
 	CtrBenefitLazy
+	// CtrWritebackFaults / CtrWritebackRetries count injected writeback
+	// write errors and the backoff retries they triggered.
+	CtrWritebackFaults
+	CtrWritebackRetries
 	NumCounters
 )
 
@@ -125,13 +129,18 @@ func (c Counter) String() string {
 		return "benefit-eager"
 	case CtrBenefitLazy:
 		return "benefit-lazy"
+	case CtrWritebackFaults:
+		return "writeback-faults"
+	case CtrWritebackRetries:
+		return "writeback-retries"
 	}
 	return "unknown"
 }
 
 // Counters lists every counter in display order.
 func Counters() []Counter {
-	return []Counter{CtrEagerBlocks, CtrLazyBlocks, CtrBenefitEager, CtrBenefitLazy}
+	return []Counter{CtrEagerBlocks, CtrLazyBlocks, CtrBenefitEager, CtrBenefitLazy,
+		CtrWritebackFaults, CtrWritebackRetries}
 }
 
 // Collector aggregates one instance's observability state: an op-class

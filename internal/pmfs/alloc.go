@@ -74,22 +74,27 @@ func (a *allocator) wordAddr(bn int64) int64 {
 // applyWords journals, mutates and persists the set of bitmap words
 // touched by toggling the given blocks' bits. Grouping by word keeps the
 // journal traffic proportional to words, not blocks — PMFS-style extent
-// allocation rather than per-block logging. Caller holds a.mu and has
-// already validated the bits.
+// allocation rather than per-block logging. The undo entries are logical
+// (the XOR mask applied to each word) rather than physical images:
+// bitmap words are shared by unrelated transactions, and with deferred
+// commits an uncommitted transaction's physical pre-image could roll a
+// later committed transaction's bits back off the word. XOR undos
+// commute, so rollback only ever clears this transaction's own toggles.
+// Caller holds a.mu and has already validated the bits.
 func (a *allocator) applyWords(tx *journal.Tx, blocks []int64) {
-	// Collect distinct words in first-touch order.
-	touched := make(map[int64]struct{}, 4)
+	// Collect the per-word XOR masks in first-touch order.
+	masks := make(map[int64]uint64, 4)
 	var order []int64
 	for _, bn := range blocks {
 		w := bn / 64
-		if _, ok := touched[w]; !ok {
-			touched[w] = struct{}{}
+		if _, ok := masks[w]; !ok {
 			order = append(order, w)
 		}
+		masks[w] ^= 1 << uint(bn%64)
 	}
 	for _, w := range order {
 		addr := a.bitmapStart + w*8
-		tx.LogRange(addr, 8)
+		tx.LogBitmap(addr, masks[w])
 	}
 	for _, bn := range blocks {
 		a.words[bn/64] ^= 1 << uint(bn%64)

@@ -1,8 +1,15 @@
 package pmfs
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrJournalResidue is the distinct error class for journal-region
+// validation failures: valid-flagged log entries left behind by
+// transactions that are no longer open (committed or rolled back).
+// Check wraps each finding so callers can test with errors.Is.
+var ErrJournalResidue = errors.New("journal residue")
 
 // Check is an fsck-style validator of the on-device image. It walks the
 // namespace from the root, validates every inode record and index tree,
@@ -139,6 +146,15 @@ func (fs *FS) Check() []error {
 		if b[0] != typeFree && !liveInos[ino] {
 			addErr("inode %d in use but not reachable from the namespace", ino)
 		}
+	}
+
+	// Journal-region scan: the log must hold entries only for open
+	// transactions. Committed transactions retire their entries eagerly
+	// and recovery zeroes the area, so anything else is residue that
+	// could replay a stale undo image after the next crash.
+	for _, r := range fs.jnl.Residue() {
+		errs = append(errs, fmt.Errorf("journal slot %d: valid entry (kind %d) for non-open tx %d: %w",
+			r.Slot, r.Kind, r.TxID, ErrJournalResidue))
 	}
 	return errs
 }

@@ -92,6 +92,7 @@ func MountRecover(dev *nvmm.Device) (*FS, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	fs.recoverRebuild()
 	fs.initFreeInos()
 	return fs, rolled, nil
 }

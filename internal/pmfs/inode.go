@@ -37,8 +37,24 @@ func (fs *FS) loadInode(ino Ino) inodeRec {
 }
 
 // storeInode journals the inode's first cacheline under tx and writes rec
-// through to NVMM.
+// through to NVMM. Every transaction that mutates an inode passes through
+// here, so this is also where per-inode commit chaining is established:
+// tx's commit record is ordered behind the previous transaction that
+// touched the same inode. Deferred (ordered-mode) commits finish in data
+// writeback order, which can invert begin order; without the chain a crash
+// could roll an older uncommitted transaction's inode pre-image over a
+// newer committed one's update.
 func (fs *FS) storeInode(tx *journal.Tx, ino Ino, rec inodeRec) {
+	st := fs.state(ino)
+	st.meta.Lock()
+	prev := st.lastTx
+	if prev != tx {
+		st.lastTx = tx
+	}
+	st.meta.Unlock()
+	if prev != tx {
+		tx.After(prev)
+	}
 	addr := fs.l.inodeAddr(ino)
 	tx.LogRange(addr, 40) // all fields live in the first 40 bytes
 	var b [40]byte
@@ -68,6 +84,10 @@ type inodeState struct {
 	// lastSync is the last fsync wall time, used by HiNFS's Buffer Benefit
 	// Model (the paper stores it in the in-DRAM file metadata).
 	lastSync time.Time
+	// lastTx is the most recent journal transaction that touched this
+	// inode's metadata; storeInode chains each new transaction's commit
+	// record behind it (see storeInode).
+	lastTx *journal.Tx
 }
 
 func (fs *FS) state(ino Ino) *inodeState {

@@ -1,0 +1,114 @@
+package pmfs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestRecoverRebuildFixesPhantomAllocation reproduces the allocator
+// ambiguity recoverRebuild exists for: bitmap undo records are XOR
+// masks, so a crash that tears the bitmap word's in-place update can
+// leave rollback setting bits that were never durably set. We fake the
+// aftermath directly — a set bitmap bit for a block no file references —
+// and expect the rebuild at mount to clear it.
+func TestRecoverRebuildFixesPhantomAllocation(t *testing.T) {
+	fs, dev := testFS(t)
+	fs.Mkdir("/d")
+	f, _ := fs.Create("/d/file")
+	f.WriteAt(make([]byte, 2*BlockSize), 0)
+	f.Close()
+
+	// Find a free data block and set its bitmap bit on the device.
+	var victim int64 = -1
+	fs.alloc.mu.Lock()
+	for bn := fs.alloc.firstBlock; bn < fs.alloc.totalBlocks; bn++ {
+		if fs.alloc.words[bn/64]&(1<<uint(bn%64)) == 0 {
+			victim = bn
+			break
+		}
+	}
+	fs.alloc.mu.Unlock()
+	if victim < 0 {
+		t.Fatal("no free block to corrupt")
+	}
+	addr := fs.alloc.bitmapStart + (victim/64)*8
+	var b [8]byte
+	dev.Read(b[:], addr)
+	w := binary.LittleEndian.Uint64(b[:]) | 1<<uint(victim%64)
+	binary.LittleEndian.PutUint64(b[:], w)
+	dev.Write(b[:], addr)
+	dev.Flush(addr, 8)
+	dev.Fence()
+
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := fs2.Check(); len(errs) != 0 {
+		t.Fatalf("phantom allocation survived remount: %v", errs)
+	}
+	if fs2.alloc.words[victim/64]&(1<<uint(victim%64)) != 0 {
+		t.Fatalf("bitmap bit for block %d still set", victim)
+	}
+}
+
+// TestRecoverRebuildFreesOrphanInode: an inode marked in use but
+// unreachable from the namespace (the other side of the same rollback
+// ambiguity) must be freed at mount, and stay allocatable afterwards.
+func TestRecoverRebuildFreesOrphanInode(t *testing.T) {
+	fs, dev := testFS(t)
+	f, _ := fs.Create("/keep")
+	f.WriteAt([]byte("stays"), 0)
+	f.Close()
+
+	// Mark a high inode in use directly, bypassing the namespace.
+	orphan := Ino(fs.l.maxInodes - 3)
+	addr := fs.l.inodeAddr(orphan) + inoType
+	dev.Write([]byte{typeFile}, addr)
+	dev.Flush(addr, 1)
+	dev.Fence()
+
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := fs2.Check(); len(errs) != 0 {
+		t.Fatalf("orphan inode survived remount: %v", errs)
+	}
+	var tb [1]byte
+	dev.Read(tb[:], addr)
+	if tb[0] != typeFree {
+		t.Fatalf("orphan inode type = %d, want free", tb[0])
+	}
+	// The rebuilt state must still be a working file system.
+	g, err := fs2.Create("/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte("works"), 0); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if errs := fs2.Check(); len(errs) != 0 {
+		t.Fatalf("post-rebuild churn inconsistent: %v", errs)
+	}
+}
+
+// TestRecoverRebuildIdempotent: a clean image must pass through the
+// rebuild untouched — mounting is not allowed to invent corrections.
+func TestRecoverRebuildIdempotent(t *testing.T) {
+	fs, dev := testFS(t)
+	fs.Mkdir("/d")
+	f, _ := fs.Create("/d/file")
+	f.WriteAt(make([]byte, 3*BlockSize), 0)
+	f.Close()
+
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, inos := fs2.recoverRebuild()
+	if words != 0 || inos != 0 {
+		t.Fatalf("rebuild on a clean mounted image corrected %d words, %d inodes", words, inos)
+	}
+}
