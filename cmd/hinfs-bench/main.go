@@ -8,6 +8,7 @@
 //	hinfs-bench -fig 9 -quick     # trimmed sweep
 //	hinfs-bench -fig 8 -ops 500 -latency 400ns -device 512
 //	hinfs-bench -fig pool         # DRAM buffer lock-scaling report
+//	hinfs-bench -fig metascale    # metadata hot-path scaling report
 //	hinfs-bench -fig 8 -shards 1  # pin the buffer to a single shard
 //	hinfs-bench -fig latency      # per-op latency percentiles + path mix
 //	hinfs-bench -fig 7 -debug-addr :6060   # live expvar/pprof while running
@@ -75,15 +76,17 @@ func main() {
 		"11":      harness.Figure11,
 		"12":      harness.Figure12,
 		"13":      harness.Figure13,
-		"pool":    harness.PoolScaling,
-		"latency": harness.FigureLatency,
+		"pool":      harness.PoolScaling,
+		"metascale": harness.MetadataScaling,
+		"latency":   harness.FigureLatency,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "latency"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
 		fmt.Println("figures 3-5 are design diagrams with no measurements")
 		fmt.Println("'pool' is the DRAM buffer lock-scaling report (not a paper figure)")
+		fmt.Println("'metascale' is the PMFS metadata hot-path scaling report (not a paper figure)")
 		fmt.Println("'latency' is the per-op-class percentile + path-mix report (not a paper figure)")
 		return
 	}

@@ -60,7 +60,9 @@ type Options struct {
 	// Clock substitutes the time source (tests). Defaults to the wall
 	// clock.
 	Clock clock.Clock
-	// PMFS tunes the persistent substrate's format parameters (Mkfs only).
+	// PMFS tunes the persistent substrate: format parameters (Mkfs only)
+	// plus the runtime concurrency knobs (journal lanes, allocator shards,
+	// the serial-namespace baseline), which apply on every mount.
 	PMFS pmfs.Options
 	// Obs, when non-nil, receives decision-path latency histograms
 	// (direct vs buffered read, eager vs lazy write), per-block routing
@@ -101,7 +103,7 @@ func Mkfs(dev *nvmm.Device, opts Options) (*FS, error) {
 
 // Mount mounts HiNFS on a formatted device, running journal recovery.
 func Mount(dev *nvmm.Device, opts Options) (*FS, error) {
-	base, err := pmfs.Mount(dev)
+	base, err := pmfs.MountOpts(dev, opts.PMFS)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +113,7 @@ func Mount(dev *nvmm.Device, opts Options) (*FS, error) {
 // MountRecover is Mount, also reporting the number of journal
 // transactions rolled back during recovery.
 func MountRecover(dev *nvmm.Device, opts Options) (*FS, int, error) {
-	base, rolled, err := pmfs.MountRecover(dev)
+	base, rolled, err := pmfs.MountRecoverOpts(dev, opts.PMFS)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -151,6 +153,7 @@ func wrap(base *pmfs.FS, dev *nvmm.Device, opts Options) *FS {
 	}
 	if opts.Obs != nil {
 		dev.SetObs(opts.Obs)
+		base.SetObs(opts.Obs)
 	}
 	// Under journal space pressure, drain deferred (ordered-mode) commits
 	// by flushing the write buffer. A writeback error is not actionable

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/pmfs"
+	"hinfs/internal/vfs"
+)
+
+// metaScaleThreads is the goroutine sweep of the metadata scaling report.
+func metaScaleThreads(quick bool) []int {
+	if quick {
+		return []int{1, 8}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// metaScaleTimeScale is the delay multiplier of the metascale device. The
+// metadata hot path persists 64 B cachelines (journal entries, dentries,
+// inode records), and a single-line flush only becomes sleepable — and
+// therefore overlappable across goroutines on a small host — once the
+// scaled latency clears nvmm.Wait's spin threshold. 4096 × 200 ns ≈ 820 µs
+// per line comfortably does; all columns report ratios, so the scale
+// cancels out.
+const metaScaleTimeScale = 4096
+
+// MetadataScaling measures multicore metadata-path scaling in isolation:
+// N goroutines each run a varmail-style create/write/fsync/unlink loop in
+// a private directory on a bare PMFS instance, once with the pre-sharding
+// metadata path (one global namespace lock, one journal lane, one
+// allocator shard) and once with the sharded one (per-directory locks,
+// journal lanes, allocator shards). The workload writes into a pre-grown
+// per-goroutine file so the loop exercises the metadata structures, not
+// block zeroing; see metaScaleRun.
+//
+// The device runs with unlimited write bandwidth (no writer-port queueing)
+// and heavily scaled latency so that every flush is sleepable: with the
+// serial namespace the flushes issued under the global lock serialize
+// whole-sale, while the sharded path overlaps them across directories.
+// This reproduces the multicore gap even on a single-core host; on real
+// silicon the same gap comes from actual lock contention.
+func MetadataScaling(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	threads := metaScaleThreads(o.Quick)
+	if o.Threads > 0 {
+		threads = []int{o.Threads}
+	}
+	ops := o.Ops
+	if ops == 0 {
+		ops = 48
+	}
+	maxThreads := threads[len(threads)-1]
+	prev := runtime.GOMAXPROCS(0)
+	if maxThreads > prev {
+		runtime.GOMAXPROCS(maxThreads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	fig := &Figure{Table: Table{
+		Title: "Metadata scaling: create/write/fsync/unlink ops/s, serial vs sharded hot path",
+		Note: fmt.Sprintf("%d loop iterations/goroutine (4 ops each), bare PMFS, latency x%d so flushes overlap. serial = one namespace lock + 1 journal lane + 1 alloc shard. speedup = sharded/serial.",
+			ops, metaScaleTimeScale),
+		Header: []string{"goroutines", "serial", "sharded", "speedup",
+			"lanes", "shards", "lane-cont", "dir-cont", "steals"},
+	}}
+	for _, n := range threads {
+		serial, _, err := metaScaleRun(cfg, true, n, ops)
+		if err != nil {
+			return nil, err
+		}
+		sharded, st, err := metaScaleRun(cfg, false, n, ops)
+		if err != nil {
+			return nil, err
+		}
+		fig.Table.Rows = append(fig.Table.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", serial),
+			fmt.Sprintf("%.0f", sharded),
+			ratio(sharded, serial),
+			fmt.Sprintf("%d", st.lanes),
+			fmt.Sprintf("%d", st.shards),
+			fmt.Sprintf("%d", st.laneCont),
+			fmt.Sprintf("%d", st.dirCont),
+			fmt.Sprintf("%d", st.steals),
+		})
+		fig.put(fmt.Sprintf("%d/serial", n), serial)
+		fig.put(fmt.Sprintf("%d/sharded", n), sharded)
+	}
+	return fig, nil
+}
+
+// metaScaleStats snapshots the contention counters after a run.
+type metaScaleStats struct {
+	lanes    int
+	shards   int
+	laneCont int64
+	dirCont  int64
+	steals   int64
+}
+
+// metaScaleRun executes the metadata loop on a fresh PMFS instance and
+// returns ops/s (4 ops per loop iteration) plus the contention counters.
+//
+// Each goroutine works in its own directory: it creates a scratch file,
+// appends one cacheline to a pre-grown log file, fsyncs the log, and
+// unlinks the scratch file. The log file's block is allocated during
+// setup, so the measured loop performs no block zeroing — its cost is
+// purely dentries, inode records, the journal and the allocator bitmap,
+// which is the path this report isolates.
+func metaScaleRun(cfg Config, serial bool, goroutines, opsPer int) (float64, metaScaleStats, error) {
+	dev, err := nvmm.New(nvmm.Config{
+		Size:         64 << 20,
+		WriteLatency: cfg.WriteLatency,
+		TimeScale:    metaScaleTimeScale,
+		// WriteBandwidth left 0: no writer-port queueing, so the report
+		// isolates software-path scaling from the device bandwidth cap.
+	})
+	if err != nil {
+		return 0, metaScaleStats{}, err
+	}
+	// Small journal and inode table: Mkfs flushes both areas in full, and
+	// at the metascale latency multiplier every formatted megabyte costs
+	// real seconds of emulated flush time.
+	popts := pmfs.Options{JournalBlocks: 32, MaxInodes: 1024}
+	if serial {
+		popts.SerialNamespace = true
+		popts.JournalLanes = 1
+		popts.AllocShards = 1
+	}
+	fs, err := pmfs.Mkfs(dev, popts)
+	if err != nil {
+		return 0, metaScaleStats{}, err
+	}
+
+	type worker struct {
+		dir string
+		log vfs.File
+	}
+	workers := make([]worker, goroutines)
+	line := make([]byte, 64)
+	for g := range workers {
+		dir := fmt.Sprintf("/g%d", g)
+		if err := fs.Mkdir(dir); err != nil {
+			return 0, metaScaleStats{}, err
+		}
+		f, err := fs.Create(dir + "/log")
+		if err != nil {
+			return 0, metaScaleStats{}, err
+		}
+		if _, err := f.WriteAt(line, 0); err != nil {
+			return 0, metaScaleStats{}, err
+		}
+		if err := f.Fsync(); err != nil {
+			return 0, metaScaleStats{}, err
+		}
+		workers[g] = worker{dir: dir, log: f}
+	}
+
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := workers[g]
+			buf := make([]byte, 64)
+			for i := 0; i < opsPer; i++ {
+				name := fmt.Sprintf("%s/f%d", w.dir, i)
+				f, err := fs.Create(name)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if err := f.Close(); err != nil {
+					errs[g] = err
+					return
+				}
+				if _, err := w.log.WriteAt(buf, 0); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := w.log.Fsync(); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := fs.Unlink(name); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, metaScaleStats{}, err
+		}
+	}
+	js := fs.Journal().Stats()
+	as := fs.AllocStats()
+	st := metaScaleStats{
+		lanes:    js.Lanes,
+		shards:   as.Shards,
+		laneCont: js.LaneContended,
+		dirCont:  fs.DirLockContended(),
+		steals:   as.Steals,
+	}
+	for _, w := range workers {
+		if err := w.log.Close(); err != nil {
+			return 0, st, err
+		}
+	}
+	if err := fs.Unmount(); err != nil {
+		return 0, st, err
+	}
+	opsPerSec := float64(goroutines*opsPer*4) / elapsed.Seconds()
+	return opsPerSec, st, nil
+}

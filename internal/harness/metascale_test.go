@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+// TestMetadataScalingShape regenerates the metascale report in quick mode
+// and checks its defining property: at 8 goroutines the sharded metadata
+// path clearly outscales the serial baseline, while at 1 goroutine the two
+// coincide (sharding must not tax the single-threaded path). Thresholds
+// are far below the typical ratios (~5x and ~1.0x) to stay robust on
+// loaded CI runners.
+func TestMetadataScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metascale sweep is seconds-long by design (scaled flush latency)")
+	}
+	fig, err := MetadataScaling(Config{}, Opts{Quick: true, Ops: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, p1 := fig.Get("1/serial"), fig.Get("1/sharded")
+	s8, p8 := fig.Get("8/serial"), fig.Get("8/sharded")
+	if s1 <= 0 || p1 <= 0 || s8 <= 0 || p8 <= 0 {
+		t.Fatalf("missing series: %v", fig.Series)
+	}
+	if p8 < 1.5*s8 {
+		t.Fatalf("sharded path at 8 goroutines = %.0f ops/s, serial = %.0f; want >= 1.5x", p8, s8)
+	}
+	if p1 < 0.5*s1 {
+		t.Fatalf("sharded path at 1 goroutine = %.0f ops/s, serial = %.0f; sharding overhead too high", p1, s1)
+	}
+}

@@ -13,6 +13,16 @@
 // by XOR, which is order-independent — so interleaved transactions on
 // overlapping metadata unwind correctly.
 //
+// The log area is divided into independent *lanes* (NOVA-style per-CPU
+// journals): each lane has its own mutex, its own ping-pong halves and its
+// own entry allocation, so concurrent transactions on different lanes never
+// contend for slot space. A transaction is assigned a lane at Begin
+// (round-robin) and logs every entry there. Correctness across lanes hangs
+// on two global atomics: the transaction id (unique across lanes, so a
+// commit record is unambiguous) and the entry sequence number (stamped into
+// every entry, so Recover can merge all lanes and roll back in reverse
+// global order no matter where entries landed).
+//
 // HiNFS's ordered-mode coupling (data blocks must be durable before the
 // commit record of the transaction that made them visible) is supported by
 // deferred commits: a transaction may be left open with pending block
@@ -26,13 +36,13 @@
 // that order) so that outside a crash window the log contains entries only
 // for open transactions — an invariant pmfs.Check verifies via Residue.
 //
-// Because deferred transactions stay open for seconds, the log area is
-// managed as two ping-pong halves: entries fill one half while the other
-// drains; a half is zeroed and reused once no open transaction has entries
-// in it. Every transaction reserves its commit slot at Begin, so writing a
-// commit record never blocks — only new undo logging can stall on a full
-// log, and the registered pressure callback (HiNFS wires it to the write
-// buffer's flusher) accelerates draining.
+// Because deferred transactions stay open for seconds, each lane is managed
+// as two ping-pong halves: entries fill one half while the other drains; a
+// half is zeroed and reused once no open transaction has entries in it.
+// Every transaction reserves its commit slot at Begin, so writing a commit
+// record never blocks — only new undo logging can stall on a full lane, and
+// the registered pressure callback (HiNFS wires it to the write buffer's
+// flusher) accelerates draining.
 package journal
 
 import (
@@ -45,6 +55,7 @@ import (
 
 	"hinfs/internal/cacheline"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 )
 
 // EntrySize is the size of one log entry: a single cacheline.
@@ -52,6 +63,11 @@ const EntrySize = cacheline.Size
 
 // MaxUndoBytes is the undo payload capacity of one entry.
 const MaxUndoBytes = 40
+
+// DefaultLanes is the default lane count. Eight lanes keep contention low
+// at the thread counts the harness sweeps while leaving each lane's halves
+// large enough that deferred commits rarely pin a rotation.
+const DefaultLanes = 8
 
 // Entry kinds.
 const (
@@ -80,12 +96,21 @@ const (
 	offValid = 63
 )
 
-// half is one ping-pong region of the log area.
+// half is one ping-pong region of a lane.
 type half struct {
 	base  int64 // device offset
 	count int   // entry capacity
 	next  int   // next free slot
 	live  int   // open transactions with entries here
+}
+
+// lane is one independent slice of the log area with its own lock, its own
+// ping-pong halves and its own set of open transactions.
+type lane struct {
+	mu     sync.Mutex
+	halves [2]half
+	cur    int
+	open   map[uint32]struct{} // txids begun on this lane, not yet retired
 }
 
 // Journal manages the log area on the device.
@@ -95,11 +120,9 @@ type Journal struct {
 	base int64
 	size int64
 
-	mu     sync.Mutex
-	halves [2]half
-	cur    int
-	nextID int64
-	open   map[uint32]struct{} // txids begun but not yet fully committed
+	lanes    []*lane
+	nextLane atomic.Uint64 // round-robin lane assignment
+	nextID   atomic.Uint32 // global txid allocation
 
 	// depMu guards the commit-chaining state (Tx.waiting/ready/recorded/
 	// waiters). Never held during device I/O.
@@ -107,14 +130,18 @@ type Journal struct {
 
 	seq atomic.Uint64 // global entry sequence, stamps rollback order
 
-	// pressure, if set, is invoked (without the journal lock) when the
-	// log is under space pressure, to accelerate deferred-commit draining.
+	// pressure, if set, is invoked (without any lane lock) when the log is
+	// under space pressure, to accelerate deferred-commit draining.
 	pressure atomic.Value // func()
+
+	// col, if set, receives lane-contention counter increments.
+	col atomic.Pointer[obs.Collector]
 
 	entriesLogged atomic.Int64
 	commits       atomic.Int64
 	checkpoints   atomic.Int64
 	stalls        atomic.Int64
+	laneContended atomic.Int64
 }
 
 // Tx is an open transaction. A Tx is created by Begin, fills undo entries
@@ -123,9 +150,10 @@ type Journal struct {
 // another transaction's.
 type Tx struct {
 	j          *Journal
+	ln         *lane
 	id         uint32
 	commitSlot int64   // device address reserved at Begin
-	touched    [2]bool // halves containing this tx's entries
+	touched    [2]bool // lane halves containing this tx's entries
 	hasEntries bool
 	slots      []int64 // addresses of this tx's undo entries (for invalidation)
 
@@ -140,18 +168,48 @@ type Tx struct {
 	waiters  []*Tx // transactions chained behind this one
 }
 
-// New creates a journal over [base, base+size) of dev. The caller must
-// have zeroed the area on mkfs; use Recover on an existing image.
+// New creates a journal over [base, base+size) of dev with DefaultLanes
+// lanes. The caller must have zeroed the area on mkfs; use Recover on an
+// existing image.
 func New(dev *nvmm.Device, base, size int64) (*Journal, error) {
+	return NewLanes(dev, base, size, 0)
+}
+
+// NewLanes is New with an explicit lane count (0 = DefaultLanes). The lane
+// count is a DRAM-only concurrency knob: entries are self-describing
+// (txid + global sequence), so an image written with one lane count
+// recovers correctly under any other. Lanes are clamped so every lane half
+// spans at least one block.
+func NewLanes(dev *nvmm.Device, base, size int64, lanes int) (*Journal, error) {
 	if size < 2*cacheline.BlockSize || size%(2*cacheline.BlockSize) != 0 {
 		return nil, fmt.Errorf("journal: area size %d must be a positive multiple of two blocks", size)
 	}
-	j := &Journal{dev: dev, base: base, size: size, nextID: 1, open: make(map[uint32]struct{})}
-	hs := size / 2
-	j.halves[0] = half{base: base, count: int(hs / EntrySize)}
-	j.halves[1] = half{base: base + hs, count: int(hs / EntrySize)}
+	if lanes <= 0 {
+		lanes = DefaultLanes
+	}
+	halfBlocks := size / (2 * cacheline.BlockSize) // total blocks available per half-set
+	if int64(lanes) > halfBlocks {
+		lanes = int(halfBlocks)
+	}
+	j := &Journal{dev: dev, base: base, size: size}
+	off := base
+	for i := 0; i < lanes; i++ {
+		hb := halfBlocks / int64(lanes)
+		if int64(i) < halfBlocks%int64(lanes) {
+			hb++
+		}
+		halfBytes := hb * cacheline.BlockSize
+		ln := &lane{open: make(map[uint32]struct{})}
+		ln.halves[0] = half{base: off, count: int(halfBytes / EntrySize)}
+		ln.halves[1] = half{base: off + halfBytes, count: int(halfBytes / EntrySize)}
+		off += 2 * halfBytes
+		j.lanes = append(j.lanes, ln)
+	}
 	return j, nil
 }
+
+// Lanes returns the number of independent journal lanes.
+func (j *Journal) Lanes() int { return len(j.lanes) }
 
 // SetPressure registers a callback invoked when the log is under space
 // pressure. The callback must not call back into the journal's Begin or
@@ -160,35 +218,49 @@ func (j *Journal) SetPressure(fn func()) {
 	j.pressure.Store(fn)
 }
 
+// SetObs attaches a collector receiving lane-contention counters, or
+// detaches with nil.
+func (j *Journal) SetObs(c *obs.Collector) { j.col.Store(c) }
+
 func (j *Journal) callPressure() {
 	if fn, ok := j.pressure.Load().(func()); ok && fn != nil {
 		fn()
 	}
 }
 
-// Begin opens a transaction and reserves its commit slot.
+// lock acquires ln's mutex, counting contended acquisitions.
+func (j *Journal) lock(ln *lane) {
+	if ln.mu.TryLock() {
+		return
+	}
+	j.laneContended.Add(1)
+	j.col.Load().Add(obs.CtrJournalLaneContended, 1)
+	ln.mu.Lock()
+}
+
+// Begin opens a transaction on a round-robin-assigned lane and reserves its
+// commit slot there.
 func (j *Journal) Begin() *Tx {
-	j.mu.Lock()
-	t := &Tx{j: j}
-	t.id = uint32(j.nextID)
-	j.nextID++
-	j.open[t.id] = struct{}{}
-	t.commitSlot = j.allocSlotLocked(t)
-	j.mu.Unlock()
+	ln := j.lanes[j.nextLane.Add(1)%uint64(len(j.lanes))]
+	t := &Tx{j: j, ln: ln, id: j.nextID.Add(1)}
+	j.lock(ln)
+	ln.open[t.id] = struct{}{}
+	t.commitSlot = j.allocSlotLocked(ln, t)
+	ln.mu.Unlock()
 	return t
 }
 
-// allocSlotLocked reserves one entry slot for t in the current half,
-// rotating halves when full. Called with j.mu held; may drop and reacquire
+// allocSlotLocked reserves one entry slot for t in ln's current half,
+// rotating halves when full. Called with ln.mu held; may drop and reacquire
 // it while waiting for the other half to drain.
-func (j *Journal) allocSlotLocked(t *Tx) int64 {
+func (j *Journal) allocSlotLocked(ln *lane, t *Tx) int64 {
 	for {
-		h := &j.halves[j.cur]
+		h := &ln.halves[ln.cur]
 		if h.next < h.count {
 			s := h.next
 			h.next++
-			if !t.touched[j.cur] {
-				t.touched[j.cur] = true
+			if !t.touched[ln.cur] {
+				t.touched[ln.cur] = true
 				h.live++
 			}
 			// Nudge the drainers early when a half passes 3/4 full.
@@ -199,19 +271,19 @@ func (j *Journal) allocSlotLocked(t *Tx) int64 {
 		}
 		// Current half is full: rotate once the other half has no live
 		// transactions.
-		other := &j.halves[1-j.cur]
+		other := &ln.halves[1-ln.cur]
 		if other.live == 0 {
 			j.zeroHalfLocked(other)
 			other.next = 0
-			j.cur = 1 - j.cur
+			ln.cur = 1 - ln.cur
 			j.checkpoints.Add(1)
 			continue
 		}
 		j.stalls.Add(1)
-		j.mu.Unlock()
+		ln.mu.Unlock()
 		j.callPressure()
 		time.Sleep(50 * time.Microsecond)
-		j.mu.Lock()
+		j.lock(ln)
 	}
 }
 
@@ -241,11 +313,13 @@ func (j *Journal) writeEntry(addr int64, e [EntrySize]byte) {
 	j.entriesLogged.Add(1)
 }
 
-// logEntry allocates a slot for t and writes e into it.
+// logEntry allocates a slot for t on its lane and writes e into it. The
+// device write happens outside the lane lock: the slot is exclusively
+// reserved, so only the slot cursor needs mutual exclusion.
 func (t *Tx) logEntry(e [EntrySize]byte) {
-	t.j.mu.Lock()
-	slot := t.j.allocSlotLocked(t)
-	t.j.mu.Unlock()
+	t.j.lock(t.ln)
+	slot := t.j.allocSlotLocked(t.ln, t)
+	t.ln.mu.Unlock()
 	t.j.writeEntry(slot, e)
 	t.slots = append(t.slots, slot)
 	t.hasEntries = true
@@ -298,8 +372,8 @@ func (t *Tx) LogBitmap(addr int64, mask uint64) {
 // durable. Transactions touching the same inode's metadata must be chained
 // in begin order, or an out-of-order crash could roll an earlier
 // uncommitted transaction's undo image over a later committed one's
-// update. Must be called before t's commit is requested; nil prev is a
-// no-op.
+// update. Chaining works across lanes (the dependency graph is global).
+// Must be called before t's commit is requested; nil prev is a no-op.
 func (t *Tx) After(prev *Tx) {
 	if prev == nil || prev == t {
 		return
@@ -416,14 +490,15 @@ func (j *Journal) writeRecord(cur *Tx) {
 	j.dev.Flush(cur.commitSlot, EntrySize)
 	j.dev.Fence()
 
-	j.mu.Lock()
+	ln := cur.ln
+	j.lock(ln)
 	for i := range cur.touched {
 		if cur.touched[i] {
-			j.halves[i].live--
+			ln.halves[i].live--
 		}
 	}
-	delete(j.open, cur.id)
-	j.mu.Unlock()
+	delete(ln.open, cur.id)
+	ln.mu.Unlock()
 }
 
 // ResidueEntry describes a valid journal entry that does not belong to any
@@ -431,29 +506,49 @@ func (j *Journal) writeRecord(cur *Tx) {
 type ResidueEntry struct {
 	// Slot is the entry index within the journal area.
 	Slot int
+	// Lane is the lane whose region holds the slot.
+	Lane int
 	// TxID is the owning transaction.
 	TxID uint32
 	// Kind is the entry kind byte (1 undo, 2 commit, 3 bitmap).
 	Kind byte
 }
 
-// Residue scans the journal area and returns every valid entry whose
-// transaction is not currently open. The caller must guarantee quiescence
-// (no transactions begun or committed during the scan); pmfs.Check runs it
-// after recovery or sync to verify the log retired committed transactions.
-func (j *Journal) Residue() []ResidueEntry {
-	j.mu.Lock()
-	open := make(map[uint32]struct{}, len(j.open))
-	for id := range j.open {
-		open[id] = struct{}{}
+// laneOf returns the index of the lane whose region contains addr, or -1
+// for addresses outside every lane (the unused tail when the area does not
+// divide evenly).
+func (j *Journal) laneOf(addr int64) int {
+	for i, ln := range j.lanes {
+		lo := ln.halves[0].base
+		hi := ln.halves[1].base + int64(ln.halves[1].count)*EntrySize
+		if addr >= lo && addr < hi {
+			return i
+		}
 	}
-	j.mu.Unlock()
+	return -1
+}
+
+// Residue scans every lane's region and returns each valid entry whose
+// transaction is not open on any lane. The caller must guarantee
+// quiescence (no transactions begun or committed during the scan);
+// pmfs.Check runs it after recovery or sync to verify the log retired
+// committed transactions.
+func (j *Journal) Residue() []ResidueEntry {
+	open := make(map[uint32]struct{})
+	for _, ln := range j.lanes {
+		ln.mu.Lock()
+		for id := range ln.open {
+			open[id] = struct{}{}
+		}
+		ln.mu.Unlock()
+	}
 
 	var out []ResidueEntry
 	count := int(j.size / EntrySize)
 	var e [EntrySize]byte
 	for s := 0; s < count; s++ {
-		j.dev.Read(e[:], j.base+int64(s)*EntrySize)
+		addr := j.base + int64(s)*EntrySize
+		j.dev.Read(e[:], addr)
 		if e[offValid] != 1 {
 			continue
 		}
@@ -461,7 +556,7 @@ func (j *Journal) Residue() []ResidueEntry {
 		if _, ok := open[txid]; ok {
 			continue
 		}
-		out = append(out, ResidueEntry{Slot: s, TxID: txid, Kind: e[offKind]})
+		out = append(out, ResidueEntry{Slot: s, Lane: j.laneOf(addr), TxID: txid, Kind: e[offKind]})
 	}
 	return out
 }
@@ -470,10 +565,14 @@ func (j *Journal) Residue() []ResidueEntry {
 type Stats struct {
 	EntriesLogged int64
 	Commits       int64
-	// Checkpoints counts half rotations (log reuse).
+	// Checkpoints counts half rotations (log reuse), summed across lanes.
 	Checkpoints int64
-	// Stalls counts waits for the opposite half to drain.
+	// Stalls counts waits for a lane's opposite half to drain.
 	Stalls int64
+	// Lanes is the number of independent journal lanes.
+	Lanes int
+	// LaneContended counts lane-lock acquisitions that found the lock held.
+	LaneContended int64
 }
 
 // Stats returns a snapshot of journal counters.
@@ -483,15 +582,20 @@ func (j *Journal) Stats() Stats {
 		Commits:       j.commits.Load(),
 		Checkpoints:   j.checkpoints.Load(),
 		Stalls:        j.stalls.Load(),
+		Lanes:         len(j.lanes),
+		LaneContended: j.laneContended.Load(),
 	}
 }
 
-// Recover scans the journal area, rolls back every transaction without a
-// commit record, and resets the area. Physical undo entries are applied in
-// reverse global-sequence order across all uncommitted transactions (not
-// merely per transaction), so interleaved writers to overlapping ranges
-// unwind to the oldest pre-image; bitmap entries apply their XOR mask,
-// which commutes. It returns the number of transactions rolled back.
+// Recover scans the whole journal area, rolls back every transaction
+// without a commit record, and resets the area. The scan is lane-agnostic
+// by construction: every entry carries its txid and a globally unique
+// sequence number, so entries from all lanes merge into one rollback
+// stream. Physical undo entries are applied in reverse global-sequence
+// order across all uncommitted transactions (not merely per transaction or
+// per lane), so interleaved writers to overlapping ranges unwind to the
+// oldest pre-image; bitmap entries apply their XOR mask, which commutes.
+// It returns the number of transactions rolled back.
 func Recover(dev *nvmm.Device, base, size int64) (rolledBack int, err error) {
 	if size < 2*cacheline.BlockSize || size%(2*cacheline.BlockSize) != 0 {
 		return 0, fmt.Errorf("journal: bad area size %d", size)

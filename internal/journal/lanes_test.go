@@ -1,0 +1,166 @@
+package journal
+
+import (
+	"testing"
+
+	"hinfs/internal/cacheline"
+)
+
+// TestNewLanesGeometry: the lanes must partition the log area exactly —
+// contiguous, non-overlapping, every byte owned by one half — for any lane
+// count, including ones that do not divide the area evenly.
+func TestNewLanesGeometry(t *testing.T) {
+	dev := testDev(t)
+	cases := []struct {
+		blocks    int64 // area size in blocks
+		lanes     int
+		wantLanes int
+	}{
+		{2, 0, 1},   // minimum area: one lane, one block per half
+		{2, 8, 1},   // clamp: only one half-block available
+		{16, 0, 8},  // default lane count, even split
+		{16, 8, 8},  // explicit, even split
+		{16, 3, 3},  // uneven: 8 half-blocks over 3 lanes = 3,3,2
+		{16, 5, 5},  // uneven: 8 half-blocks over 5 lanes = 2,2,2,1,1
+		{16, 16, 8}, // clamp to half-blocks
+		{64, 8, 8},
+	}
+	for _, c := range cases {
+		size := c.blocks * cacheline.BlockSize
+		j, err := NewLanes(dev, areaBase, size, c.lanes)
+		if err != nil {
+			t.Fatalf("NewLanes(%d blocks, %d lanes): %v", c.blocks, c.lanes, err)
+		}
+		if got := j.Lanes(); got != c.wantLanes {
+			t.Fatalf("NewLanes(%d blocks, %d lanes) = %d lanes, want %d",
+				c.blocks, c.lanes, got, c.wantLanes)
+		}
+		off := int64(areaBase)
+		for i, ln := range j.lanes {
+			for h := 0; h < 2; h++ {
+				if ln.halves[h].base != off {
+					t.Fatalf("%d blocks/%d lanes: lane %d half %d base = %d, want %d",
+						c.blocks, c.lanes, i, h, ln.halves[h].base, off)
+				}
+				if ln.halves[h].count < int(cacheline.BlockSize/EntrySize) {
+					t.Fatalf("%d blocks/%d lanes: lane %d half %d holds %d entries, below one block",
+						c.blocks, c.lanes, i, h, ln.halves[h].count)
+				}
+				off += int64(ln.halves[h].count) * EntrySize
+			}
+		}
+		if off != areaBase+size {
+			t.Fatalf("%d blocks/%d lanes: lanes cover [%d, %d), want [%d, %d)",
+				c.blocks, c.lanes, int64(areaBase), off, int64(areaBase), areaBase+size)
+		}
+	}
+}
+
+// TestNewLanesRejectsBadSize: the area must stay a positive multiple of two
+// blocks regardless of lane count.
+func TestNewLanesRejectsBadSize(t *testing.T) {
+	dev := testDev(t)
+	if _, err := NewLanes(dev, areaBase, cacheline.BlockSize, 4); err == nil {
+		t.Fatal("single-block area accepted")
+	}
+	if _, err := NewLanes(dev, areaBase, 3*cacheline.BlockSize, 2); err == nil {
+		t.Fatal("odd-block area accepted")
+	}
+}
+
+// TestResidueLaneAttribution: Residue reports valid entries not owned by
+// any open transaction, attributed to the lane holding their slot. Open
+// transactions' entries are excluded; a journal instance that never began
+// them (fresh mount over the same area) sees them all. Begin assigns lanes
+// round-robin, so consecutive Begins land on distinct lanes.
+func TestResidueLaneAttribution(t *testing.T) {
+	dev := testDev(t)
+	j := newJournal(t, dev)
+	const addr = 256 * 4096
+	const txs = 4
+	ids := make(map[uint32]bool)
+	for i := 0; i < txs; i++ {
+		tx := j.Begin()
+		tx.LogRange(addr+int64(i)*64, 8)
+		ids[tx.id] = true
+	}
+	// The writing journal holds all four open: nothing is residue.
+	if res := j.Residue(); len(res) != 0 {
+		t.Fatalf("live journal reported %d residue entries, want 0", len(res))
+	}
+	// A fresh instance over the same area has no open transactions, so
+	// every durable entry is residue — with lane attribution.
+	j, err := New(dev, areaBase, areaSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := j.Residue()
+	if len(res) < txs {
+		t.Fatalf("Residue reported %d entries, want >= %d", len(res), txs)
+	}
+	seen := make(map[uint32]bool)
+	lanes := make(map[int]bool)
+	for _, e := range res {
+		if e.Lane < 0 || e.Lane >= j.Lanes() {
+			t.Fatalf("entry at %#x attributed to lane %d (journal has %d)", e.Slot, e.Lane, j.Lanes())
+		}
+		ln := j.lanes[e.Lane]
+		lo := ln.halves[0].base
+		hi := ln.halves[1].base + int64(ln.halves[1].count)*EntrySize
+		slotAddr := int64(areaBase) + int64(e.Slot)*EntrySize
+		if slotAddr < lo || slotAddr >= hi {
+			t.Fatalf("entry %d (addr %#x) attributed to lane %d spanning [%#x, %#x)",
+				e.Slot, slotAddr, e.Lane, lo, hi)
+		}
+		if e.Kind == kindUndo {
+			seen[e.TxID] = true
+			lanes[e.Lane] = true
+		}
+	}
+	for id := range ids {
+		if !seen[id] {
+			t.Fatalf("open tx %d missing from residue", id)
+		}
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("round-robin Begin left all residue in %d lane(s)", len(lanes))
+	}
+}
+
+// TestCrossLaneRollbackOrder: two uncommitted transactions on different
+// lanes undo-log the same address in sequence. Rollback must apply undos in
+// reverse *global* sequence order — newest first — or the older pre-image
+// would not win. A per-lane scan that ignored the global sequence could
+// apply them in either order.
+func TestCrossLaneRollbackOrder(t *testing.T) {
+	dev := testDev(t)
+	j := newJournal(t, dev)
+	if j.Lanes() < 2 {
+		t.Fatalf("journal has %d lanes, test needs >= 2", j.Lanes())
+	}
+	const addr = 300 * 4096
+	dev.WriteNT([]byte("AAAAAAAA"), addr)
+
+	tx1 := j.Begin()
+	tx2 := j.Begin()
+	if tx1.ln == tx2.ln {
+		t.Fatal("consecutive Begins assigned the same lane")
+	}
+	tx1.LogRange(addr, 8) // pre-image AAAAAAAA, logged first (lower seq)
+	dev.WriteNT([]byte("BBBBBBBB"), addr)
+	tx2.LogRange(addr, 8) // pre-image BBBBBBBB, logged second (higher seq)
+	dev.WriteNT([]byte("CCCCCCCC"), addr)
+
+	rolled, err := Recover(dev, areaBase, areaSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled != 2 {
+		t.Fatalf("recovered %d txs, want 2", rolled)
+	}
+	got := make([]byte, 8)
+	dev.Read(got, addr)
+	if string(got) != "AAAAAAAA" {
+		t.Fatalf("cross-lane rollback applied out of order: %q, want AAAAAAAA", got)
+	}
+}

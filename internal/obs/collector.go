@@ -115,6 +115,18 @@ const (
 	// write errors and the backoff retries they triggered.
 	CtrWritebackFaults
 	CtrWritebackRetries
+	// CtrJournalLaneContended counts journal slot allocations that found
+	// their lane's mutex held (metadata hot-path lock contention).
+	CtrJournalLaneContended
+	// CtrAllocShardSteals counts block allocations that ran their home
+	// shard dry and crossed into another shard's range.
+	CtrAllocShardSteals
+	// CtrAllocWordsScanned counts bitmap words examined by the allocator's
+	// free-block scan (the hint-quality metric).
+	CtrAllocWordsScanned
+	// CtrDirLockContended counts namespace-lock acquisitions that found
+	// the per-directory lock held.
+	CtrDirLockContended
 	NumCounters
 )
 
@@ -133,6 +145,14 @@ func (c Counter) String() string {
 		return "writeback-faults"
 	case CtrWritebackRetries:
 		return "writeback-retries"
+	case CtrJournalLaneContended:
+		return "journal-lane-contended"
+	case CtrAllocShardSteals:
+		return "alloc-shard-steals"
+	case CtrAllocWordsScanned:
+		return "alloc-words-scanned"
+	case CtrDirLockContended:
+		return "dirlock-contended"
 	}
 	return "unknown"
 }
@@ -140,7 +160,8 @@ func (c Counter) String() string {
 // Counters lists every counter in display order.
 func Counters() []Counter {
 	return []Counter{CtrEagerBlocks, CtrLazyBlocks, CtrBenefitEager, CtrBenefitLazy,
-		CtrWritebackFaults, CtrWritebackRetries}
+		CtrWritebackFaults, CtrWritebackRetries,
+		CtrJournalLaneContended, CtrAllocShardSteals, CtrAllocWordsScanned, CtrDirLockContended}
 }
 
 // Collector aggregates one instance's observability state: an op-class

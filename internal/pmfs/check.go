@@ -21,12 +21,11 @@ var ErrJournalResidue = errors.New("journal residue")
 //   - inode Blocks counters must match the tree contents;
 //   - every allocated block must be reachable (no leaks).
 //
-// The file system must be quiescent while Check runs. It returns every
-// problem found (nil means the image is consistent).
+// The file system must be quiescent while Check runs (no in-flight
+// operations; with per-directory locking there is no single lock to take,
+// so quiescence is the caller's contract). It returns every problem found
+// (nil means the image is consistent).
 func (fs *FS) Check() []error {
-	fs.nsMu.RLock()
-	defer fs.nsMu.RUnlock()
-
 	var errs []error
 	addErr := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
@@ -44,7 +43,7 @@ func (fs *FS) Check() []error {
 			return 0
 		}
 		seen[bn] = ino
-		if fs.alloc.words[bn/64]&(1<<uint(bn%64)) == 0 {
+		if !fs.alloc.isAllocated(bn) {
 			addErr("inode %d: block %d referenced but free in bitmap", ino, bn)
 		}
 		if height == 0 {
@@ -128,16 +127,15 @@ func (fs *FS) Check() []error {
 	})
 
 	// Leak check: every allocated data-region block must have been seen.
-	fs.alloc.mu.Lock()
+	fs.alloc.lockAll()
 	for bn := fs.l.dataStart; bn < fs.l.totalBlocks; bn++ {
-		allocated := fs.alloc.words[bn/64]&(1<<uint(bn%64)) != 0
-		if allocated {
+		if fs.alloc.isAllocated(bn) {
 			if _, ok := seen[bn]; !ok {
 				addErr("block %d allocated but unreachable (leaked)", bn)
 			}
 		}
 	}
-	fs.alloc.mu.Unlock()
+	fs.alloc.unlockAll()
 
 	// Inode-table scan: every in-use inode must be linked somewhere.
 	for ino := Ino(1); ino < Ino(fs.l.maxInodes); ino++ {
@@ -153,8 +151,8 @@ func (fs *FS) Check() []error {
 	// and recovery zeroes the area, so anything else is residue that
 	// could replay a stale undo image after the next crash.
 	for _, r := range fs.jnl.Residue() {
-		errs = append(errs, fmt.Errorf("journal slot %d: valid entry (kind %d) for non-open tx %d: %w",
-			r.Slot, r.Kind, r.TxID, ErrJournalResidue))
+		errs = append(errs, fmt.Errorf("journal lane %d slot %d: valid entry (kind %d) for non-open tx %d: %w",
+			r.Lane, r.Slot, r.Kind, r.TxID, ErrJournalResidue))
 	}
 	return errs
 }

@@ -9,6 +9,7 @@ import (
 	"hinfs/internal/clock"
 	"hinfs/internal/journal"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 )
 
@@ -18,6 +19,18 @@ func putLE64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
 // FS is a mounted PMFS-like file system. It implements vfs.FileSystem with
 // direct access: reads copy NVMM→user, writes copy user→NVMM with
 // non-temporal stores, and all metadata updates are undo-journaled.
+//
+// Namespace concurrency uses per-directory read/write locks (each
+// directory's inodeState.dir) instead of one tree-wide mutex. Path walks
+// crab: the child's lock is acquired before the parent's is released, so a
+// walker can never land in a directory that was removed out from under it
+// — rmdir needs the parent's write lock to unlink the child and the
+// child's write lock to free it, and both conflict with the walker's read
+// locks. All lock edges therefore point parent→child, which is what makes
+// the scheme deadlock-free; the one operation needing two unrelated
+// directory locks (rename) is serialized against other renames by renameMu
+// and orders its pair ancestor-first (ino-order for disjoint subtrees).
+// See DESIGN.md "Lock hierarchy & multicore metadata scaling".
 type FS struct {
 	dev   *nvmm.Device
 	l     layout
@@ -25,14 +38,24 @@ type FS struct {
 	alloc *allocator
 	clk   clock.Clock
 
-	// nsMu serializes namespace (directory tree) mutations; lookups take
-	// the read side.
-	nsMu sync.RWMutex
+	// serial, when set, routes every namespace operation through serialMu
+	// exactly as the pre-sharding global nsMu did — the measured baseline
+	// for the metascale figure, not a production mode.
+	serial   bool
+	serialMu sync.RWMutex
+
+	// renameMu serializes renames against each other so that the ancestry
+	// relation between any rename's two parent directories is stable while
+	// it decides its lock order.
+	renameMu sync.Mutex
 
 	states sync.Map // Ino → *inodeState
 
 	inoMu    sync.Mutex
 	freeInos []Ino
+
+	col          atomic.Pointer[obs.Collector]
+	dirContended atomic.Int64
 
 	zero [BlockSize]byte
 
@@ -46,15 +69,15 @@ func Mkfs(dev *nvmm.Device, opts Options) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs := &FS{dev: dev, l: l, clk: clock.Real{}}
+	fs := &FS{dev: dev, l: l, clk: clock.Real{}, serial: opts.SerialNamespace}
 	// Zero the metadata regions.
 	for off := l.journalStart; off < l.bitmapStart; off += BlockSize {
 		dev.Write(fs.zero[:], off)
 	}
 	dev.Flush(l.journalStart, int(l.bitmapStart-l.journalStart))
-	fs.alloc = newAllocator(dev, l)
+	fs.alloc = newAllocator(dev, l, opts.AllocShards)
 	fs.alloc.format()
-	fs.jnl, err = journal.New(dev, l.journalStart, l.journalSize)
+	fs.jnl, err = journal.NewLanes(dev, l.journalStart, l.journalSize, opts.JournalLanes)
 	if err != nil {
 		return nil, err
 	}
@@ -68,15 +91,29 @@ func Mkfs(dev *nvmm.Device, opts Options) (*FS, error) {
 }
 
 // Mount parses an existing image, runs journal recovery, and returns the
-// file system. RecoveredTxs reports how many torn transactions were rolled
-// back.
+// file system with default runtime options.
 func Mount(dev *nvmm.Device) (*FS, error) {
-	fs, _, err := MountRecover(dev)
+	fs, _, err := MountRecoverOpts(dev, Options{})
+	return fs, err
+}
+
+// MountOpts is Mount with explicit runtime options (lane/shard counts and
+// the serial-namespace baseline switch; the format parameters come from
+// the superblock). Lane and shard counts are DRAM-only structures, so an
+// image may be remounted with any values.
+func MountOpts(dev *nvmm.Device, opts Options) (*FS, error) {
+	fs, _, err := MountRecoverOpts(dev, opts)
 	return fs, err
 }
 
 // MountRecover is Mount, also reporting rolled-back transaction count.
 func MountRecover(dev *nvmm.Device) (*FS, int, error) {
+	return MountRecoverOpts(dev, Options{})
+}
+
+// MountRecoverOpts is MountOpts, also reporting rolled-back transaction
+// count.
+func MountRecoverOpts(dev *nvmm.Device, opts Options) (*FS, int, error) {
 	l, err := readLayout(dev)
 	if err != nil {
 		return nil, 0, err
@@ -85,10 +122,10 @@ func MountRecover(dev *nvmm.Device) (*FS, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	fs := &FS{dev: dev, l: l, clk: clock.Real{}}
-	fs.alloc = newAllocator(dev, l)
+	fs := &FS{dev: dev, l: l, clk: clock.Real{}, serial: opts.SerialNamespace}
+	fs.alloc = newAllocator(dev, l, opts.AllocShards)
 	fs.alloc.load()
-	fs.jnl, err = journal.New(dev, l.journalStart, l.journalSize)
+	fs.jnl, err = journal.NewLanes(dev, l.journalStart, l.journalSize, opts.JournalLanes)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -100,6 +137,15 @@ func MountRecover(dev *nvmm.Device) (*FS, int, error) {
 // SetClock replaces the time source (tests and the HiNFS layer).
 func (fs *FS) SetClock(c clock.Clock) { fs.clk = c }
 
+// SetObs attaches an observability collector to the metadata path: journal
+// lane contention, allocator steal/scan counters, and directory-lock
+// contention. Nil detaches.
+func (fs *FS) SetObs(c *obs.Collector) {
+	fs.col.Store(c)
+	fs.jnl.SetObs(c)
+	fs.alloc.SetObs(c)
+}
+
 func (fs *FS) now() time.Time { return fs.clk.Now() }
 
 // Device returns the underlying NVMM device.
@@ -110,6 +156,13 @@ func (fs *FS) Journal() *journal.Journal { return fs.jnl }
 
 // FreeBlocks returns the number of free data blocks.
 func (fs *FS) FreeBlocks() int64 { return fs.alloc.freeBlocks() }
+
+// AllocStats reports block-allocator activity counters.
+func (fs *FS) AllocStats() AllocStats { return fs.alloc.stats() }
+
+// DirLockContended reports how many directory-lock acquisitions found the
+// lock held.
+func (fs *FS) DirLockContended() int64 { return fs.dirContended.Load() }
 
 func (fs *FS) initFreeInos() {
 	// Scan the inode table for free records; ino 0 is reserved invalid and
@@ -130,25 +183,80 @@ func (fs *FS) checkMounted() error {
 	return nil
 }
 
-// resolveDir walks parts from the root, returning the inode of the final
-// directory. Caller holds nsMu (read or write).
-func (fs *FS) resolveDir(parts []string) (Ino, error) {
+var nsNoop = func() {}
+
+// nsSerial takes the whole-tree lock in serial-namespace baseline mode and
+// returns the matching unlock; in the default sharded mode it is a no-op.
+func (fs *FS) nsSerial(write bool) func() {
+	if !fs.serial {
+		return nsNoop
+	}
+	if write {
+		fs.serialMu.Lock()
+		return fs.serialMu.Unlock
+	}
+	fs.serialMu.RLock()
+	return fs.serialMu.RUnlock
+}
+
+// dirLock acquires st's directory lock, counting contended acquisitions.
+func (fs *FS) dirLock(st *inodeState, write bool) {
+	if write {
+		if st.dir.TryLock() {
+			return
+		}
+	} else if st.dir.TryRLock() {
+		return
+	}
+	fs.dirContended.Add(1)
+	fs.col.Load().Add(obs.CtrDirLockContended, 1)
+	if write {
+		st.dir.Lock()
+	} else {
+		st.dir.RLock()
+	}
+}
+
+func (fs *FS) dirUnlock(st *inodeState, write bool) {
+	if write {
+		st.dir.Unlock()
+	} else {
+		st.dir.RUnlock()
+	}
+}
+
+// lockDirPath walks parts from the root with lock crabbing and returns the
+// final directory's inode with its dir lock held — in write mode when
+// write is set, read mode otherwise; intermediate directories are only
+// ever read-locked, and each child's lock is acquired before its parent's
+// is released. The caller must release the returned lock via dirUnlock.
+func (fs *FS) lockDirPath(parts []string, write bool) (Ino, *inodeState, error) {
 	cur := RootIno
-	for _, name := range parts {
+	curSt := fs.state(cur)
+	curWrite := write && len(parts) == 0
+	fs.dirLock(curSt, curWrite)
+	for i, name := range parts {
 		rec := fs.loadInode(cur)
 		if rec.Type != typeDir {
-			return 0, vfs.ErrNotDir
+			fs.dirUnlock(curSt, curWrite)
+			return 0, nil, vfs.ErrNotDir
 		}
 		_, d, ok := fs.dirLookup(rec, name)
 		if !ok {
-			return 0, vfs.ErrNotExist
+			fs.dirUnlock(curSt, curWrite)
+			return 0, nil, vfs.ErrNotExist
 		}
 		if d.typ != typeDir {
-			return 0, vfs.ErrNotDir
+			fs.dirUnlock(curSt, curWrite)
+			return 0, nil, vfs.ErrNotDir
 		}
-		cur = d.ino
+		childSt := fs.state(d.ino)
+		childWrite := write && i == len(parts)-1
+		fs.dirLock(childSt, childWrite)
+		fs.dirUnlock(curSt, curWrite)
+		cur, curSt, curWrite = d.ino, childSt, childWrite
 	}
-	return cur, nil
+	return cur, curSt, nil
 }
 
 // Resolve returns the inode at path.
@@ -157,15 +265,15 @@ func (fs *FS) Resolve(path string) (Ino, error) {
 	if err != nil {
 		return 0, err
 	}
-	fs.nsMu.RLock()
-	defer fs.nsMu.RUnlock()
+	defer fs.nsSerial(false)()
 	if len(parts) == 0 {
 		return RootIno, nil
 	}
-	dir, err := fs.resolveDir(parts[:len(parts)-1])
+	dir, dirSt, err := fs.lockDirPath(parts[:len(parts)-1], false)
 	if err != nil {
 		return 0, err
 	}
+	defer fs.dirUnlock(dirSt, false)
 	rec := fs.loadInode(dir)
 	_, d, ok := fs.dirLookup(rec, parts[len(parts)-1])
 	if !ok {
@@ -189,6 +297,11 @@ func (fs *FS) Open(path string, flags int) (vfs.File, error) {
 }
 
 // OpenFile is Open returning the concrete *File (used by the HiNFS layer).
+// The parent directory is write-locked only when the open may create; a
+// plain open shares the read lock. An O_TRUNC truncate is data-path work
+// and runs after the namespace lock is released — the handle's ref (taken
+// under the parent lock) keeps concurrent unlink from freeing the storage
+// underneath it.
 func (fs *FS) OpenFile(path string, flags int) (*File, error) {
 	if err := fs.checkMounted(); err != nil {
 		return nil, err
@@ -197,48 +310,54 @@ func (fs *FS) OpenFile(path string, flags int) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs.nsMu.Lock()
-	defer fs.nsMu.Unlock()
-	dirIno, err := fs.resolveDir(dirParts)
+	write := flags&vfs.OCreate != 0
+	defer fs.nsSerial(true)()
+	dirIno, dirSt, err := fs.lockDirPath(dirParts, write)
 	if err != nil {
 		return nil, err
 	}
 	dirRec := fs.loadInode(dirIno)
 	_, d, ok := fs.dirLookup(dirRec, base)
-	var ino Ino
+	var f *File
 	switch {
 	case ok && d.typ == typeDir:
+		fs.dirUnlock(dirSt, write)
 		return nil, vfs.ErrIsDir
 	case ok:
-		ino = d.ino
+		f = fs.fileHandle(d.ino, flags)
+		fs.dirUnlock(dirSt, write)
 		if flags&vfs.OTrunc != 0 {
-			f := fs.fileHandle(ino, flags)
 			f.Lock()
 			err := f.truncateLocked(0)
 			f.Unlock()
 			if err != nil {
+				f.Close()
 				return nil, err
 			}
-			return f, nil
 		}
 	case flags&vfs.OCreate != 0:
 		tx := fs.jnl.Begin()
-		ino, err = fs.allocInode(tx, typeFile)
+		ino, err := fs.allocInode(tx, typeFile)
 		if err != nil {
 			tx.Commit()
+			fs.dirUnlock(dirSt, write)
 			return nil, err
 		}
 		if err := fs.dirAddEntry(tx, dirIno, &dirRec, dentry{ino: ino, typ: typeFile, name: base}); err != nil {
 			fs.freeInode(tx, ino)
 			tx.Commit()
+			fs.dirUnlock(dirSt, write)
 			return nil, err
 		}
 		fs.storeInode(tx, dirIno, dirRec)
 		tx.Commit()
+		f = fs.fileHandle(ino, flags)
+		fs.dirUnlock(dirSt, write)
 	default:
+		fs.dirUnlock(dirSt, write)
 		return nil, vfs.ErrNotExist
 	}
-	return fs.fileHandle(ino, flags), nil
+	return f, nil
 }
 
 func (fs *FS) fileHandle(ino Ino, flags int) *File {
@@ -258,12 +377,12 @@ func (fs *FS) Mkdir(path string) error {
 	if err != nil {
 		return err
 	}
-	fs.nsMu.Lock()
-	defer fs.nsMu.Unlock()
-	dirIno, err := fs.resolveDir(dirParts)
+	defer fs.nsSerial(true)()
+	dirIno, dirSt, err := fs.lockDirPath(dirParts, true)
 	if err != nil {
 		return err
 	}
+	defer fs.dirUnlock(dirSt, true)
 	dirRec := fs.loadInode(dirIno)
 	if _, _, ok := fs.dirLookup(dirRec, base); ok {
 		return vfs.ErrExist
@@ -284,7 +403,10 @@ func (fs *FS) Mkdir(path string) error {
 	return nil
 }
 
-// Rmdir implements vfs.FileSystem.
+// Rmdir implements vfs.FileSystem. The victim's own write lock is taken
+// (parent first, then child) before it is freed, so walkers that crabbed
+// into it are excluded, and walkers that have not reached the parent yet
+// can never find its dentry again.
 func (fs *FS) Rmdir(path string) error {
 	if err := fs.checkMounted(); err != nil {
 		return err
@@ -293,12 +415,12 @@ func (fs *FS) Rmdir(path string) error {
 	if err != nil {
 		return err
 	}
-	fs.nsMu.Lock()
-	defer fs.nsMu.Unlock()
-	dirIno, err := fs.resolveDir(dirParts)
+	defer fs.nsSerial(true)()
+	dirIno, dirSt, err := fs.lockDirPath(dirParts, true)
 	if err != nil {
 		return err
 	}
+	defer fs.dirUnlock(dirSt, true)
 	dirRec := fs.loadInode(dirIno)
 	addr, d, ok := fs.dirLookup(dirRec, base)
 	if !ok {
@@ -307,6 +429,9 @@ func (fs *FS) Rmdir(path string) error {
 	if d.typ != typeDir {
 		return vfs.ErrNotDir
 	}
+	childSt := fs.state(d.ino)
+	fs.dirLock(childSt, true)
+	defer fs.dirUnlock(childSt, true)
 	rec := fs.loadInode(d.ino)
 	if !fs.dirEmpty(rec) {
 		return vfs.ErrNotEmpty
@@ -346,12 +471,12 @@ func (fs *FS) UnlinkKeepStorage(path string) (Ino, func(), error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	fs.nsMu.Lock()
-	defer fs.nsMu.Unlock()
-	dirIno, err := fs.resolveDir(dirParts)
+	defer fs.nsSerial(true)()
+	dirIno, dirSt, err := fs.lockDirPath(dirParts, true)
 	if err != nil {
 		return 0, nil, err
 	}
+	defer fs.dirUnlock(dirSt, true)
 	dirRec := fs.loadInode(dirIno)
 	addr, d, ok := fs.dirLookup(dirRec, base)
 	if !ok {
@@ -405,9 +530,54 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 	return nil
 }
 
+func partsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// partsPrefix reports whether a is a (non-strict) path prefix of b. With
+// no "." / ".." / symlinks, textual prefix is the ancestry relation.
+func partsPrefix(a, b []string) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	return partsEqual(a, b[:len(a)])
+}
+
+// peekDir resolves parts to a directory with read crabbing and returns the
+// ino plus its state pointer with no locks held. The pointer is the
+// validity token for the later re-lock: freeInode deletes the state entry,
+// so if fs.state(ino) still returns the same pointer the directory was
+// never freed (and renames are excluded by renameMu, so it is also still
+// at this path).
+func (fs *FS) peekDir(parts []string) (Ino, *inodeState, error) {
+	ino, st, err := fs.lockDirPath(parts, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	fs.dirUnlock(st, false)
+	return ino, st, nil
+}
+
 // RenameKeepStorage is Rename with the replaced target's storage
 // reclamation deferred to the returned closure (see UnlinkKeepStorage).
 // The returned ino is the replaced file's inode (0 if none was replaced).
+//
+// Locking protocol: renames hold renameMu (stabilizing directory
+// ancestry), resolve both parent directories with plain read crabbing
+// releasing all locks, then write-lock the two parents ancestor-first
+// (path-prefix order; ino order when the subtrees are disjoint) and
+// validate both via state-pointer identity before trusting the snapshot.
+// Holding the first parent's lock while walking to the second would
+// deadlock against walkers queued behind the pending write lock, which is
+// why the resolve and lock phases are separate.
 func (fs *FS) RenameKeepStorage(oldpath, newpath string) (Ino, func(), error) {
 	if err := fs.checkMounted(); err != nil {
 		return 0, nil, err
@@ -420,16 +590,79 @@ func (fs *FS) RenameKeepStorage(oldpath, newpath string) (Ino, func(), error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	fs.nsMu.Lock()
-	defer fs.nsMu.Unlock()
-	oldDir, err := fs.resolveDir(oldDirParts)
-	if err != nil {
-		return 0, nil, err
+	oldAll := append(append([]string{}, oldDirParts...), oldBase)
+	newAll := append(append([]string{}, newDirParts...), newBase)
+	if partsEqual(oldAll, newAll) {
+		return 0, nil, nil // rename to self is a no-op
 	}
-	newDir, err := fs.resolveDir(newDirParts)
-	if err != nil {
-		return 0, nil, err
+	if partsPrefix(oldAll, newAll) {
+		// Moving a directory into its own subtree would detach the subtree
+		// as an unreachable cycle.
+		return 0, nil, vfs.ErrInvalid
 	}
+	defer fs.nsSerial(true)()
+	fs.renameMu.Lock()
+	defer fs.renameMu.Unlock()
+
+	var (
+		oldDir, newDir     Ino
+		oldSt, newSt       *inodeState
+		oldWrite, newWrite bool // whether each lock is held separately
+	)
+	unlockBoth := func() {
+		if newWrite {
+			fs.dirUnlock(newSt, true)
+		}
+		if oldWrite {
+			fs.dirUnlock(oldSt, true)
+		}
+		oldWrite, newWrite = false, false
+	}
+	for attempt := 0; ; attempt++ {
+		oldDir, oldSt, err = fs.peekDir(oldDirParts)
+		if err != nil {
+			return 0, nil, err
+		}
+		newDir, newSt, err = fs.peekDir(newDirParts)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch {
+		case oldDir == newDir:
+			fs.dirLock(oldSt, true)
+			oldWrite = true
+			newSt = oldSt
+		case partsPrefix(oldDirParts, newDirParts):
+			fs.dirLock(oldSt, true)
+			fs.dirLock(newSt, true)
+			oldWrite, newWrite = true, true
+		case partsPrefix(newDirParts, oldDirParts):
+			fs.dirLock(newSt, true)
+			fs.dirLock(oldSt, true)
+			oldWrite, newWrite = true, true
+		case oldDir < newDir:
+			fs.dirLock(oldSt, true)
+			fs.dirLock(newSt, true)
+			oldWrite, newWrite = true, true
+		default:
+			fs.dirLock(newSt, true)
+			fs.dirLock(oldSt, true)
+			oldWrite, newWrite = true, true
+		}
+		// Both directories may have been removed (and their inos reused)
+		// between the unlocked resolve and the locks landing; a stale state
+		// pointer or record proves it.
+		if fs.state(oldDir) == oldSt && fs.loadInode(oldDir).Type == typeDir &&
+			fs.state(newDir) == newSt && fs.loadInode(newDir).Type == typeDir {
+			break
+		}
+		unlockBoth()
+		if attempt >= 16 {
+			return 0, nil, vfs.ErrNotExist
+		}
+	}
+	defer unlockBoth()
+
 	oldDirRec := fs.loadInode(oldDir)
 	oldAddr, d, ok := fs.dirLookup(oldDirRec, oldBase)
 	if !ok {
@@ -438,9 +671,6 @@ func (fs *FS) RenameKeepStorage(oldpath, newpath string) (Ino, func(), error) {
 	newDirRec := fs.loadInode(newDir)
 	if newDir == oldDir {
 		newDirRec = oldDirRec
-	}
-	if oldDir == newDir && oldBase == newBase {
-		return 0, nil, nil // rename to self is a no-op
 	}
 	var replaced Ino
 	var reclaim func()
@@ -490,12 +720,16 @@ func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	if err := fs.checkMounted(); err != nil {
 		return nil, err
 	}
-	ino, err := fs.Resolve(path)
+	parts, err := vfs.SplitPath(path)
 	if err != nil {
 		return nil, err
 	}
-	fs.nsMu.RLock()
-	defer fs.nsMu.RUnlock()
+	defer fs.nsSerial(false)()
+	ino, st, err := fs.lockDirPath(parts, false)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.dirUnlock(st, false)
 	rec := fs.loadInode(ino)
 	if rec.Type != typeDir {
 		return nil, vfs.ErrNotDir

@@ -46,10 +46,17 @@ func (fs *FS) writePtr(tx *journal.Tx, bn int64, slot int64, val int64) {
 	fs.dev.Flush(addr, 8)
 }
 
-// zeroBlock clears a freshly allocated block with plain stores. The zeroes
-// become durable along with whatever data flush later covers the block.
+// zeroBlock clears a freshly allocated block and flushes the zeroes. The
+// flush is required for crash consistency, not just hygiene: the allocator
+// reuses freed blocks (its per-shard hints rewind toward freed ranges), so a
+// fresh block may carry stale bytes from its previous life. Index blocks,
+// directory blocks and the unwritten tail of data blocks are all assumed to
+// read as zero once the allocating transaction commits — if the zeroes were
+// left as plain stores, a crash after the commit record could resurrect the
+// stale content (e.g. garbage tree pointers).
 func (fs *FS) zeroBlock(bn int64) {
 	fs.dev.Write(fs.zero[:], blockAddr(bn))
+	fs.dev.Flush(blockAddr(bn), BlockSize)
 }
 
 // treeLookup returns the block number holding file block idx, or 0 if the

@@ -71,10 +71,13 @@ func (fs *FS) storeInode(tx *journal.Tx, ino Ino, rec inodeRec) {
 }
 
 // inodeState is the DRAM-resident lock and bookkeeping for one inode.
-// mu is the inode data lock (serializes file reads/writes); meta guards
-// the small bookkeeping fields and may be taken while mu is held.
+// mu is the inode data lock (serializes file reads/writes); dir is the
+// per-directory namespace lock (crabbed during path walks, write-held for
+// dentry mutations — meaningful only on directory inodes); meta guards
+// the small bookkeeping fields and may be taken while mu or dir is held.
 type inodeState struct {
-	mu sync.RWMutex
+	mu  sync.RWMutex
+	dir sync.RWMutex
 
 	meta sync.Mutex
 	// refs counts open handles; a deleted inode is reclaimed at last close.

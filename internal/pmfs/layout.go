@@ -95,14 +95,26 @@ const (
 	deName    = 10 // up to 54 bytes
 )
 
-// Options configures Mkfs.
+// Options configures Mkfs (format parameters) and, via MountOpts, the
+// runtime concurrency knobs — lane/shard counts are DRAM-only structures,
+// not persisted, so any image may be remounted with different values.
 type Options struct {
 	// JournalBlocks is the size of the undo journal area (default 1024
-	// blocks = 4 MB; the area is split into two ping-pong halves, see
-	// internal/journal).
+	// blocks = 4 MB; the area is split into independent lanes of two
+	// ping-pong halves each, see internal/journal).
 	JournalBlocks int64
 	// MaxInodes is the inode table capacity (default 65536).
 	MaxInodes int64
+	// JournalLanes is the number of independent journal lanes (0 =
+	// journal.DefaultLanes). Runtime knob, not persisted.
+	JournalLanes int
+	// AllocShards is the number of block-allocator shards (0 =
+	// DefaultAllocShards). Runtime knob, not persisted.
+	AllocShards int
+	// SerialNamespace routes every namespace operation through one global
+	// RWMutex, recreating the pre-sharding metadata path. It exists as the
+	// measured baseline for the metascale figure — never set it otherwise.
+	SerialNamespace bool
 }
 
 func (o *Options) fill() {

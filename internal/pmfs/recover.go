@@ -1,9 +1,5 @@
 package pmfs
 
-import (
-	"encoding/binary"
-)
-
 // recoverRebuild reconstructs the allocation state from the recovered
 // namespace, after journal rollback. It exists because the bitmap's undo
 // records are logical XOR masks (see applyWords): rollback cannot know
@@ -78,9 +74,10 @@ func (fs *FS) recoverRebuild() (wordsFixed, inosFreed int) {
 		}
 	}
 
-	// Rewrite every bitmap word that disagrees with reachability.
+	// Rewrite every bitmap word that disagrees with reachability; the
+	// allocator recomputes its per-shard free counts and hints from the
+	// corrected mirror.
 	a := fs.alloc
-	a.mu.Lock()
 	want := make([]uint64, len(a.words))
 	for bn := int64(0); bn < a.firstBlock; bn++ {
 		want[bn/64] |= 1 << uint(bn%64)
@@ -88,25 +85,7 @@ func (fs *FS) recoverRebuild() (wordsFixed, inosFreed int) {
 	for bn := range reach {
 		want[bn/64] |= 1 << uint(bn%64)
 	}
-	var buf [8]byte
-	for i := range want {
-		if want[i] != a.words[i] {
-			a.words[i] = want[i]
-			addr := a.bitmapStart + int64(i)*8
-			binary.LittleEndian.PutUint64(buf[:], want[i])
-			a.dev.Write(buf[:], addr)
-			a.dev.Flush(addr, 8)
-			wordsFixed++
-		}
-	}
-	a.free = 0
-	for bn := a.firstBlock; bn < a.totalBlocks; bn++ {
-		if a.words[bn/64]&(1<<uint(bn%64)) == 0 {
-			a.free++
-		}
-	}
-	a.hint = a.firstBlock
-	a.mu.Unlock()
+	wordsFixed = a.rebuild(want)
 	if wordsFixed > 0 || inosFreed > 0 {
 		fs.dev.Fence()
 	}

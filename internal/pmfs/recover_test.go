@@ -20,14 +20,14 @@ func TestRecoverRebuildFixesPhantomAllocation(t *testing.T) {
 
 	// Find a free data block and set its bitmap bit on the device.
 	var victim int64 = -1
-	fs.alloc.mu.Lock()
+	fs.alloc.lockAll()
 	for bn := fs.alloc.firstBlock; bn < fs.alloc.totalBlocks; bn++ {
-		if fs.alloc.words[bn/64]&(1<<uint(bn%64)) == 0 {
+		if !fs.alloc.isAllocated(bn) {
 			victim = bn
 			break
 		}
 	}
-	fs.alloc.mu.Unlock()
+	fs.alloc.unlockAll()
 	if victim < 0 {
 		t.Fatal("no free block to corrupt")
 	}
