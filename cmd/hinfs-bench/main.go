@@ -11,7 +11,15 @@
 //	hinfs-bench -fig metascale    # metadata hot-path scaling report
 //	hinfs-bench -fig 8 -shards 1  # pin the buffer to a single shard
 //	hinfs-bench -fig latency      # per-op latency percentiles + path mix
+//	hinfs-bench -fig amplification  # copy attribution + write amplification
+//	hinfs-bench -fig 7 -json out.json      # machine-readable results
+//	hinfs-bench -fig all -seed 42 -json out.json  # reseeded op streams
 //	hinfs-bench -fig 7 -debug-addr :6060   # live expvar/pprof while running
+//
+// -json writes the canonical benchmark document (schema hinfs-bench/v1):
+// an environment fingerprint plus every regenerated figure's raw series
+// and per-point resource profiles. Feed two such documents to
+// hinfs-benchdiff to gate regressions.
 //
 // Figures 3-5 are design diagrams with no measurements and are not
 // regenerated.
@@ -26,6 +34,7 @@ import (
 
 	"hinfs/internal/harness"
 	"hinfs/internal/obs"
+	"hinfs/internal/workload"
 )
 
 func main() {
@@ -39,9 +48,17 @@ func main() {
 		device    = flag.Int64("device", 256, "emulated device size (MiB)")
 		buffer    = flag.Int("buffer", 0, "HiNFS DRAM buffer in 4 KiB blocks (0 = calibrated default)")
 		shards    = flag.Int("shards", 0, "DRAM buffer shards (0 = one per GOMAXPROCS, capped by pool size)")
+		seed      = flag.Uint64("seed", 0, "base workload seed mixed into every op stream (0 = fixed per-workload defaults)")
+		jsonPath  = flag.String("json", "", "write the machine-readable benchmark document to this path")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/obs and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*latency, *bandwidth, *device, *ops, *threads, *buffer, *shards); err != nil {
+		fmt.Fprintf(os.Stderr, "hinfs-bench: %v\n", err)
+		os.Exit(1)
+	}
+	workload.SetBaseSeed(*seed)
 
 	cfg := harness.Config{
 		DeviceSize:     *device << 20,
@@ -49,6 +66,11 @@ func main() {
 		WriteBandwidth: *bandwidth,
 		BufferBlocks:   *buffer,
 		BufferShards:   *shards,
+	}
+	if *jsonPath != "" {
+		// Profiles carry op-class latencies and copy attribution, which
+		// only exist when instances collect them.
+		cfg.Observe = true
 	}
 	if *debugAddr != "" {
 		// Live metrics imply collection: every instance gets a collector
@@ -66,21 +88,22 @@ func main() {
 
 	type figFn func(harness.Config, harness.Opts) (*harness.Figure, error)
 	figures := map[string]figFn{
-		"1":       harness.Figure1,
-		"2":       harness.Figure2,
-		"6":       harness.Figure6,
-		"7":       harness.Figure7,
-		"8":       harness.Figure8,
-		"9":       harness.Figure9,
-		"10":      harness.Figure10,
-		"11":      harness.Figure11,
-		"12":      harness.Figure12,
-		"13":      harness.Figure13,
-		"pool":      harness.PoolScaling,
-		"metascale": harness.MetadataScaling,
-		"latency":   harness.FigureLatency,
+		"1":             harness.Figure1,
+		"2":             harness.Figure2,
+		"6":             harness.Figure6,
+		"7":             harness.Figure7,
+		"8":             harness.Figure8,
+		"9":             harness.Figure9,
+		"10":            harness.Figure10,
+		"11":            harness.Figure11,
+		"12":            harness.Figure12,
+		"13":            harness.Figure13,
+		"pool":          harness.PoolScaling,
+		"metascale":     harness.MetadataScaling,
+		"latency":       harness.FigureLatency,
+		"amplification": harness.FigureAmplification,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
@@ -88,9 +111,11 @@ func main() {
 		fmt.Println("'pool' is the DRAM buffer lock-scaling report (not a paper figure)")
 		fmt.Println("'metascale' is the PMFS metadata hot-path scaling report (not a paper figure)")
 		fmt.Println("'latency' is the per-op-class percentile + path-mix report (not a paper figure)")
+		fmt.Println("'amplification' is the §2 copy-attribution + write-amplification report (not a paper figure)")
 		return
 	}
 
+	doc := harness.NewBenchDoc(cfg, opts)
 	run := func(name string) {
 		fn, ok := figures[name]
 		if !ok {
@@ -106,13 +131,46 @@ func main() {
 		}
 		fig.Table.Fprint(os.Stdout)
 		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		doc.Add(name, fig)
 	}
 
 	if *figFlag == "all" {
 		for _, name := range order {
 			run(name)
 		}
-		return
+	} else {
+		run(*figFlag)
 	}
-	run(*figFlag)
+	if *jsonPath != "" {
+		if err := doc.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hinfs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hinfs-bench: wrote %s (%d figures, schema %s)\n",
+			*jsonPath, len(doc.Figures), harness.SchemaVersion)
+	}
+}
+
+// validateFlags rejects parameter values the emulator cannot run with,
+// before any instance mounts. 0 stays valid for -ops/-threads/-buffer/
+// -shards ("use the per-figure or calibrated default"); the physical
+// device knobs must be positive.
+func validateFlags(latency time.Duration, bandwidth, device int64, ops, threads, buffer, shards int) error {
+	switch {
+	case latency <= 0:
+		return fmt.Errorf("invalid -latency %v: must be > 0", latency)
+	case bandwidth <= 0:
+		return fmt.Errorf("invalid -bandwidth %d: must be > 0 bytes/s", bandwidth)
+	case device <= 0:
+		return fmt.Errorf("invalid -device %d: must be > 0 MiB", device)
+	case ops < 0:
+		return fmt.Errorf("invalid -ops %d: must be >= 0 (0 = per-figure default)", ops)
+	case threads < 0:
+		return fmt.Errorf("invalid -threads %d: must be >= 0 (0 = per-figure default)", threads)
+	case buffer < 0:
+		return fmt.Errorf("invalid -buffer %d: must be >= 0 (0 = calibrated default)", buffer)
+	case shards < 0:
+		return fmt.Errorf("invalid -shards %d: must be >= 0 (0 = auto)", shards)
+	}
+	return nil
 }

@@ -1,0 +1,95 @@
+// Command hinfs-benchdiff compares hinfs-bench JSON documents and fails
+// on performance regressions.
+//
+// Usage:
+//
+//	hinfs-bench -fig all -json base.json          # record a baseline
+//	hinfs-bench -fig all -json new.json           # record a candidate
+//	hinfs-benchdiff base.json new.json            # compare (10% tolerance)
+//	hinfs-benchdiff -tol 0.25 base.json new.json  # noisy-runner tolerance
+//	hinfs-benchdiff -figtol 7=0.5,latency=0.3 base.json new.json
+//	hinfs-benchdiff base.json run1.json run2.json run3.json  # min-of-N
+//
+// With several candidate documents, each series is judged by the repeat
+// closest to the baseline (min-of-N): transient noise in one run does not
+// fail the gate. Exit status: 0 all series within tolerance, 1 regression
+// or missing series, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hinfs/internal/harness"
+)
+
+func main() {
+	var (
+		tol    = flag.Float64("tol", 0.10, "default relative tolerance per series")
+		figtol = flag.String("figtol", "", "per-figure or per-series overrides: 'fig=tol' or 'fig:series=tol', comma-separated")
+		out    = flag.String("o", "-", "write the markdown report here ('-' = stdout)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hinfs-benchdiff [flags] baseline.json current.json [repeat.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol <= 0 {
+		fmt.Fprintf(os.Stderr, "hinfs-benchdiff: invalid -tol %v: must be > 0\n", *tol)
+		os.Exit(2)
+	}
+	opts := harness.DiffOptions{
+		Tolerance: *tol,
+		PerFigure: map[string]float64{},
+		PerSeries: map[string]float64{},
+	}
+	if *figtol != "" {
+		for _, ent := range strings.Split(*figtol, ",") {
+			key, val, ok := strings.Cut(ent, "=")
+			t, err := strconv.ParseFloat(val, 64)
+			if !ok || err != nil || t <= 0 || key == "" {
+				fmt.Fprintf(os.Stderr, "hinfs-benchdiff: invalid -figtol entry %q (want 'fig=0.5' or 'fig:series=0.5')\n", ent)
+				os.Exit(2)
+			}
+			if strings.Contains(key, ":") {
+				opts.PerSeries[key] = t
+			} else {
+				opts.PerFigure[key] = t
+			}
+		}
+	}
+
+	base, err := harness.ReadBenchDoc(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hinfs-benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var runs []*harness.BenchDoc
+	for _, path := range flag.Args()[1:] {
+		d, err := harness.ReadBenchDoc(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hinfs-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		runs = append(runs, d)
+	}
+
+	rep := harness.Diff(base, runs, opts)
+	md := rep.Markdown()
+	if *out == "-" {
+		fmt.Print(md)
+	} else if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "hinfs-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if rep.Regressed() {
+		os.Exit(1)
+	}
+}

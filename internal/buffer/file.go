@@ -6,6 +6,7 @@ import (
 
 	"hinfs/internal/cacheline"
 	"hinfs/internal/journal"
+	"hinfs/internal/obs"
 )
 
 // FileBuf is the per-file view of the pool: the DRAM Block Index mapping
@@ -109,6 +110,7 @@ func (fb *FileBuf) Write(idx int64, blkOff int, data []byte, addr int64, blockEx
 	}
 	if fetchMask.Any() {
 		runs := fetchMask.Runs(nil, 0, cacheline.PerBlock-1)
+		fetched := 0
 		for _, r := range runs {
 			if !r.Set {
 				continue
@@ -116,16 +118,19 @@ func (fb *FileBuf) Write(idx int64, blkOff int, data []byte, addr int64, blockEx
 			if blockExists {
 				p.dev.Read(b.data[r.Off:r.Off+r.Len], b.addr+int64(r.Off))
 				p.linesFetched.Add(int64(r.Len / cacheline.Size))
+				fetched += r.Len
 			} else {
 				// Backing block is fresh: the missing lines are zero.
 				zero(b.data[r.Off : r.Off+r.Len])
 			}
 		}
+		p.cfg.Obs.Copy(obs.CopyWriteFetch, fetched)
 	}
 	if !p.cfg.CLFW {
 		valid = cacheline.Full
 	}
 	copy(b.data[blkOff:], data)
+	p.cfg.Obs.Copy(obs.CopyUserIn, len(data))
 	b.valid.Store(uint64(valid | mask))
 	b.dirty.Store(uint64(b.dirtyMap() | mask))
 	b.lastWrite.Store(p.clk.Now().UnixNano())
@@ -158,6 +163,7 @@ func (fb *FileBuf) ReadMerge(idx int64, blkOff int, dst []byte, addr int64) bool
 		return false
 	}
 	defer b.pins.Add(-1)
+	fb.pool.cfg.Obs.Copy(obs.CopyReadOut, len(dst))
 	first, last := cacheline.LinesCovering(blkOff, len(dst))
 	runs := b.validMap().Runs(nil, first, last)
 	for _, r := range runs {
@@ -265,7 +271,7 @@ func (fb *FileBuf) Flush() (int, error) {
 		for _, b := range victims {
 			b.fmu.Lock()
 			n := b.dirtyMap().Count()
-			err := p.flushBlockRetryLocked(b)
+			err := p.flushBlockRetryLocked(b, obs.CopySyncFlush)
 			b.fmu.Unlock()
 			b.pins.Add(-1)
 			if err != nil {
@@ -302,7 +308,7 @@ func (fb *FileBuf) EvictBlock(idx int64) error {
 		}
 		b.pins.Add(1)
 		sh.mu.Unlock()
-		err := p.flushBlock(b)
+		err := p.flushBlock(b, obs.CopyInlineEvict)
 		sh.mu.Lock()
 		ok := err == nil && b.fb != nil && b.pins.Load() == 1 && !b.dirtyMap().Any()
 		if ok {
@@ -334,7 +340,7 @@ func (fb *FileBuf) Invalidate(idx int64, blkOff, n int) error {
 	mask := cacheline.RangeMask(blkOff, n)
 	b.fmu.Lock()
 	if (b.dirtyMap() & mask).Any() {
-		if err := fb.pool.flushBlockRetryLocked(b); err != nil {
+		if err := fb.pool.flushBlockRetryLocked(b, obs.CopyInlineEvict); err != nil {
 			b.fmu.Unlock()
 			b.pins.Add(-1)
 			return err
@@ -364,7 +370,7 @@ func (fb *FileBuf) dropIfEmpty(idx int64) {
 	sh.mu.Unlock()
 	// No valid lines means no dirty lines: this only releases any gated
 	// transactions and cannot fail.
-	_ = p.flushBlock(b)
+	_ = p.flushBlock(b, obs.CopySyncFlush)
 	p.releaseBlock(b)
 }
 

@@ -505,7 +505,7 @@ func (p *Pool) Close() {
 				runtime.Gosched()
 				continue
 			}
-			err := p.flushBlock(victim)
+			err := p.flushBlock(victim, obs.CopySyncFlush)
 			sh.mu.Lock()
 			ok := err == nil && victim.fb != nil && victim.pins.Load() == 1 &&
 				!victim.dirtyMap().Any()
@@ -649,11 +649,14 @@ const faultQuarantine = 5 * time.Millisecond
 
 // flushBlock writes b's dirty lines back to NVMM, retrying injected write
 // faults with exponential backoff. The caller must hold a pin or have
-// detached the block. On error the block keeps its dirty lines.
-func (p *Pool) flushBlock(b *block) error {
+// detached the block. On error the block keeps its dirty lines. kind
+// attributes the DRAM→NVMM copy: CopySyncFlush for fsync/sync/unmount,
+// CopyInlineEvict for foreground stall evictions, CopyWriteback for
+// background reclaim/age passes.
+func (p *Pool) flushBlock(b *block, kind obs.CopyKind) error {
 	b.fmu.Lock()
 	defer b.fmu.Unlock()
-	return p.flushBlockRetryLocked(b)
+	return p.flushBlockRetryLocked(b, kind)
 }
 
 // flushBlockRetryLocked runs one writeback episode: an attempt plus up to
@@ -661,8 +664,8 @@ func (p *Pool) flushBlock(b *block) error {
 // episode fails the block stays dirty (nothing is lost), is quarantined
 // from eviction for faultQuarantine, and the error is returned for sync
 // paths to surface. Caller holds b.fmu.
-func (p *Pool) flushBlockRetryLocked(b *block) error {
-	err := p.flushBlockLocked(b)
+func (p *Pool) flushBlockRetryLocked(b *block, kind obs.CopyKind) error {
+	err := p.flushBlockLocked(b, kind)
 	if err == nil {
 		return nil
 	}
@@ -672,7 +675,7 @@ func (p *Pool) flushBlockRetryLocked(b *block) error {
 		backoff *= 2
 		p.wbRetries.Add(1)
 		p.cfg.Obs.Add(obs.CtrWritebackRetries, 1)
-		if err = p.flushBlockLocked(b); err == nil {
+		if err = p.flushBlockLocked(b, kind); err == nil {
 			return nil
 		}
 	}
@@ -686,11 +689,15 @@ func (p *Pool) flushBlockRetryLocked(b *block) error {
 // is cleared — and gated transactions notified — only after every write
 // succeeded, so a failed attempt is safe to retry (undone runs stay dirty,
 // re-written runs are idempotent). Caller holds b.fmu.
-func (p *Pool) flushBlockLocked(b *block) error {
+func (p *Pool) flushBlockLocked(b *block, kind obs.CopyKind) error {
 	dirty := b.dirtyMap()
 	if !dirty.Any() {
 		notifyTxsLocked(b)
 		return nil
+	}
+	dirtyBytes := dirty.Count() * cacheline.Size
+	if !p.cfg.CLFW {
+		dirtyBytes = BlockSize
 	}
 	write := func(data []byte, addr int64) error {
 		if f := p.cfg.WriteFault; f != nil {
@@ -724,6 +731,7 @@ func (p *Pool) flushBlockLocked(b *block) error {
 	}
 	p.dev.Fence()
 	b.dirty.Store(0)
+	p.cfg.Obs.Copy(kind, dirtyBytes)
 	notifyTxsLocked(b)
 	return nil
 }
@@ -755,7 +763,7 @@ func (p *Pool) FlushAll() (int, error) {
 		for _, b := range victims {
 			b.fmu.Lock()
 			n := b.dirtyMap().Count()
-			err := p.flushBlockRetryLocked(b)
+			err := p.flushBlockRetryLocked(b, obs.CopySyncFlush)
 			b.fmu.Unlock()
 			b.pins.Add(-1)
 			if err != nil {
@@ -832,7 +840,7 @@ func (p *Pool) reclaimShard(sh *shard) {
 		}
 		victim.pins.Add(1)
 		sh.mu.Unlock()
-		if p.evictPinned(sh, victim) {
+		if p.evictPinned(sh, victim, obs.CopyWriteback) {
 			batch++
 		}
 	}
@@ -846,9 +854,11 @@ func (p *Pool) reclaimShard(sh *shard) {
 // evictPinned flushes a pinned eviction victim and, if the flush succeeded
 // and the block is still installed, clean and exclusively ours, detaches
 // and releases it. The pin is always dropped. Reports whether the block
-// was reclaimed.
-func (p *Pool) evictPinned(sh *shard, victim *block) bool {
-	err := p.flushBlock(victim)
+// was reclaimed. kind attributes the flush copy: CopyWriteback from the
+// background reclaim threads, CopyInlineEvict from a stalled foreground
+// allocation.
+func (p *Pool) evictPinned(sh *shard, victim *block, kind obs.CopyKind) bool {
+	err := p.flushBlock(victim, kind)
 	sh.mu.Lock()
 	ok := err == nil && victim.fb != nil && victim.pins.Load() == 1 &&
 		!victim.dirtyMap().Any()
@@ -905,7 +915,7 @@ func (p *Pool) flushAgedFrom(off int) {
 		for _, b := range victims {
 			// A failed episode quarantines the block; the next periodic
 			// sweep retries it.
-			_ = p.flushBlock(b)
+			_ = p.flushBlock(b, obs.CopyWriteback)
 			b.pins.Add(-1)
 		}
 		if len(victims) > 0 {
@@ -981,7 +991,7 @@ func (p *Pool) allocBlock(sh *shard) *block {
 		if victim != nil {
 			victim.pins.Add(1)
 			sh.mu.Unlock()
-			if !p.evictPinned(sh, victim) {
+			if !p.evictPinned(sh, victim, obs.CopyInlineEvict) {
 				// Writeback failed (victim is quarantined) or the block
 				// was re-dirtied; back off before rescanning.
 				<-p.clk.After(stallBackoff)

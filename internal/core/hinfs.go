@@ -329,6 +329,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 				}
 			} else {
 				f.fs.Device().Read(dst, addr+int64(bo))
+				c.Copy(obs.CopyReadOut, len(dst))
 			}
 		} else {
 			merged = true
@@ -433,6 +434,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 				break
 			}
 			dev.WriteNT(data, e.Addr+int64(blkOff))
+			c.Copy(obs.CopyUserIn, len(data))
 			anyDirect = true
 			eagerBlocks++
 		default:

@@ -31,6 +31,7 @@ import (
 
 	"hinfs/internal/blockdev"
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs"
 	"hinfs/internal/pagecache"
 	"hinfs/internal/vfs"
 )
@@ -67,6 +68,10 @@ type Options struct {
 	CachePages int
 	// BlockConfig tunes the emulated block layer.
 	BlockConfig blockdev.Config
+	// Obs, when non-nil, receives copy-attribution events from the file
+	// data path and the page cache (user↔page copies, fills, evictions,
+	// flushes). Nil disables accounting.
+	Obs *obs.Collector
 }
 
 func (o *Options) fill() {
@@ -152,6 +157,9 @@ type FS struct {
 
 	unmounted atomic.Bool
 	zero      [BlockSize]byte
+
+	// col receives file-level copy attribution (nil-safe).
+	col *obs.Collector
 }
 
 // Mkfs formats the NVMM device as extfs and mounts it.
@@ -162,7 +170,8 @@ func Mkfs(nv *nvmm.Device, opts Options) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs := &FS{nv: nv, bdev: bdev, cache: pagecache.New(bdev, opts.CachePages), opts: opts, l: l}
+	fs := &FS{nv: nv, bdev: bdev, cache: pagecache.New(bdev, opts.CachePages), opts: opts, l: l, col: opts.Obs}
+	fs.cache.SetObs(opts.Obs)
 	fs.words = make([]uint64, (l.totalBlocks+63)/64)
 	for bn := int64(0); bn < l.dataStart; bn++ {
 		fs.words[bn/64] |= 1 << uint(bn%64)

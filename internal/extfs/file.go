@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 )
 
@@ -651,8 +652,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			}
 		case f.fs.opts.DAX:
 			f.fs.nv.Read(dst, bn*BlockSize+int64(bo))
+			f.fs.col.Copy(obs.CopyReadOut, chunk)
 		default:
 			f.fs.cache.Read(dst, bn, bo)
+			f.fs.col.Copy(obs.CopyReadOut, chunk)
 		}
 		read += chunk
 	}
@@ -699,6 +702,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		} else {
 			f.fs.cache.Write(src, bn, bo, created)
 		}
+		f.fs.col.Copy(obs.CopyUserIn, chunk)
 		written += chunk
 	}
 	if off+int64(len(p)) > rec.Size {

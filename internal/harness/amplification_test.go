@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// ampCfg keeps the amplification runs fast: real-time scale and cheap
+// device latencies (the figure reads copy counters, not wall time).
+func ampCfg() Config {
+	return Config{
+		DeviceSize:      128 << 20,
+		WriteLatency:    time.Nanosecond,
+		ReadLatency:     time.Nanosecond,
+		BlockOverhead:   time.Microsecond,
+		SyscallOverhead: time.Nanosecond,
+		TimeScale:       1,
+	}
+}
+
+// TestAmplificationFigure checks the figure reproduces the paper's §2
+// double-copy analysis: HiNFS's lazy write path copies strictly less on
+// the critical path than the page-cache baselines, and — for the
+// unique-offset workload where nothing can coalesce away — every system
+// flushes at least as many bytes to NVMM as the workload wrote.
+func TestAmplificationFigure(t *testing.T) {
+	fig, err := FigureAmplification(ampCfg(), Opts{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wl = "seq-write"
+	hinfs := fig.Get(string(HiNFS) + "/" + wl + "/copies-per-write")
+	// Block-aligned lazy writes land in the DRAM buffer exactly once.
+	if hinfs < 0.99 || hinfs > 1.05 {
+		t.Errorf("hinfs copies-per-write = %.3f, want ~1.0", hinfs)
+	}
+	for _, sys := range []System{EXT2NVMMBD, EXT4NVMMBD} {
+		pc := fig.Get(string(sys) + "/" + wl + "/copies-per-write")
+		if pc <= hinfs {
+			t.Errorf("%s copies-per-write = %.3f, want strictly above hinfs %.3f (page cache double copy)", sys, pc, hinfs)
+		}
+	}
+	for _, sys := range AmpSystems {
+		amp := fig.Get(string(sys) + "/" + wl + "/amp")
+		if amp < 1.0 {
+			t.Errorf("%s amplification = %.3f on %s, want >= 1.0 (drained unique-offset writes)", sys, amp, wl)
+		}
+	}
+	// Every cell carries a machine-readable profile with copy counters.
+	for _, sys := range AmpSystems {
+		p := fig.Profiles[string(sys)+"/"+wl]
+		if p == nil {
+			t.Fatalf("%s/%s: missing profile", sys, wl)
+		}
+		if len(p.Copies) == 0 {
+			t.Errorf("%s/%s: profile has no copy attribution", sys, wl)
+		}
+	}
+}
+
+// TestAmpUniqueWorkloads pins the set the >=1 guarantee is asserted for.
+func TestAmpUniqueWorkloads(t *testing.T) {
+	got := AmpUniqueWorkloads()
+	if len(got) != 1 || got[0] != "seq-write" {
+		t.Fatalf("unique workloads = %v, want [seq-write]", got)
+	}
+}

@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DiffOptions tunes the noise model of a benchmark comparison.
+type DiffOptions struct {
+	// Tolerance is the default relative threshold: a series whose best
+	// repeat deviates from the baseline by more than this fraction is
+	// flagged (default 0.10).
+	Tolerance float64
+	// PerFigure overrides the tolerance for whole figures by name
+	// (e.g. "7" → 0.5 for a noisy CI runner).
+	PerFigure map[string]float64
+	// PerSeries overrides the tolerance for single series, keyed
+	// "figure:series". Takes precedence over PerFigure.
+	PerSeries map[string]float64
+}
+
+func (o *DiffOptions) fill() {
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.10
+	}
+}
+
+// tol resolves the threshold for one series.
+func (o *DiffOptions) tol(figure, series string) float64 {
+	if t, ok := o.PerSeries[figure+":"+series]; ok {
+		return t
+	}
+	if t, ok := o.PerFigure[figure]; ok {
+		return t
+	}
+	return o.Tolerance
+}
+
+// DiffRow is one out-of-tolerance series.
+type DiffRow struct {
+	Figure string  `json:"figure"`
+	Series string  `json:"series"`
+	Base   float64 `json:"base"`
+	// New is the best (least-deviating) repeat's value.
+	New float64 `json:"new"`
+	// Rel is (New-Base)/Base; ±Inf when the baseline is zero.
+	Rel float64 `json:"rel"`
+	// Tol is the threshold the row exceeded.
+	Tol float64 `json:"tol"`
+}
+
+// DiffReport is the outcome of comparing benchmark documents.
+type DiffReport struct {
+	// Compared counts the series present in both documents.
+	Compared int
+	// Rows lists the series outside tolerance, sorted by figure/series.
+	Rows []DiffRow
+	// Missing lists "figure/series" present in the baseline but absent
+	// from the new document — a silently dropped measurement fails the
+	// gate just like a regression.
+	Missing []string
+	// Extra lists series only the new document has (informational: the
+	// baseline needs regenerating to cover them).
+	Extra []string
+	// EnvDiffs describes fingerprint fields that differ (informational;
+	// explains noise, does not fail the gate).
+	EnvDiffs []string
+	// Repeats is how many new documents were compared (min-of-N).
+	Repeats int
+}
+
+// Regressed reports whether the gate should fail.
+func (r *DiffReport) Regressed() bool {
+	return len(r.Rows) > 0 || len(r.Missing) > 0
+}
+
+// Diff compares one or more repeat runs against a baseline document.
+// For every series the repeat value closest to the baseline is the one
+// judged (min-of-N): a transient stall in one repeat does not fail the
+// gate if any repeat landed within tolerance. Schema compatibility is
+// the caller's job (ReadBenchDoc enforces it on load).
+func Diff(base *BenchDoc, runs []*BenchDoc, opts DiffOptions) *DiffReport {
+	opts.fill()
+	rep := &DiffReport{Repeats: len(runs)}
+	for _, run := range runs {
+		rep.EnvDiffs = mergeStrings(rep.EnvDiffs, fingerprintDiff(base.Fingerprint, run.Fingerprint))
+	}
+	for _, figName := range sortedKeys(base.Figures) {
+		baseFig := base.Figures[figName]
+		for _, series := range sortedKeys(baseFig.Series) {
+			baseVal := baseFig.Series[series]
+			best := math.Inf(1) // best absolute relative deviation
+			bestVal := 0.0
+			found := false
+			for _, run := range runs {
+				fig := run.Figures[figName]
+				if fig == nil {
+					continue
+				}
+				val, ok := fig.Series[series]
+				if !ok {
+					continue
+				}
+				rel := relDelta(baseVal, val)
+				if !found || math.Abs(rel) < math.Abs(best) {
+					best, bestVal = rel, val
+				}
+				found = true
+			}
+			if !found {
+				rep.Missing = append(rep.Missing, figName+"/"+series)
+				continue
+			}
+			rep.Compared++
+			if t := opts.tol(figName, series); math.Abs(best) > t {
+				rep.Rows = append(rep.Rows, DiffRow{
+					Figure: figName, Series: series,
+					Base: baseVal, New: bestVal, Rel: best, Tol: t,
+				})
+			}
+		}
+	}
+	// Series the baseline does not know about.
+	seen := map[string]bool{}
+	for _, run := range runs {
+		for figName, fig := range run.Figures {
+			for series := range fig.Series {
+				key := figName + "/" + series
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if bf := base.Figures[figName]; bf == nil || !hasKey(bf.Series, series) {
+					rep.Extra = append(rep.Extra, key)
+				}
+			}
+		}
+	}
+	sort.Strings(rep.Extra)
+	return rep
+}
+
+func hasKey(m map[string]float64, k string) bool { _, ok := m[k]; return ok }
+
+// relDelta is (new-base)/base, with zero baselines mapped to 0 (both
+// zero) or ±Inf (appeared from nothing — always out of tolerance).
+func relDelta(base, val float64) float64 {
+	if base == 0 {
+		if val == 0 {
+			return 0
+		}
+		return math.Inf(sign(val))
+	}
+	return (val - base) / base
+}
+
+func sign(f float64) int {
+	if f < 0 {
+		return -1
+	}
+	return 1
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeStrings(dst, add []string) []string {
+	have := map[string]bool{}
+	for _, s := range dst {
+		have[s] = true
+	}
+	for _, s := range add {
+		if !have[s] {
+			dst = append(dst, s)
+			have[s] = true
+		}
+	}
+	return dst
+}
+
+// fingerprintDiff lists fields that differ between two environments.
+func fingerprintDiff(a, b Fingerprint) []string {
+	var out []string
+	add := func(field string, av, bv any) {
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: %v -> %v", field, av, bv))
+		}
+	}
+	add("go_version", a.GoVersion, b.GoVersion)
+	add("goos", a.GOOS, b.GOOS)
+	add("goarch", a.GOARCH, b.GOARCH)
+	add("gomaxprocs", a.GOMAXPROCS, b.GOMAXPROCS)
+	add("git_rev", a.GitRev, b.GitRev)
+	add("quick", a.Quick, b.Quick)
+	add("ops", a.Ops, b.Ops)
+	add("threads", a.Threads, b.Threads)
+	add("seed", a.Seed, b.Seed)
+	add("device_size", a.DeviceSize, b.DeviceSize)
+	add("write_latency_ns", a.WriteLatencyNs, b.WriteLatencyNs)
+	add("read_latency_ns", a.ReadLatencyNs, b.ReadLatencyNs)
+	add("write_bandwidth", a.WriteBandwidth, b.WriteBandwidth)
+	add("buffer_blocks", a.BufferBlocks, b.BufferBlocks)
+	add("buffer_shards", a.BufferShards, b.BufferShards)
+	add("cache_pages", a.CachePages, b.CachePages)
+	add("time_scale", a.TimeScale, b.TimeScale)
+	return out
+}
+
+// Markdown renders the report as a GitHub-flavoured delta table.
+func (r *DiffReport) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## hinfs-bench diff\n\n")
+	status := "PASS"
+	if r.Regressed() {
+		status = "FAIL"
+	}
+	repeats := ""
+	if r.Repeats > 1 {
+		repeats = fmt.Sprintf(", min of %d repeats", r.Repeats)
+	}
+	fmt.Fprintf(&b, "**%s** — %d series compared, %d outside tolerance, %d missing%s.\n\n",
+		status, r.Compared, len(r.Rows), len(r.Missing), repeats)
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(&b, "| figure | series | baseline | current | delta | tol |\n")
+		fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | ±%.0f%% |\n",
+				row.Figure, row.Series, fmtVal(row.Base), fmtVal(row.New),
+				fmtRel(row.Rel), 100*row.Tol)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(&b, "Missing series (in baseline, not in current):\n\n")
+		for _, m := range r.Missing {
+			fmt.Fprintf(&b, "- `%s`\n", m)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Extra) > 0 {
+		fmt.Fprintf(&b, "New series not in baseline (regenerate the baseline to cover them):\n\n")
+		for _, e := range r.Extra {
+			fmt.Fprintf(&b, "- `%s`\n", e)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.EnvDiffs) > 0 {
+		fmt.Fprintf(&b, "Environment differences (informational):\n\n")
+		for _, d := range r.EnvDiffs {
+			fmt.Fprintf(&b, "- %s\n", d)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func fmtVal(f float64) string {
+	switch {
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return fmt.Sprintf("%.0f", f)
+	default:
+		return fmt.Sprintf("%.4g", f)
+	}
+}
+
+func fmtRel(rel float64) string {
+	if math.IsInf(rel, 1) {
+		return "new"
+	}
+	if math.IsInf(rel, -1) {
+		return "gone"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*rel)
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// diffDoc builds a two-figure document; scale multiplies every series.
+func diffDoc(scale float64) *BenchDoc {
+	doc := NewBenchDoc(Config{}, Opts{Quick: true})
+	f7 := &Figure{}
+	f7.put("hinfs/fileserver", 1000*scale)
+	f7.put("pmfs/fileserver", 400*scale)
+	doc.Add("7", f7)
+	lat := &Figure{}
+	lat.put("hinfs/write/p99", 52000*scale)
+	doc.Add("latency", lat)
+	return doc
+}
+
+// TestDiffPassesWobbleFlagsRegression is the gate's core contract: a 2%
+// wobble on every series passes the default 10% tolerance, a 20% drop on
+// one series fails it, and the report names exactly that series.
+func TestDiffPassesWobbleFlagsRegression(t *testing.T) {
+	base := diffDoc(1.0)
+
+	wobble := diffDoc(1.02)
+	rep := Diff(base, []*BenchDoc{wobble}, DiffOptions{})
+	if rep.Regressed() {
+		t.Fatalf("2%% wobble flagged as regression: %+v", rep.Rows)
+	}
+	if rep.Compared != 3 {
+		t.Fatalf("compared %d series, want 3", rep.Compared)
+	}
+
+	regressed := diffDoc(1.0)
+	regressed.Figures["7"].Series["hinfs/fileserver"] = 800 // -20%
+	rep = Diff(base, []*BenchDoc{regressed}, DiffOptions{})
+	if !rep.Regressed() {
+		t.Fatal("20% regression passed the gate")
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Series != "hinfs/fileserver" {
+		t.Fatalf("rows = %+v, want exactly hinfs/fileserver", rep.Rows)
+	}
+	if rel := rep.Rows[0].Rel; rel > -0.19 || rel < -0.21 {
+		t.Fatalf("rel = %v, want ~-0.20", rel)
+	}
+}
+
+// TestDiffSelfComparisonIsClean pins the acceptance criterion: a document
+// diffed against itself has zero deltas and passes.
+func TestDiffSelfComparisonIsClean(t *testing.T) {
+	doc := diffDoc(1.0)
+	rep := Diff(doc, []*BenchDoc{doc}, DiffOptions{})
+	if rep.Regressed() || len(rep.Rows) != 0 || len(rep.Missing) != 0 || len(rep.Extra) != 0 {
+		t.Fatalf("self-diff not clean: %+v", rep)
+	}
+}
+
+// TestDiffMinOfN: with repeats, the run closest to the baseline judges
+// each series, so one noisy repeat does not fail the gate.
+func TestDiffMinOfN(t *testing.T) {
+	base := diffDoc(1.0)
+	noisy := diffDoc(0.7) // all series -30%: alone this fails
+	clean := diffDoc(1.01)
+	rep := Diff(base, []*BenchDoc{noisy, clean}, DiffOptions{})
+	if rep.Regressed() {
+		t.Fatalf("min-of-2 with one clean repeat flagged: %+v", rep.Rows)
+	}
+	if rep.Repeats != 2 {
+		t.Fatalf("repeats = %d, want 2", rep.Repeats)
+	}
+	// Both repeats bad: the gate must still fail.
+	rep = Diff(base, []*BenchDoc{noisy, diffDoc(0.75)}, DiffOptions{})
+	if !rep.Regressed() {
+		t.Fatal("all-bad repeats passed")
+	}
+}
+
+// TestDiffMissingSeriesFails: silently dropping a measurement is a
+// failure, not a pass.
+func TestDiffMissingSeriesFails(t *testing.T) {
+	base := diffDoc(1.0)
+	cur := diffDoc(1.0)
+	delete(cur.Figures["latency"].Series, "hinfs/write/p99")
+	rep := Diff(base, []*BenchDoc{cur}, DiffOptions{})
+	if !rep.Regressed() {
+		t.Fatal("missing series passed the gate")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "latency/hinfs/write/p99" {
+		t.Fatalf("missing = %v", rep.Missing)
+	}
+}
+
+// TestDiffToleranceOverrides checks per-figure and per-series thresholds.
+func TestDiffToleranceOverrides(t *testing.T) {
+	base := diffDoc(1.0)
+	cur := diffDoc(1.0)
+	cur.Figures["7"].Series["hinfs/fileserver"] = 700       // -30%
+	cur.Figures["latency"].Series["hinfs/write/p99"] *= 1.3 // +30%
+	opts := DiffOptions{
+		PerFigure: map[string]float64{"latency": 0.5},
+		PerSeries: map[string]float64{"7:hinfs/fileserver": 0.4},
+	}
+	rep := Diff(base, []*BenchDoc{cur}, opts)
+	if rep.Regressed() {
+		t.Fatalf("overrides not honoured: %+v", rep.Rows)
+	}
+	// Same deltas under the default tolerance fail both.
+	rep = Diff(base, []*BenchDoc{cur}, DiffOptions{})
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %+v, want 2 failures at default tolerance", rep.Rows)
+	}
+}
+
+// TestDiffMarkdownGolden pins the report format end to end: regression
+// rows, a missing series, an extra series, and an environment diff.
+func TestDiffMarkdownGolden(t *testing.T) {
+	base := diffDoc(1.0)
+	cur := diffDoc(1.0)
+	cur.Figures["7"].Series["hinfs/fileserver"] = 780 // -22%
+	cur.Figures["7"].Series["ext4-dax/fileserver"] = 333
+	delete(cur.Figures["latency"].Series, "hinfs/write/p99")
+	base.Fingerprint.GOMAXPROCS = 8 // pinned: the golden file is machine-independent
+	cur.Fingerprint.GOMAXPROCS = 10
+	got := Diff(base, []*BenchDoc{cur}, DiffOptions{}).Markdown()
+
+	golden := filepath.Join("testdata", "benchdiff_golden.md")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("markdown drifted from %s (run `go test ./internal/harness -run Golden -update`):\n%s", golden, got)
+	}
+}

@@ -19,11 +19,14 @@ type Opts struct {
 	Quick bool
 }
 
-// Figure holds a regenerated paper artifact: the printable table and the
-// raw series keyed "row/column" for programmatic checks.
+// Figure holds a regenerated paper artifact: the printable table, the
+// raw series keyed "row/column" for programmatic checks, and — where the
+// generator has per-point RunResults — the machine-readable resource
+// profiles backing each series value.
 type Figure struct {
-	Table  Table
-	Series map[string]float64
+	Table    Table
+	Series   map[string]float64
+	Profiles map[string]*Profile `json:"Profiles,omitempty"`
 }
 
 func (f *Figure) put(key string, v float64) {
@@ -86,6 +89,7 @@ func Figure1(cfg Config, o Opts) (*Figure, error) {
 		fig.put(label+"/read", frac(res.Dev.ReadTime, res.Elapsed))
 		fig.put(label+"/write", frac(res.Dev.WriteTime, res.Elapsed))
 		fig.put(label+"/others", frac(other, res.Elapsed))
+		fig.putP(label, res)
 	}
 	return fig, nil
 }
@@ -154,6 +158,7 @@ func Figure2(cfg Config, o Opts) (*Figure, error) {
 			return nil, err
 		}
 		addRow(w.Name(), res.BytesWritten, res.FsyncBytes)
+		fig.putP(w.Name(), res)
 	}
 	for _, name := range []string{"usr0", "usr1", "lasr", "facebook"} {
 		tr, err := trace.ByName(name, ops*20)
@@ -211,13 +216,15 @@ func Figure6(cfg Config, o Opts) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := RunOn(inst, w, threads, ops); err != nil {
+		res, err := RunOn(inst, w, threads, ops)
+		if err != nil {
 			inst.Close()
 			return nil, err
 		}
 		acc, total := inst.HiNFS.Model().Accuracy()
 		inst.Close()
 		addRow(w.Name(), acc, total)
+		fig.putP(w.Name(), res)
 	}
 	// Trace-driven sync workloads.
 	for _, name := range []string{"usr0", "usr1", "facebook"} {

@@ -45,6 +45,7 @@ func Figure7(cfg Config, o Opts) (*Figure, error) {
 			}
 			tput[sys] = res.OpsPerSec
 			fig.put(string(sys)+"/"+w.Name(), res.OpsPerSec)
+			fig.putP(string(sys)+"/"+w.Name(), res)
 		}
 		base := tput[PMFS]
 		row := []string{w.Name()}
@@ -114,6 +115,7 @@ func Figure8(cfg Config, o Opts) (*Figure, error) {
 				}
 				row = append(row, fmt.Sprintf("%.0f", res.OpsPerSec))
 				fig.put(fmt.Sprintf("%s/%s/%d", sys, w.Name(), tc), res.OpsPerSec)
+				fig.putP(fmt.Sprintf("%s/%s/%d", sys, w.Name(), tc), res)
 			}
 			fig.Table.Rows = append(fig.Table.Rows, row)
 		}
@@ -171,6 +173,7 @@ func Figure9(cfg Config, o Opts) (*Figure, error) {
 			})
 			fig.put(fmt.Sprintf("%s/%s/ops", sys, sizeLabel(ioSize)), res.OpsPerSec)
 			fig.put(fmt.Sprintf("%s/%s/bytes", sys, sizeLabel(ioSize)), float64(res.Dev.BytesFlushed))
+			fig.putP(fmt.Sprintf("%s/%s", sys, sizeLabel(ioSize)), res)
 		}
 	}
 	return fig, nil
@@ -224,6 +227,7 @@ func Figure10(cfg Config, o Opts) (*Figure, error) {
 				w.Name(), series, fmt.Sprintf("%.0f", res.OpsPerSec),
 			})
 			fig.put(w.Name()+"/"+series, res.OpsPerSec)
+			fig.putP(w.Name()+"/"+series, res)
 		}
 		for _, sys := range []System{PMFS, EXT4NVMMBD} {
 			res, err := RunWorkload(sys, cfg, cloneWorkload(w), threads, ops)
@@ -234,6 +238,7 @@ func Figure10(cfg Config, o Opts) (*Figure, error) {
 				w.Name(), string(sys), fmt.Sprintf("%.0f", res.OpsPerSec),
 			})
 			fig.put(w.Name()+"/"+string(sys), res.OpsPerSec)
+			fig.putP(w.Name()+"/"+string(sys), res)
 		}
 	}
 	return fig, nil
@@ -273,6 +278,7 @@ func Figure11(cfg Config, o Opts) (*Figure, error) {
 				}
 				row = append(row, fmt.Sprintf("%.0f", res.OpsPerSec))
 				fig.put(fmt.Sprintf("%s/%s/%v", sys, w.Name(), lat), res.OpsPerSec)
+				fig.putP(fmt.Sprintf("%s/%s/%v", sys, w.Name(), lat), res)
 			}
 			fig.Table.Rows = append(fig.Table.Rows, row)
 		}
@@ -399,6 +405,7 @@ func Figure13(cfg Config, o Opts) (*Figure, error) {
 				pmfsTime = res.Elapsed
 			}
 			rows = append(rows, row{sys, res.Elapsed})
+			fig.putP(fmt.Sprintf("%s/%s", sys, w.Name()), res)
 		}
 		for _, r := range rows {
 			fig.Table.Rows = append(fig.Table.Rows, []string{

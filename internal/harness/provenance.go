@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+
+	"hinfs/internal/obs"
+	"hinfs/internal/workload"
+)
+
+// SchemaVersion identifies the benchmark JSON document format. Bump it
+// when a field changes meaning; hinfs-benchdiff refuses to compare
+// documents with different schemas.
+const SchemaVersion = "hinfs-bench/v1"
+
+// Profile is the machine-readable resource profile of one figure point:
+// everything needed to attribute a throughput number to the work it did.
+// One Profile is attached per (system, workload) point wherever a figure
+// generator has a RunResult in hand.
+type Profile struct {
+	// Ops/OpsPerSec/ElapsedNs mirror the headline throughput metric.
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	// Logical workload traffic (what the benchmark asked for).
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Fsyncs       int64 `json:"fsyncs"`
+	// Device counter deltas over the run phase (what the NVMM saw).
+	DevBytesRead    int64 `json:"dev_bytes_read"`
+	DevBytesWritten int64 `json:"dev_bytes_written"`
+	DevBytesFlushed int64 `json:"dev_bytes_flushed"`
+	DevFlushes      int64 `json:"dev_flushes"`
+	DevFences       int64 `json:"dev_fences"`
+	// PoolStallNanos is foreground allocation stall time in the DRAM
+	// write buffer (HiNFS systems; 0 otherwise).
+	PoolStallNanos int64 `json:"pool_stall_nanos,omitempty"`
+	// OpLatencies holds per-op-class latency percentiles, keyed by the
+	// obs.OpClass names (present only when the run collected them).
+	OpLatencies map[string]OpLat `json:"op_latencies,omitempty"`
+	// Copies holds the copy-attribution counters, keyed by the
+	// obs.CopyKind names (present only when the run collected them).
+	Copies map[string]obs.CopyStat `json:"copies,omitempty"`
+}
+
+// OpLat summarizes one op class's latency distribution.
+type OpLat struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// NewProfile extracts a Profile from a RunResult.
+func NewProfile(res RunResult) *Profile {
+	p := &Profile{
+		Ops:             res.Ops,
+		OpsPerSec:       res.OpsPerSec,
+		ElapsedNs:       res.Elapsed.Nanoseconds(),
+		BytesRead:       res.BytesRead,
+		BytesWritten:    res.BytesWritten,
+		Fsyncs:          res.Fsyncs,
+		DevBytesRead:    res.Dev.BytesRead,
+		DevBytesWritten: res.Dev.BytesWritten,
+		DevBytesFlushed: res.Dev.BytesFlushed,
+		DevFlushes:      res.Dev.Flushes,
+		DevFences:       res.Dev.Fences,
+	}
+	if res.Pool != nil {
+		p.PoolStallNanos = res.Pool.StallNanos
+	}
+	if s := res.Obs; s != nil {
+		if len(s.Ops) > 0 {
+			p.OpLatencies = make(map[string]OpLat, len(s.Ops))
+			for name, h := range s.Ops {
+				p50, _, p99, _ := h.Percentiles()
+				p.OpLatencies[name] = OpLat{Count: h.Count, P50Ns: p50, P99Ns: p99}
+			}
+		}
+		if len(s.Copies) > 0 {
+			p.Copies = make(map[string]obs.CopyStat, len(s.Copies))
+			for name, cs := range s.Copies {
+				p.Copies[name] = cs
+			}
+		}
+	}
+	return p
+}
+
+// putP attaches a point profile under key (same "row/column" convention
+// as Series keys).
+func (f *Figure) putP(key string, res RunResult) {
+	if f.Profiles == nil {
+		f.Profiles = make(map[string]*Profile)
+	}
+	f.Profiles[key] = NewProfile(res)
+}
+
+// Fingerprint records the environment a benchmark document was produced
+// in, so two documents are compared only when comparable.
+type Fingerprint struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitRev is the VCS revision baked into the binary ("unknown" when
+	// built without VCS stamping, e.g. `go run` or a tarball build).
+	GitRev string `json:"git_rev"`
+	// Quick/Ops/Threads/Seed mirror the hinfs-bench flags that change
+	// the measured op stream.
+	Quick   bool   `json:"quick"`
+	Ops     int    `json:"ops"`
+	Threads int    `json:"threads"`
+	Seed    uint64 `json:"seed"`
+	// Emulation knobs (after defaulting).
+	DeviceSize     int64   `json:"device_size"`
+	WriteLatencyNs int64   `json:"write_latency_ns"`
+	ReadLatencyNs  int64   `json:"read_latency_ns"`
+	WriteBandwidth int64   `json:"write_bandwidth"`
+	BufferBlocks   int     `json:"buffer_blocks"`
+	BufferShards   int     `json:"buffer_shards"`
+	CachePages     int     `json:"cache_pages"`
+	TimeScale      float64 `json:"time_scale"`
+}
+
+// NewFingerprint captures the current environment plus the run
+// parameters. cfg is defaulted first so the recorded knobs are the
+// effective ones.
+func NewFingerprint(cfg Config, o Opts) Fingerprint {
+	cfg.Fill()
+	return Fingerprint{
+		Schema:         SchemaVersion,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		GitRev:         gitRev(),
+		Quick:          o.Quick,
+		Ops:            o.Ops,
+		Threads:        o.Threads,
+		Seed:           workload.BaseSeed(),
+		DeviceSize:     cfg.DeviceSize,
+		WriteLatencyNs: cfg.WriteLatency.Nanoseconds(),
+		ReadLatencyNs:  cfg.ReadLatency.Nanoseconds(),
+		WriteBandwidth: cfg.WriteBandwidth,
+		BufferBlocks:   cfg.BufferBlocks,
+		BufferShards:   cfg.BufferShards,
+		CachePages:     cfg.CachePages,
+		TimeScale:      cfg.TimeScale,
+	}
+}
+
+// gitRev returns the VCS revision stamped into the binary, or "unknown".
+func gitRev() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "unknown"
+}
+
+// BenchDoc is the canonical benchmark result document emitted by
+// `hinfs-bench -json`: an environment fingerprint plus every regenerated
+// figure with its raw series and per-point resource profiles.
+type BenchDoc struct {
+	Schema      string             `json:"schema"`
+	Fingerprint Fingerprint        `json:"fingerprint"`
+	Figures     map[string]*Figure `json:"figures"`
+}
+
+// NewBenchDoc creates an empty document for the given environment.
+func NewBenchDoc(cfg Config, o Opts) *BenchDoc {
+	return &BenchDoc{
+		Schema:      SchemaVersion,
+		Fingerprint: NewFingerprint(cfg, o),
+		Figures:     make(map[string]*Figure),
+	}
+}
+
+// Add records a regenerated figure under its hinfs-bench name.
+func (d *BenchDoc) Add(name string, fig *Figure) { d.Figures[name] = fig }
+
+// Marshal renders the document as indented JSON. Map keys are sorted by
+// encoding/json, so the same measurements always produce the same bytes.
+func (d *BenchDoc) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteFile emits the document to path.
+func (d *BenchDoc) WriteFile(path string) error {
+	out, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// ReadBenchDoc parses a benchmark document and validates its schema.
+func ReadBenchDoc(path string) (*BenchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d BenchDoc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, SchemaVersion)
+	}
+	return &d, nil
+}

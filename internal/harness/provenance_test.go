@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hinfs/internal/obs"
+)
+
+func sampleDoc() *BenchDoc {
+	doc := NewBenchDoc(Config{}, Opts{Quick: true, Threads: 2})
+	fig := &Figure{Table: Table{
+		Title:  "Figure X",
+		Note:   "round-trip fixture",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}}
+	fig.put("hinfs/fio", 1234.5)
+	fig.Profiles = map[string]*Profile{
+		"hinfs/fio": {
+			Ops:             100,
+			OpsPerSec:       1234.5,
+			ElapsedNs:       81000000,
+			BytesWritten:    1 << 20,
+			DevBytesFlushed: 1 << 20,
+			DevFlushes:      256,
+			PoolStallNanos:  42,
+			OpLatencies:     map[string]OpLat{"write": {Count: 100, P50Ns: 900, P99Ns: 4200}},
+			Copies:          map[string]obs.CopyStat{"user-in": {Copies: 100, Bytes: 1 << 20}},
+		},
+	}
+	doc.Add("7", fig)
+	return doc
+}
+
+// TestBenchDocRoundTrip proves the JSON schema loses nothing: emit →
+// parse → identical document, and identical bytes when re-emitted.
+func TestBenchDocRoundTrip(t *testing.T) {
+	doc := sampleDoc()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, got) {
+		t.Fatalf("round-trip changed document:\nwant %+v\ngot  %+v", doc, got)
+	}
+	b1, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-marshalled bytes differ")
+	}
+}
+
+// TestReadBenchDocRejectsBadSchema pins the schema gate.
+func TestReadBenchDocRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"hinfs-bench/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchDoc(path); err == nil {
+		t.Fatal("schema v0 accepted")
+	}
+	if err := os.WriteFile(path, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchDoc(path); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestFingerprintRecordsEffectiveKnobs checks defaults are resolved
+// before recording, so two documents compare the knobs actually used.
+func TestFingerprintRecordsEffectiveKnobs(t *testing.T) {
+	fp := NewFingerprint(Config{}, Opts{})
+	if fp.Schema != SchemaVersion {
+		t.Errorf("schema = %q", fp.Schema)
+	}
+	if fp.DeviceSize != 256<<20 || fp.BufferBlocks != 4864 || fp.TimeScale != 16 {
+		t.Errorf("defaults not resolved: %+v", fp)
+	}
+	if fp.GoVersion == "" || fp.GOOS == "" || fp.GitRev == "" {
+		t.Errorf("environment not captured: %+v", fp)
+	}
+}

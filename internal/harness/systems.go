@@ -183,6 +183,7 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
+		fs.SetObs(inst.Obs)
 		inst.FS = fs
 	case EXT4DAX, EXT2NVMMBD, EXT4NVMMBD:
 		fs, err := extfs.Mkfs(dev, extfs.Options{
@@ -191,6 +192,7 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 			MaxInodes:   cfg.MaxInodes,
 			CachePages:  cfg.CachePages,
 			BlockConfig: blockdev.Config{RequestOverhead: scaled(cfg.BlockOverhead, cfg.TimeScale)},
+			Obs:         inst.Obs,
 		})
 		if err != nil {
 			return nil, err

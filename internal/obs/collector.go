@@ -164,16 +164,79 @@ func Counters() []Counter {
 		CtrJournalLaneContended, CtrAllocShardSteals, CtrAllocWordsScanned, CtrDirLockContended}
 }
 
+// CopyKind attributes one DRAM memory copy of file data to the data
+// path that performed it. The paper's §2 argument is a copy count:
+// a page-cache write costs two copies (user→page, page→NVMM) plus a
+// flush, while a HiNFS lazy write costs one (user→DRAM buffer) on the
+// critical path and defers the second to background writeback. These
+// kinds let the harness reproduce that attribution per system.
+type CopyKind uint8
+
+// The copy kinds. "Foreground" kinds happen inside a write syscall;
+// CopySyncFlush happens inside fsync/sync; CopyWriteback happens on
+// background threads; the read kinds happen inside a read syscall.
+const (
+	// CopyUserIn is user data landing in its first destination
+	// (DRAM buffer block, page-cache page, or NVMM store).
+	CopyUserIn CopyKind = iota
+	// CopyWriteFetch is a read-modify-write fetch into the write path's
+	// destination (partial-block fill from NVMM or the block device).
+	CopyWriteFetch
+	// CopyInlineEvict is data pushed to media inside a foreground
+	// operation to make room (dirty-page eviction, dirty-ratio
+	// throttling, buffer-stall flush) — latency the caller eats.
+	CopyInlineEvict
+	// CopySyncFlush is data pushed to media by fsync/sync.
+	CopySyncFlush
+	// CopyWriteback is data pushed to media by background writeback.
+	CopyWriteback
+	// CopyReadOut is data copied to the caller by a read (from DRAM,
+	// a page, or NVMM).
+	CopyReadOut
+	// CopyReadFill is a read-miss fill from media into a cache page.
+	CopyReadFill
+	NumCopyKinds
+)
+
+// String implements fmt.Stringer.
+func (k CopyKind) String() string {
+	switch k {
+	case CopyUserIn:
+		return "user-in"
+	case CopyWriteFetch:
+		return "write-fetch"
+	case CopyInlineEvict:
+		return "inline-evict"
+	case CopySyncFlush:
+		return "sync-flush"
+	case CopyWriteback:
+		return "writeback"
+	case CopyReadOut:
+		return "read-out"
+	case CopyReadFill:
+		return "read-fill"
+	}
+	return "unknown"
+}
+
+// CopyKinds lists every copy kind in display order.
+func CopyKinds() []CopyKind {
+	return []CopyKind{CopyUserIn, CopyWriteFetch, CopyInlineEvict,
+		CopySyncFlush, CopyWriteback, CopyReadOut, CopyReadFill}
+}
+
 // Collector aggregates one instance's observability state: an op-class
 // histogram per OpClass, a path histogram per Path, the counters, and an
 // optional span tracer. Every method is nil-safe, so instrumented code
 // paths pass a possibly-nil *Collector and pay one pointer test when
 // observability is disabled.
 type Collector struct {
-	ops    [NumOps]Hist
-	paths  [NumPaths]Hist
-	ctrs   [NumCounters]atomic.Int64
-	tracer atomic.Pointer[Tracer]
+	ops       [NumOps]Hist
+	paths     [NumPaths]Hist
+	ctrs      [NumCounters]atomic.Int64
+	copies    [NumCopyKinds]atomic.Int64
+	copyBytes [NumCopyKinds]atomic.Int64
+	tracer    atomic.Pointer[Tracer]
 }
 
 // New creates an empty collector with no tracer attached.
@@ -228,6 +291,32 @@ func (c *Collector) Counter(ctr Counter) int64 {
 	return c.ctrs[ctr].Load()
 }
 
+// Copy records one DRAM memory copy of n bytes of file data attributed
+// to kind. Zero-length copies are not recorded.
+func (c *Collector) Copy(kind CopyKind, n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.copies[kind].Add(1)
+	c.copyBytes[kind].Add(int64(n))
+}
+
+// CopyCount returns the number of copies recorded for kind.
+func (c *Collector) CopyCount(kind CopyKind) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.copies[kind].Load()
+}
+
+// CopyBytes returns the bytes copied for kind.
+func (c *Collector) CopyBytes(kind CopyKind) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.copyBytes[kind].Load()
+}
+
 // SetTracer attaches (or with nil detaches) a span tracer.
 func (c *Collector) SetTracer(t *Tracer) {
 	if c != nil {
@@ -267,6 +356,17 @@ func (c *Collector) Reset() {
 	for i := range c.ctrs {
 		c.ctrs[i].Store(0)
 	}
+	for i := range c.copies {
+		c.copies[i].Store(0)
+		c.copyBytes[i].Store(0)
+	}
+}
+
+// CopyStat is one copy kind's aggregate: how many copies and how many
+// bytes moved.
+type CopyStat struct {
+	Copies int64 `json:"copies"`
+	Bytes  int64 `json:"bytes"`
 }
 
 // Snapshot is an immutable copy of a collector's histograms and
@@ -276,6 +376,7 @@ type Snapshot struct {
 	Ops      map[string]HistSnapshot `json:"ops"`
 	Paths    map[string]HistSnapshot `json:"paths"`
 	Counters map[string]int64        `json:"counters"`
+	Copies   map[string]CopyStat     `json:"copies,omitempty"`
 }
 
 // Snapshot copies the collector's current state (nil-safe: returns an
@@ -285,6 +386,7 @@ func (c *Collector) Snapshot() *Snapshot {
 		Ops:      make(map[string]HistSnapshot, NumOps),
 		Paths:    make(map[string]HistSnapshot, NumPaths),
 		Counters: make(map[string]int64, NumCounters),
+		Copies:   make(map[string]CopyStat, NumCopyKinds),
 	}
 	if c == nil {
 		return s
@@ -302,6 +404,11 @@ func (c *Collector) Snapshot() *Snapshot {
 	for _, ctr := range Counters() {
 		if v := c.ctrs[ctr].Load(); v != 0 {
 			s.Counters[ctr.String()] = v
+		}
+	}
+	for _, k := range CopyKinds() {
+		if n := c.copies[k].Load(); n != 0 {
+			s.Copies[k.String()] = CopyStat{Copies: n, Bytes: c.copyBytes[k].Load()}
 		}
 	}
 	return s
@@ -329,4 +436,12 @@ func (s *Snapshot) Counter(ctr Counter) int64 {
 		return 0
 	}
 	return s.Counters[ctr.String()]
+}
+
+// Copy returns the copy stat for a kind (zero if absent).
+func (s *Snapshot) Copy(k CopyKind) CopyStat {
+	if s == nil {
+		return CopyStat{}
+	}
+	return s.Copies[k.String()]
 }

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"hinfs/internal/blockdev"
+	"hinfs/internal/obs"
 )
 
 // PageSize is the cache page size.
@@ -58,6 +59,10 @@ type Cache struct {
 	misses     atomic.Int64
 	writebacks atomic.Int64
 	evictions  atomic.Int64
+
+	// col receives copy-attribution events (page fills, inline evictions,
+	// sync flushes). Nil disables accounting.
+	col atomic.Pointer[obs.Collector]
 }
 
 // DirtyRatio is the dirty-page fraction that triggers foreground
@@ -71,6 +76,10 @@ func New(dev *blockdev.Device, capacity int) *Cache {
 	}
 	return &Cache{dev: dev, pages: make(map[int64]*page), cap: capacity}
 }
+
+// SetObs attaches (or with nil detaches) a collector for copy
+// attribution.
+func (c *Cache) SetObs(col *obs.Collector) { c.col.Store(col) }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
@@ -123,9 +132,11 @@ func (c *Cache) touch(p *page) {
 }
 
 // getPage returns the cached page for bn, fetching from the device on a
-// miss (if fetch is true) or returning a zeroed page otherwise. Called
-// with c.mu held; may drop it to perform device I/O.
-func (c *Cache) getPage(bn int64, fetch bool) *page {
+// miss (if fetch is true) or returning a zeroed page otherwise. fillKind
+// attributes the fill copy: CopyReadFill from the read path,
+// CopyWriteFetch from fetch-before-write. Called with c.mu held; may
+// drop it to perform device I/O.
+func (c *Cache) getPage(bn int64, fetch bool, fillKind obs.CopyKind) *page {
 	if p, ok := c.pages[bn]; ok {
 		c.hits.Add(1)
 		c.touch(p)
@@ -143,6 +154,7 @@ func (c *Cache) getPage(bn int64, fetch bool) *page {
 			c.writebacks.Add(1)
 			c.mu.Unlock()
 			c.dev.WriteBlock(victim.data, victim.bn)
+			c.col.Load().Copy(obs.CopyInlineEvict, PageSize)
 			c.mu.Lock()
 			// Re-check: another goroutine may have re-created the page;
 			// we proceed regardless — last write wins, matching a cache
@@ -153,6 +165,7 @@ func (c *Cache) getPage(bn int64, fetch bool) *page {
 	if fetch {
 		c.mu.Unlock()
 		c.dev.ReadBlock(p.data, bn)
+		c.col.Load().Copy(fillKind, PageSize)
 		c.mu.Lock()
 		if cur, ok := c.pages[bn]; ok {
 			// Lost a race; use the winner.
@@ -173,7 +186,7 @@ func (c *Cache) Read(dst []byte, bn int64, off int) {
 		panic("pagecache: read range outside page")
 	}
 	c.mu.Lock()
-	p := c.getPage(bn, true)
+	p := c.getPage(bn, true, obs.CopyReadFill)
 	copy(dst, p.data[off:])
 	c.mu.Unlock()
 }
@@ -188,7 +201,7 @@ func (c *Cache) Write(src []byte, bn int64, off int, fresh bool) {
 	}
 	partial := off != 0 || len(src) != PageSize
 	c.mu.Lock()
-	p := c.getPage(bn, partial && !fresh)
+	p := c.getPage(bn, partial && !fresh, obs.CopyWriteFetch)
 	copy(p.data[off:], src)
 	if !p.dirty {
 		p.dirty = true
@@ -223,6 +236,9 @@ func (c *Cache) writebackBatch(n int) {
 		c.mu.Unlock()
 		c.writebacks.Add(1)
 		c.dev.WriteBlock(buf, victim.bn)
+		// Throttled writeback runs inline in the writer: the page→block
+		// copy is critical-path latency the foreground op eats.
+		c.col.Load().Copy(obs.CopyInlineEvict, PageSize)
 	}
 }
 
@@ -242,6 +258,7 @@ func (c *Cache) FlushPage(bn int64) bool {
 	c.mu.Unlock()
 	c.writebacks.Add(1)
 	c.dev.WriteBlock(buf, bn)
+	c.col.Load().Copy(obs.CopySyncFlush, PageSize)
 	return true
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hinfs/internal/journal"
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 )
 
@@ -138,6 +139,7 @@ func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 			}
 		} else {
 			f.fs.dev.Read(p[read:read+chunk], blockAddr(bn)+bo)
+			f.fs.col.Load().Copy(obs.CopyReadOut, chunk)
 		}
 		read += chunk
 	}
@@ -217,6 +219,7 @@ func (f *File) writeAtLocked(p []byte, off int64) (int, error) {
 			chunk = len(p) - written
 		}
 		f.fs.dev.WriteNT(p[written:written+chunk], e.Addr+blkOff)
+		f.fs.col.Load().Copy(obs.CopyUserIn, chunk)
 		written += chunk
 	}
 	f.fs.dev.Fence()

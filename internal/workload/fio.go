@@ -44,7 +44,7 @@ func (w *Fio) Setup(fs vfs.FileSystem) error {
 		return err
 	}
 	defer f.Close()
-	rng := NewRand(7)
+	rng := NewRand(mixSeed(7))
 	var buf []byte
 	const chunk = 1 << 20
 	for off := int64(0); off < w.FileSize; off += chunk {

@@ -34,7 +34,7 @@ func (w *Postmark) Name() string { return "postmark" }
 // Setup implements Workload.
 func (w *Postmark) Setup(fs vfs.FileSystem) error {
 	w.fill()
-	rng := NewRand(3)
+	rng := NewRand(mixSeed(3))
 	if err := fs.Mkdir("/postmark"); err != nil && err != vfs.ErrExist {
 		return err
 	}
@@ -135,7 +135,7 @@ func (w *TPCC) Setup(fs vfs.FileSystem) error {
 	if err := fs.Mkdir("/tpcc"); err != nil && err != vfs.ErrExist {
 		return err
 	}
-	rng := NewRand(11)
+	rng := NewRand(mixSeed(11))
 	var buf []byte
 	for wh := 0; wh < w.Warehouses; wh++ {
 		f, err := fs.Create(fmt.Sprintf("/tpcc/table%d", wh))

@@ -27,6 +27,33 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{s: seed}
 }
 
+// baseSeed perturbs every workload RNG stream when non-zero; see
+// SetBaseSeed.
+var baseSeed atomic.Uint64
+
+// SetBaseSeed sets a global base seed mixed into every workload RNG
+// stream (hinfs-bench -seed). Zero — the default — leaves the historical
+// fixed seeds untouched, so existing runs and tests stay bit-identical.
+// Two runs with the same base seed issue identical op streams.
+func SetBaseSeed(seed uint64) { baseSeed.Store(seed) }
+
+// BaseSeed returns the current base seed (0 = default streams).
+func BaseSeed() uint64 { return baseSeed.Load() }
+
+// mixSeed combines a stream-local seed with the base seed. With base 0 it
+// returns local unchanged.
+func mixSeed(local uint64) uint64 {
+	base := baseSeed.Load()
+	if base == 0 {
+		return local
+	}
+	x := local ^ (base * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return x
+}
+
 // Uint64 returns the next value.
 func (r *Rand) Uint64() uint64 {
 	r.s ^= r.s >> 12
@@ -149,7 +176,7 @@ func runThreads(threads int, body func(tid int, rng *Rand, res *Result) error) (
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			rng := NewRand(uint64(tid)*0x1337 + 7)
+			rng := NewRand(mixSeed(uint64(tid)*0x1337 + 7))
 			errs[tid] = body(tid, rng, &results[tid])
 		}(tid)
 	}
@@ -232,7 +259,7 @@ func makeFileset(fs vfs.FileSystem, prefix string, count int, size int64) error 
 			return err
 		}
 	}
-	rng := NewRand(99)
+	rng := NewRand(mixSeed(99))
 	var buf []byte
 	for i := 0; i < count; i++ {
 		f, err := fs.Create(fanoutPath(prefix, i))
