@@ -102,8 +102,9 @@ func main() {
 		"metascale":     harness.MetadataScaling,
 		"latency":       harness.FigureLatency,
 		"amplification": harness.FigureAmplification,
+		"tenants":       harness.FigureTenants,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
@@ -112,6 +113,7 @@ func main() {
 		fmt.Println("'metascale' is the PMFS metadata hot-path scaling report (not a paper figure)")
 		fmt.Println("'latency' is the per-op-class percentile + path-mix report (not a paper figure)")
 		fmt.Println("'amplification' is the §2 copy-attribution + write-amplification report (not a paper figure)")
+		fmt.Println("'tenants' is the multi-tenant server fairness report (not a paper figure)")
 		return
 	}
 

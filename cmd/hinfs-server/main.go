@@ -1,0 +1,141 @@
+// Command hinfs-server exports a file system on emulated NVMM to many
+// clients over a framed-RPC TCP protocol, with per-tenant namespace
+// confinement (chroot-style subtree views), byte quotas, and weighted
+// fair scheduling of service time.
+//
+//	hinfs-server -addr 127.0.0.1:7070 \
+//	    -tenant gold:/tenants/gold:4:0 \
+//	    -tenant bronze:/tenants/bronze:1:64
+//
+// Each -tenant flag declares name:root:weight:quotaMiB (quota 0 =
+// unlimited). With no -tenant flags, two equal-weight tenants "alpha"
+// and "beta" are created. SIGINT/SIGTERM shuts the server down cleanly
+// and dumps per-tenant statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hinfs/internal/harness"
+	"hinfs/internal/server"
+)
+
+// tenantFlags collects repeatable -tenant name:root:weight:quotaMiB specs.
+type tenantFlags map[string]server.TenantConfig
+
+func (t tenantFlags) String() string { return fmt.Sprint(map[string]server.TenantConfig(t)) }
+
+func (t tenantFlags) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want name:root:weight:quotaMiB, got %q", spec)
+	}
+	name, root := parts[0], parts[1]
+	if name == "" || root == "" {
+		return fmt.Errorf("empty tenant name or root in %q", spec)
+	}
+	weight, err := strconv.Atoi(parts[2])
+	if err != nil || weight <= 0 {
+		return fmt.Errorf("bad weight in %q", spec)
+	}
+	quota, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil || quota < 0 {
+		return fmt.Errorf("bad quotaMiB in %q", spec)
+	}
+	if _, dup := t[name]; dup {
+		return fmt.Errorf("duplicate tenant %q", name)
+	}
+	t[name] = server.TenantConfig{Root: root, Weight: weight, QuotaBytes: quota << 20}
+	return nil
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		system  = flag.String("system", "hinfs", "backing system: hinfs, pmfs, ext4-dax, ext2-nvmmbd, ext4-nvmmbd")
+		device  = flag.Int64("device", 256, "emulated device size (MiB)")
+		latency = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency per cacheline")
+		workers = flag.Int("workers", 2, "concurrently executing requests (fair-scheduler service slots)")
+		tenants = tenantFlags{}
+	)
+	flag.Var(tenants, "tenant", "tenant spec name:root:weight:quotaMiB (repeatable)")
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "hinfs-server:", err)
+		return 1
+	}
+	if len(tenants) == 0 {
+		tenants["alpha"] = server.TenantConfig{Root: "/tenants/alpha", Weight: 1}
+		tenants["beta"] = server.TenantConfig{Root: "/tenants/beta", Weight: 1}
+	}
+
+	inst, err := harness.NewInstance(harness.System(*system), harness.Config{
+		DeviceSize:   *device << 20,
+		WriteLatency: *latency,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer inst.Close()
+
+	srv, err := server.New(server.Config{FS: inst.FS, Tenants: tenants, Workers: *workers})
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("hinfs-server: %s on %s, %d tenants, %d workers\n",
+		*system, ln.Addr(), len(tenants), *workers)
+	for name, tc := range tenants {
+		quota := "unlimited"
+		if tc.QuotaBytes > 0 {
+			quota = fmt.Sprintf("%d MiB", tc.QuotaBytes>>20)
+		}
+		fmt.Printf("hinfs-server:   tenant %s root=%s weight=%d quota=%s\n",
+			name, tc.Root, tc.Weight, quota)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("hinfs-server: %v, shutting down\n", sig)
+	case err := <-errc:
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return fail(err)
+	}
+	dumpStats(srv)
+	return 0
+}
+
+func dumpStats(srv *server.Server) {
+	fmt.Println("tenant          ops   MB-read  MB-written  used-MB  quota-rej  svc-ms  write-p99(us)")
+	for _, ts := range srv.Stats() {
+		_, _, wp99, _ := ts.WriteLat.Percentiles()
+		fmt.Printf("%-12s  %6d  %8.1f  %10.1f  %7.1f  %9d  %6d  %13.1f\n",
+			ts.Name, ts.Ops,
+			float64(ts.BytesRead)/(1<<20), float64(ts.BytesWritten)/(1<<20),
+			float64(ts.UsedBytes)/(1<<20), ts.QuotaRejects,
+			ts.ServiceNS/1e6, float64(wp99)/1e3)
+	}
+}

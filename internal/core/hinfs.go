@@ -22,7 +22,9 @@
 package core
 
 import (
+	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hinfs/internal/benefit"
@@ -280,6 +282,18 @@ type File struct {
 	flags int
 
 	mapped bool
+	closed atomic.Bool
+}
+
+// checkOpen rejects operations on a closed handle before any lock is
+// taken. An operation that passes the check while Close runs still
+// completes safely: storage reclamation happens under the inode lock the
+// operation holds.
+func (f *File) checkOpen() error {
+	if f.closed.Load() {
+		return vfs.ErrClosed
+	}
+	return nil
 }
 
 // Size implements vfs.File.
@@ -291,6 +305,9 @@ func (f *File) Ino() pmfs.Ino { return f.pf.Ino() }
 // ReadAt implements vfs.File: a single copy to the user buffer, merged per
 // cacheline between DRAM and NVMM (§3.3.1).
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
 	if off < 0 {
 		return 0, vfs.ErrInvalid
 	}
@@ -304,11 +321,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	defer f.pf.RUnlock()
 	size := f.pf.SizeLocked()
 	if off >= size {
-		return 0, nil
+		// io.ReaderAt contract: reads at or past EOF report io.EOF.
+		return 0, io.EOF
 	}
 	n := len(p)
+	var eof error
 	if off+int64(n) > size {
 		n = int(size - off)
+		eof = io.EOF
 	}
 	read := 0
 	for read < n {
@@ -350,13 +370,16 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			Shard: -1, Outcome: "ok",
 		})
 	}
-	return n, nil
+	return n, eof
 }
 
 // WriteAt implements vfs.File: the Eager-Persistent Write Checker routes
 // each touched block either to the DRAM buffer (lazy-persistent) or
 // directly to NVMM (eager-persistent).
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
 	if off < 0 {
 		return 0, vfs.ErrInvalid
 	}
@@ -489,6 +512,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // Fsync implements vfs.File: flush the file's dirty DRAM blocks to NVMM,
 // fence, and let the Buffer Benefit Model re-evaluate block states.
 func (f *File) Fsync() error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
 	c := f.fs.obs
 	var start time.Time
 	if c != nil {
@@ -524,6 +550,9 @@ func (f *File) Fsync() error {
 // Truncate implements vfs.File. Buffered blocks beyond the new size are
 // discarded before the substrate frees their NVMM blocks.
 func (f *File) Truncate(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
 	if size < 0 {
 		return vfs.ErrInvalid
 	}
@@ -550,18 +579,24 @@ func (f *File) Truncate(size int64) error {
 }
 
 // Close implements vfs.File. If this close reclaims an unlinked file, its
-// buffered blocks are discarded first.
+// buffered blocks are discarded first — the hook runs iff this close is
+// the reclaiming one, decided atomically under the substrate's refcount
+// lock (two racing closes of the last handles must not both skip the
+// drop). A second Close returns ErrClosed.
 func (f *File) Close() error {
-	if f.pf.CloseWillReclaim() {
-		f.fs.dropFile(f.pf.Ino())
+	if f.closed.Swap(true) {
+		return vfs.ErrClosed
 	}
-	return f.pf.Close()
+	return f.pf.CloseWithHook(func() { f.fs.dropFile(f.pf.Ino()) })
 }
 
 // Mmap emulates direct memory-mapped I/O for one file block (§4.2): the
 // file's dirty DRAM blocks are flushed, its blocks switch to
 // Eager-Persistent until Munmap, and the returned slice aliases NVMM.
 func (f *File) Mmap(index int64) ([]byte, error) {
+	if err := f.checkOpen(); err != nil {
+		return nil, err
+	}
 	f.pf.Lock()
 	_, ferr := f.fb.Flush()
 	f.pf.Unlock()
@@ -592,6 +627,9 @@ func (f *File) Mmap(index int64) ([]byte, error) {
 
 // Msync persists stores made through the Mmap slice of block index.
 func (f *File) Msync(index int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
 	f.pf.RLock()
 	addr := f.pf.BlockAddrLocked(index)
 	f.pf.RUnlock()

@@ -3,6 +3,7 @@ package crashtest
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sort"
 
 	"hinfs/internal/vfs"
@@ -259,7 +260,7 @@ func readBack(fs vfs.FileSystem, path string, size int64) ([]byte, error) {
 	var off int64
 	for off < size {
 		n, err := f.ReadAt(buf[off:], off)
-		if err != nil {
+		if err != nil && err != io.EOF {
 			return nil, err
 		}
 		if n == 0 {

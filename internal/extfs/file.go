@@ -2,6 +2,7 @@ package extfs
 
 import (
 	"encoding/binary"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -628,11 +629,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	defer st.mu.RUnlock()
 	rec := f.fs.readInode(f.ino)
 	if off >= rec.Size {
-		return 0, nil
+		// io.ReaderAt contract: reads at or past EOF report io.EOF.
+		return 0, io.EOF
 	}
 	n := len(p)
+	var eof error
 	if off+int64(n) > rec.Size {
 		n = int(rec.Size - off)
+		eof = io.EOF
 	}
 	read := 0
 	for read < n {
@@ -659,7 +663,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		}
 		read += chunk
 	}
-	return n, nil
+	return n, eof
 }
 
 // WriteAt implements vfs.File: into the page cache (dirty pages written
@@ -813,7 +817,8 @@ func (f *File) clearPtr(rec *inodeRec, bi int64) {
 	}
 }
 
-// Close implements vfs.File.
+// Close implements vfs.File. A second Close returns ErrClosed without
+// touching the refcount.
 func (f *File) Close() error {
 	if f.closed.Swap(true) {
 		return vfs.ErrClosed
@@ -824,6 +829,11 @@ func (f *File) Close() error {
 	reclaim := st.refs == 0 && st.unlinked
 	st.meta.Unlock()
 	if reclaim {
+		// Reclaim under the inode lock so a ReadAt that raced Close and
+		// already passed its closed-check finishes before the blocks it is
+		// reading are released for reuse.
+		st.mu.Lock()
+		defer st.mu.Unlock()
 		f.fs.reclaim(f.ino, f.fs.readInode(f.ino))
 	}
 	return nil

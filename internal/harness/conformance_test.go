@@ -3,41 +3,174 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
+	"hinfs/internal/server"
 	"hinfs/internal/vfs"
 )
 
-// TestConformance runs one behavioural suite against every system under
-// test: the same semantics must hold whether the data path is a DRAM
+// conformanceCases is the named behavioural suite every system under test
+// must pass: the same semantics must hold whether the data path is a DRAM
 // write buffer, direct NVMM access, or a page cache over a block device.
+// Each case owns a distinct path prefix, so the whole list runs once per
+// file-system view.
+var conformanceCases = []struct {
+	name string
+	run  func(t *testing.T, fs vfs.FileSystem)
+}{
+	{"round-trip", conformRoundTrip},
+	{"append", conformAppend},
+	{"truncate", conformTruncate},
+	{"namespace", conformNamespace},
+	{"fsync", conformFsync},
+	{"sparse", conformSparse},
+	{"overwrite", conformOverwrite},
+}
+
+// conformConfig is sized for semantics, not performance: latencies are
+// collapsed so the suite exercises code paths, not the clock.
+func conformConfig() Config {
+	return Config{
+		DeviceSize:      96 << 20,
+		WriteLatency:    time.Nanosecond,
+		ReadLatency:     time.Nanosecond,
+		SyscallOverhead: time.Nanosecond,
+		BlockOverhead:   time.Nanosecond,
+		TimeScale:       1,
+	}
+}
+
+// hinfsFamily reports whether sys is one of the HiNFS variants, whose
+// handles expose the block-mmap capability (§4.2); the baselines and any
+// remote handle do not.
+func hinfsFamily(sys System) bool {
+	switch sys {
+	case HiNFS, HiNFSNCLFW, HiNFSWB:
+		return true
+	}
+	return false
+}
+
+// TestConformance runs the case list against every system twice: once
+// directly on the instance's file system, and once through the framed-RPC
+// loopback server (net.Pipe, one tenant confined under /export), so the
+// wire protocol is held to the same contract as the local API. Each mode
+// also checks the capability matrix: block mmap is discoverable via
+// vfs.FileAs exactly on direct HiNFS-family handles — a remote handle
+// must never claim a memory-mapping capability it cannot honour.
 func TestConformance(t *testing.T) {
 	systems := []System{HiNFS, HiNFSNCLFW, HiNFSWB, PMFS, EXT4DAX, EXT2NVMMBD, EXT4NVMMBD}
 	for _, sys := range systems {
 		t.Run(string(sys), func(t *testing.T) {
-			cfg := Config{
-				DeviceSize:      96 << 20,
-				WriteLatency:    time.Nanosecond,
-				ReadLatency:     time.Nanosecond,
-				SyscallOverhead: time.Nanosecond,
-				BlockOverhead:   time.Nanosecond,
-				TimeScale:       1,
-			}
-			inst, err := NewInstance(sys, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer inst.Close()
-			fs := inst.FS
-			conformRoundTrip(t, fs)
-			conformAppend(t, fs)
-			conformTruncate(t, fs)
-			conformNamespace(t, fs)
-			conformFsync(t, fs)
-			conformSparse(t, fs)
-			conformOverwrite(t, fs)
+			t.Run("direct", func(t *testing.T) {
+				inst, err := NewInstance(sys, conformConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer inst.Close()
+				runConformance(t, inst.FS, hinfsFamily(sys))
+			})
+			t.Run("loopback", func(t *testing.T) {
+				fs, cleanup := loopbackFS(t, sys)
+				defer cleanup()
+				runConformance(t, fs, false)
+			})
 		})
+	}
+}
+
+// runConformance runs every named case plus the capability probe against
+// one file-system view.
+func runConformance(t *testing.T, fs vfs.FileSystem, wantBlockMmap bool) {
+	for _, c := range conformanceCases {
+		t.Run(c.name, func(t *testing.T) { c.run(t, fs) })
+	}
+	t.Run("block-mmap-capability", func(t *testing.T) {
+		conformBlockMmap(t, fs, wantBlockMmap)
+	})
+}
+
+// loopbackFS stands up a fresh instance of sys behind a single-tenant
+// server over net.Pipe and returns the attached client, which implements
+// vfs.FileSystem, so the conformance cases run unchanged over the wire.
+func loopbackFS(t *testing.T, sys System) (vfs.FileSystem, func()) {
+	t.Helper()
+	inst, err := NewInstance(sys, conformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		FS:      inst.FS,
+		Tenants: map[string]server.TenantConfig{"conform": {Root: "/export", Weight: 1}},
+		Workers: 2,
+	})
+	if err != nil {
+		inst.Close()
+		t.Fatal(err)
+	}
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	c, err := server.NewClient(cs, "conform")
+	if err != nil {
+		srv.Close()
+		inst.Close()
+		t.Fatal(err)
+	}
+	return c, func() {
+		c.Unmount()
+		srv.Close()
+		inst.Close()
+	}
+}
+
+// conformBlockMmap checks the capability matrix: FileAs must discover a
+// BlockMmapper through any decoration chain exactly when the backing
+// handle really maps device memory, and a discovered capability must
+// round-trip a store through the mapping.
+func conformBlockMmap(t *testing.T, fs vfs.FileSystem, want bool) {
+	f, err := fs.Create("/mmapcap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xAB}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := vfs.FileAs[vfs.BlockMmapper](f)
+	if ok != want {
+		t.Fatalf("HasBlockMmap = %v, want %v", ok, want)
+	}
+	if vfs.HasBlockMmap(f) != want {
+		t.Fatalf("vfs.HasBlockMmap disagrees with FileAs")
+	}
+	if !ok {
+		return
+	}
+	seg, err := m.Mmap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg) == 0 || seg[0] != 0xAB {
+		t.Fatalf("mapped block starts %#x, want 0xAB", seg[0])
+	}
+	seg[1] = 0x5C
+	if err := m.Msync(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Munmap(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB || got[1] != 0x5C {
+		t.Fatalf("store through mapping not visible: % x", got)
 	}
 }
 

@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"hinfs/internal/vfs"
+)
+
+// lifecycleConfig is a minimal-latency config for semantic tests.
+func lifecycleConfig() Config {
+	return Config{
+		DeviceSize:      96 << 20,
+		WriteLatency:    time.Nanosecond,
+		ReadLatency:     time.Nanosecond,
+		SyscallOverhead: time.Nanosecond,
+		BlockOverhead:   time.Nanosecond,
+		TimeScale:       1,
+	}
+}
+
+// TestHandleLifecycle pins the vfs.File close contract on every system:
+// a second Close returns ErrClosed, operations on a closed handle return
+// ErrClosed, and closing one handle never invalidates another handle to
+// the same file. Run with -race, these are regression tests for the
+// handle-lifecycle sweep.
+func TestHandleLifecycle(t *testing.T) {
+	systems := []System{HiNFS, HiNFSNCLFW, HiNFSWB, PMFS, EXT4DAX, EXT2NVMMBD, EXT4NVMMBD}
+	for _, sys := range systems {
+		t.Run(string(sys), func(t *testing.T) {
+			inst, err := NewInstance(sys, lifecycleConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			fs := inst.FS
+
+			t.Run("DoubleClose", func(t *testing.T) { lcDoubleClose(t, fs) })
+			t.Run("OpsAfterClose", func(t *testing.T) { lcOpsAfterClose(t, fs) })
+			t.Run("SiblingHandleSurvives", func(t *testing.T) { lcSibling(t, fs) })
+			t.Run("ConcurrentClose", func(t *testing.T) { lcConcurrentClose(t, fs) })
+			t.Run("IORacingClose", func(t *testing.T) { lcIORacingClose(t, fs) })
+			t.Run("UnlinkedReclaimRace", func(t *testing.T) { lcUnlinkedReclaim(t, fs) })
+		})
+	}
+}
+
+func lcDoubleClose(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/lc-double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("first Close = %v", err)
+	}
+	if err := f.Close(); err != vfs.ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+func lcOpsAfterClose(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/lc-ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("x"), 0)
+	f.Close()
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, 0); err != vfs.ErrClosed {
+		t.Errorf("ReadAt after Close = %v, want ErrClosed", err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != vfs.ErrClosed {
+		t.Errorf("WriteAt after Close = %v, want ErrClosed", err)
+	}
+	if err := f.Fsync(); err != vfs.ErrClosed {
+		t.Errorf("Fsync after Close = %v, want ErrClosed", err)
+	}
+	if err := f.Truncate(0); err != vfs.ErrClosed {
+		t.Errorf("Truncate after Close = %v, want ErrClosed", err)
+	}
+}
+
+// lcSibling checks that closing one handle does not release the file
+// state another open handle depends on (the refcount is per handle, and a
+// double Close on one handle must not decrement it twice).
+func lcSibling(t *testing.T, fs vfs.FileSystem) {
+	a, err := fs.Create("/lc-sib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteAt([]byte("sibling"), 0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Open("/lc-sib", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Unlink, then close (and double-close) the first handle: if the
+	// second Close dropped a reference too, b's storage would be reclaimed
+	// while b is still open.
+	if err := fs.Unlink("/lc-sib"); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	a.Close()
+	buf := make([]byte, 7)
+	if n, err := b.ReadAt(buf, 0); err != nil && err != io.EOF || n != 7 {
+		t.Fatalf("sibling read = %d, %v", n, err)
+	}
+	if string(buf) != "sibling" {
+		t.Fatalf("sibling read %q", buf)
+	}
+}
+
+// lcConcurrentClose races N goroutines closing the same handle: exactly
+// one must win; the rest must see ErrClosed.
+func lcConcurrentClose(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/lc-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f.Close()
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for i, err := range errs {
+		switch err {
+		case nil:
+			wins++
+		case vfs.ErrClosed:
+		default:
+			t.Errorf("close %d = %v", i, err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d closes succeeded, want exactly 1", wins)
+	}
+}
+
+// lcIORacingClose runs readers and writers against a handle while another
+// goroutine closes it. Every operation must either complete or fail with
+// ErrClosed — never panic, never touch reclaimed storage (the -race run
+// checks the latter).
+func lcIORacingClose(t *testing.T, fs vfs.FileSystem) {
+	f, err := fs.Create("/lc-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 64<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	// The file is unlinked while open, so the racing Close also races the
+	// storage reclaim — the dangerous path.
+	if err := fs.Unlink("/lc-race"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	opErr := func(err error) bool {
+		return err == nil || err == io.EOF || err == vfs.ErrClosed
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			buf := make([]byte, 4096)
+			for j := 0; ; j++ {
+				_, err := f.ReadAt(buf, int64((i*37+j)%16)*4096)
+				if !opErr(err) {
+					t.Errorf("racing ReadAt = %v", err)
+					return
+				}
+				if err == vfs.ErrClosed {
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			buf := make([]byte, 512)
+			for j := 0; ; j++ {
+				_, err := f.WriteAt(buf, int64((i*11+j)%16)*4096)
+				if !opErr(err) {
+					t.Errorf("racing WriteAt = %v", err)
+					return
+				}
+				if err == vfs.ErrClosed {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(time.Millisecond)
+		if err := f.Close(); err != nil {
+			t.Errorf("Close = %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+}
+
+// lcUnlinkedReclaim opens many handles to one file, unlinks it, closes
+// all handles concurrently, and checks that the path can be recreated and
+// used — i.e. the deferred reclaim ran exactly once and left the
+// allocator consistent.
+func lcUnlinkedReclaim(t *testing.T, fs vfs.FileSystem) {
+	const handles = 8
+	f0, err := fs.Create("/lc-reclaim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f0.WriteAt(make([]byte, 32<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	hs := []vfs.File{f0}
+	for i := 1; i < handles; i++ {
+		h, err := fs.Open("/lc-reclaim", vfs.ORdwr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if err := fs.Unlink("/lc-reclaim"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, h := range hs {
+		wg.Add(1)
+		go func(h vfs.File) {
+			defer wg.Done()
+			if err := h.Close(); err != nil {
+				t.Errorf("close = %v", err)
+			}
+		}(h)
+	}
+	wg.Wait()
+	// The name is free again and new storage works.
+	g, err := fs.Create("/lc-reclaim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.WriteAt([]byte("fresh"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if n, err := g.ReadAt(buf, 0); n != 5 || (err != nil && err != io.EOF) {
+		t.Fatalf("reread = %d, %v", n, err)
+	}
+	if string(buf) != "fresh" {
+		t.Fatalf("reread %q", buf)
+	}
+}

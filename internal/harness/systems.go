@@ -284,3 +284,6 @@ func (f *overheadFile) Fsync() error              { spin(f.d); return f.inner.Fs
 func (f *overheadFile) Truncate(size int64) error { spin(f.d); return f.inner.Truncate(size) }
 func (f *overheadFile) Size() int64               { return f.inner.Size() }
 func (f *overheadFile) Close() error              { spin(f.d); return f.inner.Close() }
+
+// Unwrap exposes the decorated handle for vfs.FileAs capability probes.
+func (f *overheadFile) Unwrap() vfs.File { return f.inner }

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hinfs/internal/vfs"
+)
+
+// escapeShapes is every path shape an adversarial client might send to
+// break out of (or break) a namespace: dot-dot traversal in all its
+// spellings, NUL injection, empty paths, and oversized names. wantErr is
+// the error SplitPath-based validation must return.
+var escapeShapes = []struct {
+	name    string
+	path    string
+	wantErr error
+}{
+	{"bare-dotdot", "..", vfs.ErrInvalid},
+	{"rooted-dotdot", "/..", vfs.ErrInvalid},
+	{"trailing-slash-dotdot", "/../", vfs.ErrInvalid},
+	{"escape-then-descend", "/../secret", vfs.ErrInvalid},
+	{"deep-escape", "/a/../../secret", vfs.ErrInvalid},
+	{"double-slash-escape", "//..//secret", vfs.ErrInvalid},
+	{"dot-then-dotdot", "/./../secret", vfs.ErrInvalid},
+	{"interior-dotdot", "/a/../b", vfs.ErrInvalid},
+	{"empty-path", "", vfs.ErrInvalid},
+	{"nul-component", "/se\x00cret", vfs.ErrInvalid},
+	{"nul-only", "/\x00", vfs.ErrInvalid},
+	{"oversized-component", "/" + strings.Repeat("a", vfs.MaxComponentLen+1), vfs.ErrNameTooLon},
+	{"oversized-path", "/" + strings.Repeat("a/", vfs.MaxPathLen/2) + "x", vfs.ErrInvalid},
+	{"too-deep", strings.Repeat("/d", vfs.MaxPathComponents+1), vfs.ErrInvalid},
+}
+
+// benignShapes are messy-but-legal spellings that must resolve, and must
+// resolve INSIDE the namespace they were issued in.
+var benignShapes = []struct {
+	name string
+	path string
+}{
+	{"repeated-slashes", "//dir///inside"},
+	{"trailing-slash", "/dir/inside/"},
+	{"dot-components", "/./dir/./inside"},
+	{"dot-named-siblings", "/dir/..."},
+	{"relative", "dir/inside"},
+}
+
+// TestPathTraversal drives every escape shape against every system, both
+// directly and through a vfs.Sub confined view with a secret planted
+// outside the subtree. No shape may reach the secret or corrupt the
+// namespace.
+func TestPathTraversal(t *testing.T) {
+	for _, sys := range AllBaselines {
+		t.Run(string(sys), func(t *testing.T) {
+			inst, err := NewInstance(sys, lifecycleConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			fs := inst.FS
+
+			// Outside world: a secret file the jail must never see.
+			if err := fs.Mkdir("/outside"); err != nil {
+				t.Fatal(err)
+			}
+			sec, err := fs.Create("/outside/secret")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sec.WriteAt([]byte("top"), 0)
+			sec.Close()
+			if err := fs.Mkdir("/jail"); err != nil {
+				t.Fatal(err)
+			}
+			jail, err := vfs.Sub(fs, "/jail")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Benign-shape targets.
+			if err := jail.Mkdir("/dir"); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []string{"/dir/inside", "/dir/..."} {
+				f, err := jail.Create(p)
+				if err != nil {
+					t.Fatalf("Create(%q): %v", p, err)
+				}
+				f.Close()
+			}
+
+			for _, c := range escapeShapes {
+				t.Run(c.name, func(t *testing.T) {
+					// Directly against the file system.
+					if _, err := fs.Open(c.path, vfs.ORdonly); err != c.wantErr {
+						t.Errorf("fs.Open(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if _, err := fs.Stat(c.path); c.path != "" && err != c.wantErr {
+						// Stat("/..") etc. must fail identically; Stat("")
+						// shares the ErrInvalid case.
+						t.Errorf("fs.Stat(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					// Through the confined view, across the op surface.
+					if _, err := jail.Open(c.path, vfs.ORdonly); err != c.wantErr {
+						t.Errorf("jail.Open(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if _, err := jail.Create(c.path); err != c.wantErr {
+						t.Errorf("jail.Create(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if err := jail.Mkdir(c.path); err != c.wantErr {
+						t.Errorf("jail.Mkdir(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if err := jail.Unlink(c.path); err != c.wantErr {
+						t.Errorf("jail.Unlink(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if err := jail.Rename(c.path, "/dir/inside"); err != c.wantErr {
+						t.Errorf("jail.Rename(%.32q, ok) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if err := jail.Rename("/dir/inside", c.path); err != c.wantErr {
+						t.Errorf("jail.Rename(ok, %.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+					if _, err := jail.ReadDir(c.path); err != c.wantErr {
+						t.Errorf("jail.ReadDir(%.32q) = %v, want %v", c.path, err, c.wantErr)
+					}
+				})
+			}
+
+			// The secret is still there, still 3 bytes, still outside.
+			fi, err := fs.Stat("/outside/secret")
+			if err != nil || fi.Size != 3 {
+				t.Fatalf("secret damaged: %+v, %v", fi, err)
+			}
+			if _, err := jail.Stat("/outside/secret"); err != vfs.ErrNotExist {
+				t.Fatalf("jail sees a parallel /outside/secret: %v", err)
+			}
+
+			for _, c := range benignShapes {
+				t.Run("benign-"+c.name, func(t *testing.T) {
+					target := "/dir/inside"
+					if c.name == "dot-named-siblings" {
+						target = "/dir/..."
+					}
+					fi, err := jail.Stat(c.path)
+					if err != nil {
+						t.Fatalf("jail.Stat(%q): %v", c.path, err)
+					}
+					want, _ := jail.Stat(target)
+					if fi.Name != want.Name {
+						t.Fatalf("Stat(%q) resolved to %q, want %q", c.path, fi.Name, want.Name)
+					}
+					// And the resolution stayed inside the jail: the same
+					// name does not exist at the mount root.
+					if _, err := fs.Stat(target); err != vfs.ErrNotExist {
+						t.Fatalf("benign path leaked to the root namespace: %v", err)
+					}
+				})
+			}
+		})
+	}
+}

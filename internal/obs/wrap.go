@@ -122,3 +122,7 @@ func (f *obsFile) Truncate(size int64) error {
 func (f *obsFile) Size() int64 { return f.inner.Size() }
 
 func (f *obsFile) Close() error { return f.inner.Close() }
+
+// Unwrap exposes the decorated handle so optional capabilities (mmap)
+// stay discoverable via vfs.FileAs.
+func (f *obsFile) Unwrap() vfs.File { return f.inner }

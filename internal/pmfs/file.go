@@ -1,6 +1,7 @@
 package pmfs
 
 import (
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -118,11 +119,15 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 	rec := f.fs.loadInode(f.ino)
 	if off >= rec.Size {
-		return 0, nil
+		// io.ReaderAt contract: reads at or past EOF report io.EOF, so a
+		// streaming caller can distinguish "end of file" from "empty read".
+		return 0, io.EOF
 	}
 	n := len(p)
+	var eof error
 	if off+int64(n) > rec.Size {
 		n = int(rec.Size - off)
+		eof = io.EOF
 	}
 	read := 0
 	for read < n {
@@ -143,7 +148,7 @@ func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 		}
 		read += chunk
 	}
-	return n, nil
+	return n, eof
 }
 
 // PrepareWriteLocked allocates and journals the metadata for a write of n
@@ -300,8 +305,19 @@ func (f *File) CloseWillReclaim() bool {
 	return st.refs == 1 && st.unlinked
 }
 
-// Close implements vfs.File.
-func (f *File) Close() error {
+// Close implements vfs.File. Closing an already-closed handle returns
+// ErrClosed without touching the refcount (a double Close must not
+// release another handle's reference).
+func (f *File) Close() error { return f.close(nil) }
+
+// CloseWithHook is Close, additionally invoking pre just before this
+// close frees an unlinked inode's storage. The reclaim decision is made
+// under the refcount lock, so exactly one of N racing closes runs the
+// hook — the HiNFS layer uses it to discard the inode's buffered DRAM
+// blocks before their NVMM blocks are released.
+func (f *File) CloseWithHook(pre func()) error { return f.close(pre) }
+
+func (f *File) close(pre func()) error {
 	if f.closed.Swap(true) {
 		return vfs.ErrClosed
 	}
@@ -311,6 +327,14 @@ func (f *File) Close() error {
 	reclaim := st.refs == 0 && st.unlinked
 	st.meta.Unlock()
 	if reclaim {
+		if pre != nil {
+			pre()
+		}
+		// Free the storage under the inode lock: a ReadAt that raced Close
+		// and passed its closed-check still holds the read lock, and must
+		// finish before the blocks it is copying from are reused.
+		st.mu.Lock()
+		defer st.mu.Unlock()
 		tx := f.fs.jnl.Begin()
 		rec := f.fs.loadInode(f.ino)
 		f.fs.treeFreeFrom(tx, &rec, 0)

@@ -3,6 +3,7 @@ package pmfs
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"hinfs/internal/nvmm"
@@ -55,7 +56,7 @@ func TestMkfsAndRemount(t *testing.T) {
 	}
 	buf := make([]byte, 16)
 	n, err := f2.ReadAt(buf, 0)
-	if err != nil {
+	if err != nil && err != io.EOF {
 		t.Fatal(err)
 	}
 	if string(buf[:n]) != "hello nvmm" {
@@ -108,13 +109,20 @@ func TestReadPastEOF(t *testing.T) {
 	defer f.Close()
 	f.WriteAt([]byte("abc"), 0)
 	buf := make([]byte, 10)
+	// io.ReaderAt contract: a short read reports io.EOF alongside the
+	// bytes read; a read at or past EOF reports (0, io.EOF).
 	n, err := f.ReadAt(buf, 0)
-	if err != nil || n != 3 {
-		t.Fatalf("ReadAt = %d, %v; want 3", n, err)
+	if err != io.EOF || n != 3 {
+		t.Fatalf("ReadAt = %d, %v; want 3, io.EOF", n, err)
 	}
 	n, err = f.ReadAt(buf, 100)
-	if err != nil || n != 0 {
-		t.Fatalf("ReadAt past EOF = %d, %v; want 0", n, err)
+	if err != io.EOF || n != 0 {
+		t.Fatalf("ReadAt past EOF = %d, %v; want 0, io.EOF", n, err)
+	}
+	// An exact read up to EOF stays error-free.
+	n, err = f.ReadAt(buf[:3], 0)
+	if err != nil || n != 3 {
+		t.Fatalf("exact ReadAt = %d, %v; want 3, nil", n, err)
 	}
 }
 

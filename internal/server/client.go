@@ -1,0 +1,378 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hinfs/internal/vfs"
+)
+
+// Client is a connection to a Server, attached to one tenant. It
+// implements vfs.FileSystem, so workloads, conformance suites and tools
+// written against the VFS interfaces run unchanged over the wire; the
+// error identities (vfs.ErrNotExist, io.EOF, ...) survive the round trip.
+//
+// A Client is safe for concurrent use; the session protocol is
+// synchronous, so concurrent calls serialize on the connection. For
+// parallelism, open more clients — connections are the unit of
+// concurrency, which is how the load generator simulates users.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	in     []byte
+	out    enc
+	closed bool
+}
+
+// Dial connects to addr and attaches to tenant.
+func Dial(addr, tenant string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, tenant)
+}
+
+// NewClient attaches to tenant over an existing connection (net.Pipe in
+// tests). It takes ownership of conn.
+func NewClient(conn net.Conn, tenant string) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	c.mu.Lock()
+	c.out.b = c.out.b[:0]
+	c.out.u8(opAttach)
+	c.out.str(tenant)
+	resp, err := c.roundTripLocked()
+	if err == nil {
+		var d dec
+		d.b = resp
+		if st := d.u8(); st != stOK {
+			err = errFor(st, d.str())
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// roundTripLocked sends c.out as one frame and reads the response frame.
+// The caller holds c.mu and has filled c.out.
+func (c *Client) roundTripLocked() ([]byte, error) {
+	if c.closed {
+		return nil, vfs.ErrUnmounted
+	}
+	if err := writeFrame(c.bw, c.out.b); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.br, c.in)
+	if err != nil {
+		return nil, err
+	}
+	c.in = resp
+	return resp, nil
+}
+
+// call performs one request: build encodes the request into c.out, parse
+// (optional) decodes a successful response body.
+func (c *Client) call(build func(*enc), parse func(*dec) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out.b = c.out.b[:0]
+	build(&c.out)
+	resp, err := c.roundTripLocked()
+	if err != nil {
+		return err
+	}
+	d := dec{b: resp}
+	st := d.u8()
+	if st != stOK && st != stEOF {
+		detail := ""
+		if st == stOther {
+			detail = d.str()
+		}
+		return errFor(st, detail)
+	}
+	if parse != nil {
+		if perr := parse(&d); perr != nil {
+			return perr
+		}
+		if d.err != nil {
+			return d.err
+		}
+	}
+	if st == stEOF {
+		return io.EOF
+	}
+	return nil
+}
+
+// Create implements vfs.FileSystem.
+func (c *Client) Create(path string) (vfs.File, error) {
+	var id uint32
+	err := c.call(func(e *enc) {
+		e.u8(opCreate)
+		e.str(path)
+	}, func(d *dec) error {
+		id = d.u32()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteFile{c: c, id: id}, nil
+}
+
+// Open implements vfs.FileSystem.
+func (c *Client) Open(path string, flags int) (vfs.File, error) {
+	var id uint32
+	err := c.call(func(e *enc) {
+		e.u8(opOpen)
+		e.u32(uint32(flags))
+		e.str(path)
+	}, func(d *dec) error {
+		id = d.u32()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteFile{c: c, id: id}, nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (c *Client) Mkdir(path string) error {
+	return c.call(func(e *enc) { e.u8(opMkdir); e.str(path) }, nil)
+}
+
+// Rmdir implements vfs.FileSystem.
+func (c *Client) Rmdir(path string) error {
+	return c.call(func(e *enc) { e.u8(opRmdir); e.str(path) }, nil)
+}
+
+// Unlink implements vfs.FileSystem.
+func (c *Client) Unlink(path string) error {
+	return c.call(func(e *enc) { e.u8(opUnlink); e.str(path) }, nil)
+}
+
+// Rename implements vfs.FileSystem.
+func (c *Client) Rename(oldpath, newpath string) error {
+	return c.call(func(e *enc) { e.u8(opRename); e.str(oldpath); e.str(newpath) }, nil)
+}
+
+// Stat implements vfs.FileSystem.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) {
+	var fi vfs.FileInfo
+	err := c.call(func(e *enc) {
+		e.u8(opStat)
+		e.str(path)
+	}, func(d *dec) error {
+		fi.Name = d.str()
+		fi.Size = int64(d.u64())
+		fi.IsDir = d.u8() == 1
+		fi.Blocks = int64(d.u64())
+		return nil
+	})
+	return fi, err
+}
+
+// ReadDir implements vfs.FileSystem.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	var ents []vfs.DirEntry
+	err := c.call(func(e *enc) {
+		e.u8(opReadDir)
+		e.str(path)
+	}, func(d *dec) error {
+		n := int(d.u32())
+		if n < 0 || n > MaxIO {
+			return fmt.Errorf("server: implausible directory size %d", n)
+		}
+		ents = make([]vfs.DirEntry, 0, n)
+		for i := 0; i < n; i++ {
+			name := d.str()
+			isDir := d.u8() == 1
+			if d.err != nil {
+				return d.err
+			}
+			ents = append(ents, vfs.DirEntry{Name: name, IsDir: isDir})
+		}
+		return nil
+	})
+	return ents, err
+}
+
+// Sync implements vfs.FileSystem.
+func (c *Client) Sync() error {
+	return c.call(func(e *enc) { e.u8(opSync) }, nil)
+}
+
+// Unmount implements vfs.FileSystem: it ends the session and closes the
+// connection. The server-side file system stays mounted — a tenant does
+// not own the mount.
+func (c *Client) Unmount() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return vfs.ErrUnmounted
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// --- remote file handle ---
+
+// remoteFile is a client-side vfs.File backed by a server handle. It
+// deliberately exposes no optional capabilities (no BlockMmapper): device
+// memory cannot be aliased across a wire, and the capability probes
+// (vfs.FileAs) correctly report that.
+type remoteFile struct {
+	c  *Client
+	id uint32
+	mu sync.Mutex
+	// closed guards double-close client-side so the handle ID — which the
+	// server may eventually reuse for another session — is never sent
+	// after Close.
+	closed bool
+}
+
+func (f *remoteFile) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return nil
+}
+
+// ReadAt implements vfs.File, chunking at MaxIO.
+func (f *remoteFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(p) {
+		chunk := len(p) - total
+		if chunk > MaxIO {
+			chunk = MaxIO
+		}
+		var n int
+		err := f.c.call(func(e *enc) {
+			e.u8(opRead)
+			e.u32(f.id)
+			e.u64(uint64(off + int64(total)))
+			e.u32(uint32(chunk))
+		}, func(d *dec) error {
+			// Copy inside the parse callback: it runs under the client
+			// mutex, and the decoded slice aliases the connection's reusable
+			// receive buffer.
+			n = copy(p[total:], d.bytes())
+			return nil
+		})
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n < chunk {
+			// Short read without EOF status should not happen; treat it as
+			// EOF rather than spinning.
+			return total, io.EOF
+		}
+	}
+	return total, nil
+}
+
+// WriteAt implements vfs.File, chunking at MaxIO.
+func (f *remoteFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for {
+		chunk := len(p) - total
+		if chunk > MaxIO {
+			chunk = MaxIO
+		}
+		var n int
+		err := f.c.call(func(e *enc) {
+			e.u8(opWrite)
+			e.u32(f.id)
+			e.u64(uint64(off + int64(total)))
+			e.bytes(p[total : total+chunk])
+		}, func(d *dec) error {
+			n = int(d.u32())
+			return nil
+		})
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if total >= len(p) {
+			return total, nil
+		}
+		if n < chunk {
+			return total, vfs.ErrNoSpace
+		}
+	}
+}
+
+// Fsync implements vfs.File.
+func (f *remoteFile) Fsync() error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	return f.c.call(func(e *enc) { e.u8(opFsync); e.u32(f.id) }, nil)
+}
+
+// Truncate implements vfs.File.
+func (f *remoteFile) Truncate(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	return f.c.call(func(e *enc) {
+		e.u8(opTruncate)
+		e.u32(f.id)
+		e.u64(uint64(size))
+	}, nil)
+}
+
+// Size implements vfs.File.
+func (f *remoteFile) Size() int64 {
+	if err := f.checkOpen(); err != nil {
+		return 0
+	}
+	var size int64
+	err := f.c.call(func(e *enc) { e.u8(opSize); e.u32(f.id) }, func(d *dec) error {
+		size = int64(d.u64())
+		return nil
+	})
+	if err != nil {
+		return 0
+	}
+	return size
+}
+
+// Close implements vfs.File. A second Close returns ErrClosed locally
+// without another round trip.
+func (f *remoteFile) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	f.mu.Unlock()
+	return f.c.call(func(e *enc) { e.u8(opClose); e.u32(f.id) }, nil)
+}

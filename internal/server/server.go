@@ -1,0 +1,605 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"hinfs/internal/vfs"
+)
+
+// Config assembles a server.
+type Config struct {
+	// FS is the backing file system. The server is the only writer the
+	// tenants reach; it may be any vfs.FileSystem (HiNFS or a baseline).
+	FS vfs.FileSystem
+	// Tenants declares the tenant set. Roots are created if missing.
+	Tenants map[string]TenantConfig
+	// Workers bounds concurrently executing requests (default 8). This is
+	// the fair scheduler's service capacity.
+	Workers int
+}
+
+// Server multiplexes framed-RPC sessions from many clients onto one
+// backing file system, with per-tenant namespace confinement, quota
+// accounting and weighted fair scheduling.
+type Server struct {
+	fs      vfs.FileSystem
+	tenants map[string]*tenant
+	order   []string
+	sched   *sched
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New validates the tenant set, creates missing roots, and starts the
+// scheduler workers. The caller owns fs; Server.Close does not unmount it.
+func New(cfg Config) (*Server, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("server: no backing file system")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("server: no tenants configured")
+	}
+	s := &Server{
+		fs:      cfg.FS,
+		tenants: make(map[string]*tenant),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for name := range cfg.Tenants {
+		s.order = append(s.order, name)
+	}
+	sort.Strings(s.order)
+	weights := make(map[string]int64)
+	for _, name := range s.order {
+		tc := cfg.Tenants[name]
+		if tc.Weight <= 0 {
+			tc.Weight = 1
+		}
+		if err := mkdirAll(cfg.FS, tc.Root); err != nil {
+			return nil, fmt.Errorf("server: tenant %s root %q: %w", name, tc.Root, err)
+		}
+		view, err := vfs.Sub(cfg.FS, tc.Root)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
+		}
+		s.tenants[name] = &tenant{name: name, view: view, cfg: tc}
+		weights[name] = int64(tc.Weight)
+	}
+	s.sched = newSched(weights, s.order, cfg.Workers)
+	return s, nil
+}
+
+// mkdirAll creates path and its ancestors on fs.
+func mkdirAll(fs vfs.FileSystem, path string) error {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= len(parts); i++ {
+		if err := fs.Mkdir(vfs.JoinPath(parts[:i])); err != nil && err != vfs.ErrExist {
+			return err
+		}
+	}
+	return nil
+}
+
+// Serve accepts sessions on ln until the listener fails or the server is
+// closed. It is the caller's accept loop; run it in a goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return vfs.ErrUnmounted
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ServeConn runs one session on an existing connection (net.Pipe in
+// tests, pre-accepted sockets) and blocks until it ends.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.serveConn(conn)
+}
+
+// Close stops accepting, tears down every session, and stops the
+// scheduler. The backing file system is left mounted.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	s.sched.close()
+	return nil
+}
+
+// Stats snapshots every tenant, in name order.
+func (s *Server) Stats() []TenantStats {
+	svc := s.sched.serviceNS()
+	out := make([]TenantStats, 0, len(s.order))
+	for _, name := range s.order {
+		ts := s.tenants[name].stats()
+		ts.ServiceNS = svc[name]
+		out = append(out, ts)
+	}
+	return out
+}
+
+// --- session ---
+
+// handle is one open file in a session's handle table.
+type handle struct {
+	f     vfs.File
+	flags int
+}
+
+type session struct {
+	srv     *Server
+	ten     *tenant
+	handles map[uint32]handle
+	nextID  uint32
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sess := &session{srv: s, handles: make(map[uint32]handle), nextID: 1}
+	defer sess.closeAll()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var in []byte
+	var out enc
+	for {
+		payload, err := readFrame(br, in)
+		if err != nil {
+			return // EOF, reset, or protocol violation: the session is over
+		}
+		in = payload
+		out.b = out.b[:0]
+		sess.dispatch(payload, &out)
+		if err := writeFrame(bw, out.b); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// closeAll closes every handle the session still holds — the server-side
+// half of the handle lifecycle: a dying connection leaks nothing.
+func (sess *session) closeAll() {
+	for id, h := range sess.handles {
+		h.f.Close()
+		delete(sess.handles, id)
+	}
+}
+
+// fail encodes an error response.
+func fail(out *enc, err error) {
+	code := codeFor(err)
+	out.u8(code)
+	if code == stOther {
+		out.str(err.Error())
+	}
+}
+
+// dispatch decodes one request and produces one response. Attach runs
+// inline; every other op runs under the fair scheduler as the session's
+// tenant.
+func (sess *session) dispatch(payload []byte, out *enc) {
+	d := dec{b: payload}
+	op := d.u8()
+	if d.err != nil {
+		fail(out, vfs.ErrInvalid)
+		return
+	}
+	if op == opAttach {
+		name := d.str()
+		if d.err != nil {
+			fail(out, vfs.ErrInvalid)
+			return
+		}
+		t := sess.srv.tenants[name]
+		if t == nil {
+			fail(out, ErrUnknownTenant)
+			return
+		}
+		sess.ten = t
+		out.u8(stOK)
+		return
+	}
+	if sess.ten == nil {
+		fail(out, ErrNoTenant)
+		return
+	}
+	// Decode in the session goroutine; only the file-system work runs in
+	// a scheduler slot.
+	run, cost, class := sess.decode(op, &d)
+	if run == nil {
+		fail(out, vfs.ErrInvalid)
+		return
+	}
+	t := sess.ten
+	start := time.Now()
+	if err := t.srvDo(sess.srv.sched, cost, run, out); err != nil {
+		out.b = out.b[:0]
+		fail(out, err)
+		return
+	}
+	lat := time.Since(start).Nanoseconds()
+	t.ops.Add(1)
+	switch class {
+	case classRead:
+		t.readLat.Observe(lat)
+	case classWrite:
+		t.writeLat.Observe(lat)
+	default:
+		t.metaLat.Observe(lat)
+	}
+}
+
+// srvDo runs fn in a scheduler slot for tenant t.
+func (t *tenant) srvDo(s *sched, cost int64, fn func(*enc), out *enc) error {
+	return s.Do(t.name, cost, func() { fn(out) })
+}
+
+type opClass int
+
+const (
+	classMeta opClass = iota
+	classRead
+	classWrite
+)
+
+// decode parses the request for op and returns the closure that executes
+// it and encodes the response, plus its scheduler cost and latency class.
+// A nil closure means a malformed request.
+func (sess *session) decode(op byte, d *dec) (func(*enc), int64, opClass) {
+	t := sess.ten
+	view := t.view
+	switch op {
+	case opOpen:
+		flags := int(d.u32())
+		path := d.str()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			f, err := view.Open(path, flags)
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			id := sess.put(f, flags)
+			out.u8(stOK)
+			out.u32(id)
+		}, 1, classMeta
+	case opCreate:
+		path := d.str()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			f, err := view.Create(path)
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			id := sess.put(f, vfs.ORdwr)
+			out.u8(stOK)
+			out.u32(id)
+		}, 1, classMeta
+	case opClose:
+		id := d.u32()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			h, ok := sess.handles[id]
+			if !ok {
+				fail(out, ErrBadHandle)
+				return
+			}
+			delete(sess.handles, id)
+			if err := h.f.Close(); err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+		}, 1, classMeta
+	case opRead:
+		id := d.u32()
+		off := int64(d.u64())
+		n := int(d.u32())
+		if d.err != nil || n < 0 || n > MaxIO {
+			return nil, 0, classRead
+		}
+		return func(out *enc) {
+			h, ok := sess.handles[id]
+			if !ok {
+				fail(out, ErrBadHandle)
+				return
+			}
+			buf := make([]byte, n)
+			got, err := h.f.ReadAt(buf, off)
+			switch err {
+			case nil:
+				out.u8(stOK)
+			case io.EOF:
+				out.u8(stEOF)
+			default:
+				fail(out, err)
+				return
+			}
+			out.bytes(buf[:got])
+			t.bytesR.Add(int64(got))
+		}, opCost(n), classRead
+	case opWrite:
+		id := d.u32()
+		off := int64(d.u64())
+		data := d.bytes()
+		if d.err != nil {
+			return nil, 0, classWrite
+		}
+		return func(out *enc) {
+			h, ok := sess.handles[id]
+			if !ok {
+				fail(out, ErrBadHandle)
+				return
+			}
+			// Quota: admit the estimated growth before writing, settle to
+			// the actual size delta after.
+			oldSize := h.f.Size()
+			end := off + int64(len(data))
+			if h.flags&vfs.OAppend != 0 {
+				end = oldSize + int64(len(data))
+			}
+			growth := end - oldSize
+			if growth < 0 {
+				growth = 0
+			}
+			if err := t.chargeGrow(growth); err != nil {
+				fail(out, err)
+				return
+			}
+			n, err := h.f.WriteAt(data, off)
+			t.settle(h.f.Size() - oldSize - growth)
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+			out.u32(uint32(n))
+			t.bytesW.Add(int64(n))
+		}, opCost(len(data)), classWrite
+	case opFsync:
+		id := d.u32()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			h, ok := sess.handles[id]
+			if !ok {
+				fail(out, ErrBadHandle)
+				return
+			}
+			if err := h.f.Fsync(); err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+		}, 1, classMeta
+	case opTruncate:
+		id := d.u32()
+		size := int64(d.u64())
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			h, ok := sess.handles[id]
+			if !ok {
+				fail(out, ErrBadHandle)
+				return
+			}
+			oldSize := h.f.Size()
+			if err := t.chargeGrow(size - oldSize); err != nil {
+				fail(out, err)
+				return
+			}
+			err := h.f.Truncate(size)
+			grow := size - oldSize
+			if grow < 0 {
+				grow = 0
+			}
+			t.settle(h.f.Size() - oldSize - grow)
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+		}, 1, classMeta
+	case opSize:
+		id := d.u32()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			h, ok := sess.handles[id]
+			if !ok {
+				fail(out, ErrBadHandle)
+				return
+			}
+			out.u8(stOK)
+			out.u64(uint64(h.f.Size()))
+		}, 1, classMeta
+	case opMkdir, opRmdir, opUnlink:
+		path := d.str()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			var err error
+			switch op {
+			case opMkdir:
+				err = view.Mkdir(path)
+			case opRmdir:
+				err = view.Rmdir(path)
+			case opUnlink:
+				var fi vfs.FileInfo
+				fi, err = view.Stat(path)
+				if err == nil {
+					if err = view.Unlink(path); err == nil {
+						t.settle(-fi.Size)
+					}
+				}
+			}
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+		}, 1, classMeta
+	case opRename:
+		oldp := d.str()
+		newp := d.str()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			if err := view.Rename(oldp, newp); err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+		}, 1, classMeta
+	case opStat:
+		path := d.str()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			fi, err := view.Stat(path)
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+			out.str(fi.Name)
+			out.u64(uint64(fi.Size))
+			if fi.IsDir {
+				out.u8(1)
+			} else {
+				out.u8(0)
+			}
+			out.u64(uint64(fi.Blocks))
+		}, 1, classMeta
+	case opReadDir:
+		path := d.str()
+		if d.err != nil {
+			return nil, 0, classMeta
+		}
+		return func(out *enc) {
+			ents, err := view.ReadDir(path)
+			if err != nil {
+				fail(out, err)
+				return
+			}
+			total := 0
+			for _, e := range ents {
+				total += 3 + len(e.Name)
+			}
+			if total > MaxIO {
+				fail(out, fmt.Errorf("server: directory listing exceeds %d bytes", MaxIO))
+				return
+			}
+			out.u8(stOK)
+			out.u32(uint32(len(ents)))
+			for _, e := range ents {
+				out.str(e.Name)
+				if e.IsDir {
+					out.u8(1)
+				} else {
+					out.u8(0)
+				}
+			}
+		}, 1, classMeta
+	case opSync:
+		return func(out *enc) {
+			if err := view.Sync(); err != nil {
+				fail(out, err)
+				return
+			}
+			out.u8(stOK)
+		}, 1, classMeta
+	}
+	return nil, 0, classMeta
+}
+
+// put registers a handle and returns its session-local ID. IDs are never
+// reused within a session, so a stale client ID cannot alias a newer file.
+func (sess *session) put(f vfs.File, flags int) uint32 {
+	id := sess.nextID
+	sess.nextID++
+	sess.handles[id] = handle{f: f, flags: flags}
+	return id
+}

@@ -233,7 +233,7 @@ func (t *Trace) Replay(fs vfs.FileSystem) (res ReplayResult, err error) {
 			}
 			buf = payload(rng, buf, op.Size)
 			n, err := f.ReadAt(buf, op.Off)
-			if err != nil {
+			if err != nil && err != io.EOF {
 				return res, err
 			}
 			res.BytesRead += int64(n)

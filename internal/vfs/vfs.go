@@ -1,8 +1,17 @@
 // Package vfs defines the file-system interface shared by every system in
 // this repository: HiNFS and its variants, the PMFS baseline, EXT4-DAX, and
 // the EXT2/EXT4-on-NVMMBD baselines. Workload generators, the benchmark
-// harness, the example applications and the CLI tools all program against
-// these interfaces, so any system can be swapped under any workload.
+// harness, the example applications, the CLI tools and the multi-tenant
+// server all program against these interfaces, so any system can be swapped
+// under any workload.
+//
+// The surface is capability-based: FileSystem composes a small set of core
+// interfaces (Opener, Namespace, Syncer), and optional capabilities —
+// memory-mapped I/O, decorated-handle unwrapping — are discovered by
+// interface assertion (FileAs, HasBlockMmap) rather than demanded of every
+// backend. A front-end that only lists directories can depend on Namespace
+// alone; the server mounts anything that satisfies FileSystem and probes
+// the rest.
 package vfs
 
 import (
@@ -38,6 +47,20 @@ var (
 	ErrUnmounted  = errors.New("vfs: file system unmounted")
 )
 
+// Path-shape limits. Individual file systems may impose tighter per-name
+// limits (PMFS dentries hold 54 bytes); these bound what path *parsing*
+// will accept, so adversarial inputs from untrusted clients — the server
+// feeds wire paths straight into SplitPath — are rejected before any
+// namespace walk begins.
+const (
+	// MaxPathLen bounds the byte length of a whole path.
+	MaxPathLen = 4096
+	// MaxPathComponents bounds the directory depth of a path.
+	MaxPathComponents = 255
+	// MaxComponentLen bounds one path component's byte length.
+	MaxComponentLen = 255
+)
+
 // FileInfo describes a file or directory.
 type FileInfo struct {
 	Name  string
@@ -54,9 +77,16 @@ type DirEntry struct {
 }
 
 // File is an open file handle.
+//
+// ReadAt follows the io.ReaderAt contract: a read starting at or past end
+// of file returns (0, io.EOF), and a read truncated by end of file returns
+// the bytes read together with io.EOF. When n == len(p) the error is nil.
+// Every system returns the same shapes, so one client read path works over
+// any backend.
 type File interface {
-	// ReadAt reads len(p) bytes at offset off. It returns the number of
-	// bytes read; n < len(p) only at end of file.
+	// ReadAt reads up to len(p) bytes at offset off. It returns the number
+	// of bytes read; n < len(p) only at end of file, in which case the
+	// error is io.EOF (see the interface comment).
 	ReadAt(p []byte, off int64) (n int, err error)
 	// WriteAt writes p at offset off, extending the file as needed.
 	// Handles opened with OAppend ignore off and append atomically.
@@ -67,25 +97,22 @@ type File interface {
 	Truncate(size int64) error
 	// Size returns the current file size.
 	Size() int64
-	// Close releases the handle.
+	// Close releases the handle. Closing an already-closed handle returns
+	// ErrClosed; operations racing Close either complete or fail with
+	// ErrClosed, never touch reclaimed storage.
 	Close() error
 }
 
-// Mmapper is implemented by file systems supporting direct memory-mapped
-// I/O (§4.2). Mmap returns a slice aliasing device memory; Msync persists
-// stores made through it.
-type Mmapper interface {
-	Mmap(length int64) ([]byte, error)
-	Msync() error
-	Munmap() error
-}
-
-// FileSystem is a mounted file system instance.
-type FileSystem interface {
+// Opener creates and opens files — the minimal data-plane entry point.
+type Opener interface {
 	// Create creates a regular file, failing if it exists.
 	Create(path string) (File, error)
 	// Open opens an existing file (or creates one with OCreate).
 	Open(path string, flags int) (File, error)
+}
+
+// Namespace manipulates and inspects the directory tree.
+type Namespace interface {
 	// Mkdir creates a directory.
 	Mkdir(path string) error
 	// Rmdir removes an empty directory.
@@ -98,18 +125,91 @@ type FileSystem interface {
 	Stat(path string) (FileInfo, error)
 	// ReadDir lists the directory at path.
 	ReadDir(path string) ([]DirEntry, error)
+}
+
+// Syncer flushes dirty state to the device.
+type Syncer interface {
 	// Sync flushes all dirty state to the device.
 	Sync() error
+}
+
+// FileSystem is a mounted file system instance: the composition of the
+// core capabilities plus teardown.
+type FileSystem interface {
+	Opener
+	Namespace
+	Syncer
 	// Unmount flushes everything and stops background work. The file
 	// system must not be used afterwards.
 	Unmount() error
 }
 
-// SplitPath normalizes path and splits it into components. It returns
-// ErrInvalid for empty paths and ignores duplicate slashes. The root "/"
-// yields an empty slice.
+// Mmapper is implemented by file systems supporting direct memory-mapped
+// I/O (§4.2). Mmap returns a slice aliasing device memory; Msync persists
+// stores made through it.
+type Mmapper interface {
+	Mmap(length int64) ([]byte, error)
+	Msync() error
+	Munmap() error
+}
+
+// BlockMmapper is the optional per-handle capability for block-granular
+// direct memory-mapped I/O (§4.2): Mmap returns a slice aliasing the
+// device memory of one file block, Msync persists stores made through it,
+// Munmap ends the mapping. HiNFS handles implement it; page-cache
+// baselines and remote handles do not. Discover it with FileAs — never by
+// asserting on the concrete handle, which may be decorated.
+type BlockMmapper interface {
+	Mmap(index int64) ([]byte, error)
+	Msync(index int64) error
+	Munmap() error
+}
+
+// FileUnwrapper is implemented by decorating file handles (latency
+// instrumentation, modelled syscall overhead) so optional capabilities of
+// the underlying handle stay discoverable through the decoration.
+type FileUnwrapper interface {
+	Unwrap() File
+}
+
+// FileAs walks f's decoration chain looking for capability T, in the
+// spirit of errors.As: it returns the first layer satisfying T, following
+// Unwrap until the chain ends.
+func FileAs[T any](f File) (T, bool) {
+	for f != nil {
+		if t, ok := any(f).(T); ok {
+			return t, true
+		}
+		u, ok := f.(FileUnwrapper)
+		if !ok {
+			break
+		}
+		f = u.Unwrap()
+	}
+	var zero T
+	return zero, false
+}
+
+// HasBlockMmap reports whether f (or a handle it decorates) supports
+// block-granular mmap.
+func HasBlockMmap(f File) bool {
+	_, ok := FileAs[BlockMmapper](f)
+	return ok
+}
+
+// SplitPath normalizes path and splits it into components. The root "/"
+// yields an empty slice. It rejects, with ErrInvalid: empty paths, any
+// ".." component (the namespace has no parent links, so dot-dot could only
+// ever be an escape attempt), components containing NUL bytes, and paths
+// exceeding MaxPathLen bytes or MaxPathComponents components. Components
+// longer than MaxComponentLen return ErrNameTooLon. Repeated slashes,
+// trailing slashes and "." components are ignored. Every namespace walk in
+// the repository starts here, so these checks hold for all systems.
 func SplitPath(path string) ([]string, error) {
 	if path == "" {
+		return nil, ErrInvalid
+	}
+	if len(path) > MaxPathLen {
 		return nil, ErrInvalid
 	}
 	parts := strings.Split(path, "/")
@@ -120,8 +220,17 @@ func SplitPath(path string) ([]string, error) {
 		case "..":
 			return nil, ErrInvalid
 		default:
+			if len(p) > MaxComponentLen {
+				return nil, ErrNameTooLon
+			}
+			if strings.IndexByte(p, 0) >= 0 {
+				return nil, ErrInvalid
+			}
 			out = append(out, p)
 		}
+	}
+	if len(out) > MaxPathComponents {
+		return nil, ErrInvalid
 	}
 	return out, nil
 }
@@ -136,4 +245,12 @@ func SplitDirBase(path string) (dir []string, base string, err error) {
 		return nil, "", ErrInvalid
 	}
 	return parts[:len(parts)-1], parts[len(parts)-1], nil
+}
+
+// JoinPath reassembles components into a canonical absolute path.
+func JoinPath(parts []string) string {
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
 }

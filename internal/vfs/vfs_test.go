@@ -1,25 +1,50 @@
 package vfs
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSplitPath(t *testing.T) {
 	cases := []struct {
 		in   string
 		want []string
-		err  bool
+		err  error
 	}{
-		{"/", []string{}, false},
-		{"", nil, true},
-		{"/a/b/c", []string{"a", "b", "c"}, false},
-		{"//a///b/", []string{"a", "b"}, false},
-		{"a/b", []string{"a", "b"}, false},
-		{"/a/./b", []string{"a", "b"}, false},
-		{"/a/../b", nil, true},
+		{"/", []string{}, nil},
+		{"", nil, ErrInvalid},
+		{"/a/b/c", []string{"a", "b", "c"}, nil},
+		{"//a///b/", []string{"a", "b"}, nil},
+		{"a/b", []string{"a", "b"}, nil},
+		{"/a/./b", []string{"a", "b"}, nil},
+		{"/a/../b", nil, ErrInvalid},
+		// Hardening: every escape/abuse shape an untrusted client can send.
+		{"..", nil, ErrInvalid},
+		{"/..", nil, ErrInvalid},
+		{"/../", nil, ErrInvalid},
+		{"/a/..", nil, ErrInvalid},
+		{"/a/b/../../..", nil, ErrInvalid},
+		{"/./../a", nil, ErrInvalid},
+		{"//..//a", nil, ErrInvalid},
+		{"/a/\x00b", nil, ErrInvalid},
+		{"/\x00", nil, ErrInvalid},
+		{"/.", []string{}, nil},
+		{"///", []string{}, nil},
+		{"/a//", []string{"a"}, nil},
+		{"/a/./././b///", []string{"a", "b"}, nil},
+		// "..." and ".hidden" are ordinary names, not traversal.
+		{"/...", []string{"..."}, nil},
+		{"/..x/.y", []string{"..x", ".y"}, nil},
+		// Length limits.
+		{"/" + strings.Repeat("a", MaxComponentLen), []string{strings.Repeat("a", MaxComponentLen)}, nil},
+		{"/" + strings.Repeat("a", MaxComponentLen+1), nil, ErrNameTooLon},
+		{strings.Repeat("/a", MaxPathComponents+1), nil, ErrInvalid},
+		{"/" + strings.Repeat("x/", MaxPathLen), nil, ErrInvalid},
 	}
 	for _, c := range cases {
 		got, err := SplitPath(c.in)
-		if (err != nil) != c.err {
-			t.Errorf("SplitPath(%q) err = %v", c.in, err)
+		if err != c.err {
+			t.Errorf("SplitPath(%.40q) err = %v, want %v", c.in, err, c.err)
 			continue
 		}
 		if err != nil {
@@ -37,6 +62,17 @@ func TestSplitPath(t *testing.T) {
 	}
 }
 
+func TestSplitPathDepthLimit(t *testing.T) {
+	// Exactly MaxPathComponents is fine; one more is not.
+	ok := strings.Repeat("/a", MaxPathComponents)
+	if _, err := SplitPath(ok); err != nil {
+		t.Fatalf("depth %d rejected: %v", MaxPathComponents, err)
+	}
+	if _, err := SplitPath(ok + "/a"); err != ErrInvalid {
+		t.Fatalf("depth %d accepted: %v", MaxPathComponents+1, err)
+	}
+}
+
 func TestSplitDirBase(t *testing.T) {
 	dir, base, err := SplitDirBase("/a/b/c")
 	if err != nil || base != "c" || len(dir) != 2 || dir[0] != "a" || dir[1] != "b" {
@@ -48,5 +84,157 @@ func TestSplitDirBase(t *testing.T) {
 	dir, base, err = SplitDirBase("/top")
 	if err != nil || base != "top" || len(dir) != 0 {
 		t.Fatalf("got %v %q %v", dir, base, err)
+	}
+}
+
+func TestJoinPath(t *testing.T) {
+	if got := JoinPath(nil); got != "/" {
+		t.Fatalf("JoinPath(nil) = %q", got)
+	}
+	if got := JoinPath([]string{"a", "b"}); got != "/a/b" {
+		t.Fatalf("JoinPath = %q", got)
+	}
+}
+
+// recordFS is a fake FileSystem that records every path it is handed, so
+// Sub's re-anchoring can be asserted exactly.
+type recordFS struct {
+	paths []string
+}
+
+func (r *recordFS) note(p string) { r.paths = append(r.paths, p) }
+
+func (r *recordFS) Create(p string) (File, error)       { r.note(p); return nil, nil }
+func (r *recordFS) Open(p string, f int) (File, error)  { r.note(p); return nil, nil }
+func (r *recordFS) Mkdir(p string) error                { r.note(p); return nil }
+func (r *recordFS) Rmdir(p string) error                { r.note(p); return nil }
+func (r *recordFS) Unlink(p string) error               { r.note(p); return nil }
+func (r *recordFS) Rename(o, n string) error            { r.note(o); r.note(n); return nil }
+func (r *recordFS) Stat(p string) (FileInfo, error)     { r.note(p); return FileInfo{IsDir: true}, nil }
+func (r *recordFS) ReadDir(p string) ([]DirEntry, error) { r.note(p); return nil, nil }
+func (r *recordFS) Sync() error                         { return nil }
+func (r *recordFS) Unmount() error                      { return nil }
+
+func TestSubResolvesUnderRoot(t *testing.T) {
+	inner := &recordFS{}
+	sub, err := Sub(inner, "/tenants/t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.paths = nil // drop the Stat from Sub itself
+
+	cases := []struct {
+		give string
+		want string
+	}{
+		{"/", "/tenants/t1"},
+		{"/f", "/tenants/t1/f"},
+		{"//f//", "/tenants/t1/f"},
+		{"/./a/./b", "/tenants/t1/a/b"},
+		{"relative/name", "/tenants/t1/relative/name"},
+	}
+	for _, c := range cases {
+		inner.paths = nil
+		if _, err := sub.Stat(c.give); err != nil {
+			t.Fatalf("Stat(%q): %v", c.give, err)
+		}
+		if len(inner.paths) != 1 || inner.paths[0] != c.want {
+			t.Errorf("Stat(%q) reached %v, want [%s]", c.give, inner.paths, c.want)
+		}
+	}
+
+	inner.paths = nil
+	if err := sub.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.paths) != 2 || inner.paths[0] != "/tenants/t1/a" || inner.paths[1] != "/tenants/t1/b" {
+		t.Errorf("Rename reached %v", inner.paths)
+	}
+}
+
+func TestSubRejectsEscapes(t *testing.T) {
+	inner := &recordFS{}
+	sub, err := Sub(inner, "/jail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.paths = nil
+	for _, p := range []string{"..", "/..", "/../", "/../../etc", "/a/../..", "", "/\x00"} {
+		if _, err := sub.Stat(p); err != ErrInvalid {
+			t.Errorf("Stat(%q) = %v, want ErrInvalid", p, err)
+		}
+		if err := sub.Mkdir(p); err != ErrInvalid {
+			t.Errorf("Mkdir(%q) = %v, want ErrInvalid", p, err)
+		}
+		if err := sub.Rename(p, "/ok"); err != ErrInvalid {
+			t.Errorf("Rename(%q, ok) = %v, want ErrInvalid", p, err)
+		}
+		if err := sub.Rename("/ok", p); err != ErrInvalid {
+			t.Errorf("Rename(ok, %q) = %v, want ErrInvalid", p, err)
+		}
+	}
+	if len(inner.paths) != 0 {
+		t.Fatalf("escape attempts reached the inner fs: %v", inner.paths)
+	}
+	if err := sub.Unmount(); err != ErrInvalid {
+		t.Fatalf("Unmount on a view = %v, want ErrInvalid", err)
+	}
+}
+
+func TestSubRootValidation(t *testing.T) {
+	inner := &recordFS{}
+	if _, err := Sub(inner, "/../x"); err != ErrInvalid {
+		t.Fatalf("Sub with traversal root = %v", err)
+	}
+	sub, err := Sub(inner, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.paths = nil
+	sub.Stat("/f")
+	if len(inner.paths) != 1 || inner.paths[0] != "/f" {
+		t.Fatalf("root view reached %v", inner.paths)
+	}
+}
+
+// capFile layers: base implements BlockMmapper, wrap decorates it.
+type baseFile struct{ File }
+
+func (baseFile) Mmap(index int64) ([]byte, error) { return nil, nil }
+func (baseFile) Msync(index int64) error          { return nil }
+func (baseFile) Munmap() error                    { return nil }
+
+type wrapFile struct {
+	File
+	inner File
+}
+
+func (w wrapFile) Unwrap() File { return w.inner }
+
+type plainFile struct{ File }
+
+func TestFileAs(t *testing.T) {
+	b := baseFile{}
+	if !HasBlockMmap(b) {
+		t.Fatal("base handle not discovered directly")
+	}
+	// Capability survives one and two layers of decoration.
+	if !HasBlockMmap(wrapFile{inner: b}) {
+		t.Fatal("capability lost through one decorator")
+	}
+	if !HasBlockMmap(wrapFile{inner: wrapFile{inner: b}}) {
+		t.Fatal("capability lost through two decorators")
+	}
+	// A chain ending in a plain handle reports no capability.
+	if HasBlockMmap(plainFile{}) || HasBlockMmap(wrapFile{inner: plainFile{}}) {
+		t.Fatal("capability invented")
+	}
+	if HasBlockMmap(nil) {
+		t.Fatal("nil handle has capability")
+	}
+	// FileAs returns the first matching layer.
+	m, ok := FileAs[BlockMmapper](wrapFile{inner: b})
+	if !ok || m == nil {
+		t.Fatal("FileAs failed")
 	}
 }

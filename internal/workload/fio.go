@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"io"
+
 	"hinfs/internal/vfs"
 )
 
@@ -91,7 +93,7 @@ func (w *Fio) Run(fs vfs.FileSystem, threads, ops int) (Result, error) {
 			if rng.Intn(100) < w.ReadPercent {
 				buf = payload(rng, buf, w.IOSize)
 				n, err := f.ReadAt(buf, off)
-				if err != nil {
+				if err != nil && err != io.EOF {
 					return err
 				}
 				res.BytesRead += int64(n)

@@ -10,6 +10,7 @@ package workload
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -232,7 +233,7 @@ func readFull(f vfs.File, ioSize int, res *Result) error {
 	buf := make([]byte, ioSize)
 	for off := int64(0); off < size; off += int64(ioSize) {
 		n, err := f.ReadAt(buf, off)
-		if err != nil {
+		if err != nil && err != io.EOF {
 			return err
 		}
 		res.BytesRead += int64(n)
