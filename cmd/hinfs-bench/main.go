@@ -103,8 +103,9 @@ func main() {
 		"latency":       harness.FigureLatency,
 		"amplification": harness.FigureAmplification,
 		"tenants":       harness.FigureTenants,
+		"obsoverhead":   harness.FigureObsOverhead,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants", "obsoverhead"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
@@ -114,6 +115,7 @@ func main() {
 		fmt.Println("'latency' is the per-op-class percentile + path-mix report (not a paper figure)")
 		fmt.Println("'amplification' is the §2 copy-attribution + write-amplification report (not a paper figure)")
 		fmt.Println("'tenants' is the multi-tenant server fairness report (not a paper figure)")
+		fmt.Println("'obsoverhead' is the observability on/off throughput gate (not a paper figure)")
 		return
 	}
 
@@ -132,6 +134,9 @@ func main() {
 			os.Exit(1)
 		}
 		fig.Table.Fprint(os.Stdout)
+		for i := range fig.Extra {
+			fig.Extra[i].Fprint(os.Stdout)
+		}
 		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		doc.Add(name, fig)
 	}

@@ -93,6 +93,7 @@ func run() int {
 		clients   = flag.Int("clients", 64, "concurrent clients per tenant")
 		duration  = flag.Duration("duration", 5*time.Second, "load window")
 		iosize    = flag.Int("iosize", 16<<10, "data op size (bytes)")
+		slowOp    = flag.Duration("slow-op", 0, "log a JSON line to stderr for every round trip at or over this latency (0 = off); trace IDs match the server's slow-op log")
 	)
 	flag.Parse()
 
@@ -136,6 +137,14 @@ func run() int {
 		fmt.Printf("hinfs-load: self-serving %s on %s\n", *system, target)
 	}
 
+	// One shared client-side slow-op log: every client stamps its records
+	// with side "client" and the wire trace ID, so a slow round trip here
+	// joins to the server's record for the same request.
+	var slowLog *obs.SlowLog
+	if *slowOp > 0 {
+		slowLog = obs.NewSlowLog(os.Stderr, *slowOp)
+	}
+
 	runs := make(map[string]*tenantRun, len(tenants))
 	for _, tn := range tenants {
 		runs[tn.name] = &tenantRun{}
@@ -148,7 +157,7 @@ func run() int {
 			wg.Add(1)
 			go func(tn tenantSpec, i int) {
 				defer wg.Done()
-				client(target, tn, other, i, *iosize, runs[tn.name], stop)
+				client(target, tn, other, i, *iosize, runs[tn.name], slowLog, stop)
 			}(tn, i)
 		}
 	}
@@ -188,13 +197,14 @@ func run() int {
 }
 
 // client simulates one synchronous user until stop closes.
-func client(addr string, tn tenantSpec, other string, id, iosize int, run *tenantRun, stop <-chan struct{}) {
+func client(addr string, tn tenantSpec, other string, id, iosize int, run *tenantRun, slow *obs.SlowLog, stop <-chan struct{}) {
 	c, err := server.Dial(addr, tn.name)
 	if err != nil {
 		run.errs.Add(1)
 		return
 	}
 	defer c.Unmount()
+	c.SetSlowOpLog(slow)
 	f, err := c.Create(fmt.Sprintf("/u%d", id))
 	if err != nil {
 		run.errs.Add(1)

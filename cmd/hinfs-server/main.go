@@ -5,12 +5,22 @@
 //
 //	hinfs-server -addr 127.0.0.1:7070 \
 //	    -tenant gold:/tenants/gold:4:0 \
-//	    -tenant bronze:/tenants/bronze:1:64
+//	    -tenant bronze:/tenants/bronze:1:64 \
+//	    -debug-addr 127.0.0.1:6070 -stats-interval 5s -slow-op 50ms
 //
 // Each -tenant flag declares name:root:weight:quotaMiB (quota 0 =
 // unlimited). With no -tenant flags, two equal-weight tenants "alpha"
-// and "beta" are created. SIGINT/SIGTERM shuts the server down cleanly
-// and dumps per-tenant statistics.
+// and "beta" are created.
+//
+// -debug-addr serves the observability endpoints: /metrics (Prometheus
+// text exposition of per-tenant counters, stage attribution, window
+// latency quantiles and scheduler state — what hinfs-top polls),
+// /debug/obs (full TenantStats and collector snapshots as JSON),
+// /debug/vars and /debug/pprof. -stats-interval dumps the per-tenant
+// table to stdout periodically; -slow-op writes a JSON line to stderr
+// for every request at or over the threshold, with its wire-propagated
+// trace ID and per-stage latency breakdown. SIGINT/SIGTERM shuts the
+// server down cleanly and dumps final statistics.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"time"
 
 	"hinfs/internal/harness"
+	"hinfs/internal/obs"
 	"hinfs/internal/server"
 )
 
@@ -61,12 +72,15 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		system  = flag.String("system", "hinfs", "backing system: hinfs, pmfs, ext4-dax, ext2-nvmmbd, ext4-nvmmbd")
-		device  = flag.Int64("device", 256, "emulated device size (MiB)")
-		latency = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency per cacheline")
-		workers = flag.Int("workers", 2, "concurrently executing requests (fair-scheduler service slots)")
-		tenants = tenantFlags{}
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		system    = flag.String("system", "hinfs", "backing system: hinfs, pmfs, ext4-dax, ext2-nvmmbd, ext4-nvmmbd")
+		device    = flag.Int64("device", 256, "emulated device size (MiB)")
+		latency   = flag.Duration("latency", 200*time.Nanosecond, "NVMM write latency per cacheline")
+		workers   = flag.Int("workers", 2, "concurrently executing requests (fair-scheduler service slots)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/obs, /debug/vars and /debug/pprof on this address")
+		statsIvl  = flag.Duration("stats-interval", 0, "dump the per-tenant stats table to stdout at this interval (0 = only at shutdown)")
+		slowOp    = flag.Duration("slow-op", 0, "log a JSON line to stderr for every request at or over this latency (0 = off)")
+		tenants   = tenantFlags{}
 	)
 	flag.Var(tenants, "tenant", "tenant spec name:root:weight:quotaMiB (repeatable)")
 	flag.Parse()
@@ -83,15 +97,33 @@ func run() int {
 	inst, err := harness.NewInstance(harness.System(*system), harness.Config{
 		DeviceSize:   *device << 20,
 		WriteLatency: *latency,
+		// The debug endpoint implies collection: the instance's collector
+		// (op-class and decision-path histograms) backs /debug/obs.
+		Observe: *debugAddr != "",
 	})
 	if err != nil {
 		return fail(err)
 	}
 	defer inst.Close()
 
-	srv, err := server.New(server.Config{FS: inst.FS, Tenants: tenants, Workers: *workers})
+	srv, err := server.New(server.Config{
+		FS:              inst.FS,
+		Tenants:         tenants,
+		Workers:         *workers,
+		SlowOpThreshold: *slowOp,
+	})
 	if err != nil {
 		return fail(err)
+	}
+	if *debugAddr != "" {
+		obs.Default.Register("server", func() any { return srv.Stats() })
+		obs.Default.RegisterProm("server", srv.WriteProm)
+		dbg, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			return fail(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("hinfs-server: metrics on http://%s/metrics\n", dbg.Addr)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -111,14 +143,27 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	var tick <-chan time.Time
+	if *statsIvl > 0 {
+		t := time.NewTicker(*statsIvl)
+		defer t.Stop()
+		tick = t.C
+	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		fmt.Printf("hinfs-server: %v, shutting down\n", sig)
-	case err := <-errc:
-		if err != nil {
-			return fail(err)
+loop:
+	for {
+		select {
+		case sig := <-sigc:
+			fmt.Printf("hinfs-server: %v, shutting down\n", sig)
+			break loop
+		case <-tick:
+			dumpStats(srv)
+		case err := <-errc:
+			if err != nil {
+				return fail(err)
+			}
+			break loop
 		}
 	}
 	if err := srv.Close(); err != nil {
@@ -129,13 +174,21 @@ func run() int {
 }
 
 func dumpStats(srv *server.Server) {
-	fmt.Println("tenant          ops   MB-read  MB-written  used-MB  quota-rej  svc-ms  write-p99(us)")
+	fmt.Println("tenant          ops   MB-read  MB-written  used-MB  quota-rej  svc-ms  queue%  flush%  qdepth  write-p99(us)")
 	for _, ts := range srv.Stats() {
 		_, _, wp99, _ := ts.WriteLat.Percentiles()
-		fmt.Printf("%-12s  %6d  %8.1f  %10.1f  %7.1f  %9d  %6d  %13.1f\n",
+		measured := ts.MeasuredNS()
+		share := func(stage string) float64 {
+			if measured <= 0 {
+				return 0
+			}
+			return 100 * float64(ts.StageNS[stage]) / float64(measured)
+		}
+		fmt.Printf("%-12s  %6d  %8.1f  %10.1f  %7.1f  %9d  %6d  %5.1f%%  %5.1f%%  %6d  %13.1f\n",
 			ts.Name, ts.Ops,
 			float64(ts.BytesRead)/(1<<20), float64(ts.BytesWritten)/(1<<20),
 			float64(ts.UsedBytes)/(1<<20), ts.QuotaRejects,
-			ts.ServiceNS/1e6, float64(wp99)/1e3)
+			ts.ServiceNS/1e6, share("queue"), share("flush"),
+			ts.Sched.QueueDepth, float64(wp99)/1e3)
 	}
 }

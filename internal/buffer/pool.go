@@ -973,17 +973,25 @@ func (p *Pool) stealFree(sh *shard) *block {
 func (p *Pool) allocBlock(sh *shard) *block {
 	sh.mu.Lock()
 	var stallStart time.Time
+	var stallOp *obs.OpCtx
+	var stallFlush0 int64
 	stalled := false
 	for len(sh.free) == 0 {
 		if !stalled {
 			stalled = true
 			stallStart = p.clk.Now()
 			p.stalls.Add(1)
+			// Snapshot the attached op's flush charge: device persists
+			// performed inside this stall (inline evictions) bill to
+			// StageFlush, and the episode's StageStall is net of them.
+			if stallOp = obs.CurrentOp(); stallOp != nil {
+				stallFlush0 = stallOp.StageNS(obs.StageFlush)
+			}
 		}
 		p.kickWriteback()
 		sh.mu.Unlock()
 		if b := p.stealFree(sh); b != nil {
-			p.observeStall(sh, stallStart)
+			p.observeStall(sh, stallStart, stallOp, stallFlush0)
 			return b
 		}
 		sh.mu.Lock()
@@ -1010,16 +1018,24 @@ func (p *Pool) allocBlock(sh *shard) *block {
 	}
 	sh.mu.Unlock()
 	if stalled {
-		p.observeStall(sh, stallStart)
+		p.observeStall(sh, stallStart, stallOp, stallFlush0)
 	}
 	return b
 }
 
 // observeStall accounts one completed foreground stall episode: the
-// cumulative StallNanos counter, the stall-latency histogram and a span.
-func (p *Pool) observeStall(sh *shard, start time.Time) {
+// cumulative StallNanos counter, the stall-latency histogram, a span,
+// and the attached op's StageStall — net of device flush time charged
+// during the episode, so stall and flush never double-count.
+func (p *Pool) observeStall(sh *shard, start time.Time, op *obs.OpCtx, flush0 int64) {
 	ns := p.clk.Now().Sub(start).Nanoseconds()
 	p.stallNanos.Add(ns)
+	if op != nil {
+		net := ns - (op.StageNS(obs.StageFlush) - flush0)
+		if net > 0 {
+			op.Charge(obs.StageStall, net)
+		}
+	}
 	if c := p.cfg.Obs; c != nil {
 		c.Path(obs.PathStall, ns)
 		c.Span(obs.Span{
@@ -1028,6 +1044,7 @@ func (p *Pool) observeStall(sh *shard, start time.Time) {
 			Op:      obs.OpWrite,
 			Path:    obs.PathStall,
 			Shard:   int32(sh.id),
+			Trace:   op.TraceOrZero(),
 			Outcome: "stall",
 		})
 	}

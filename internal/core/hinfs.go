@@ -367,7 +367,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			Start: start.UnixNano(), Dur: dur,
 			Op: obs.OpRead, Path: path,
 			File: uint64(f.pf.Ino()), Off: off, Size: int64(n),
-			Shard: -1, Outcome: "ok",
+			Shard: -1, Trace: obs.CurrentTrace(), Outcome: "ok",
 		})
 	}
 	return n, eof
@@ -503,7 +503,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			Start: start.UnixNano(), Dur: dur,
 			Op: obs.OpWrite, Path: path,
 			File: ino, Off: off, Size: int64(written),
-			Shard: -1, Outcome: outcome,
+			Shard: -1, Trace: obs.CurrentTrace(), Outcome: outcome,
 		})
 	}
 	return written, nil
@@ -541,7 +541,7 @@ func (f *File) Fsync() error {
 			Start: start.UnixNano(), Dur: dur,
 			Op: obs.OpFsync, Path: obs.PathWriteback,
 			File: uint64(f.pf.Ino()), Size: int64(flushed),
-			Shard: -1, Outcome: outcome,
+			Shard: -1, Trace: obs.CurrentTrace(), Outcome: outcome,
 		})
 	}
 	return ferr

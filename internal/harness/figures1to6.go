@@ -27,6 +27,9 @@ type Figure struct {
 	Table    Table
 	Series   map[string]float64
 	Profiles map[string]*Profile `json:"Profiles,omitempty"`
+	// Extra holds secondary tables some figures produce alongside the main
+	// one (e.g. the per-tenant stage-attribution breakdown of -fig tenants).
+	Extra []Table `json:"Extra,omitempty"`
 }
 
 func (f *Figure) put(key string, v float64) {

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"hinfs/internal/workload"
+)
+
+// obsOverheadBudget is the acceptable throughput cost of turning the
+// observability stack on: collector histograms at the VFS boundary,
+// decision-path histograms, device flush timing, and the goroutine-local
+// OpCtx lookups on the deep paths. FigureObsOverhead fails the run when
+// the measured overhead exceeds it, which is what makes the CI leg a
+// regression gate rather than a report.
+const obsOverheadBudget = 0.05
+
+// FigureObsOverhead measures the cost of observability: the same fio
+// workload on HiNFS with the collector off and on, interleaved over
+// several rounds with best-of taken per leg (interleaving cancels
+// machine drift; best-of cancels one-off scheduling noise). The workload
+// is device-wait dominated, as real runs are, so the result reflects the
+// instrumentation cost on the paths users actually run.
+func FigureObsOverhead(cfg Config, o Opts) (*Figure, error) {
+	cfg.Fill()
+	// Legs must run long enough for sleep-granularity noise to average
+	// out: at ~30k ops/s a 2-thread leg needs several thousand ops before
+	// the on/off delta is signal rather than scheduler jitter.
+	rounds, threads, ops := 3, 2, 6000
+	if o.Quick {
+		rounds, ops = 2, 4000
+	}
+	if o.Ops > 0 {
+		ops = o.Ops
+	}
+	if o.Threads > 0 {
+		threads = o.Threads
+	}
+
+	newWorkload := func() workload.Workload {
+		return &workload.Fio{IOSize: 4 << 10, FileSize: 4 << 20, ReadPercent: 50}
+	}
+	best := map[bool]float64{}
+	for r := 0; r < rounds; r++ {
+		for _, observe := range []bool{false, true} {
+			c := cfg
+			c.Observe = observe
+			res, err := RunWorkload(HiNFS, c, newWorkload(), threads, ops)
+			if err != nil {
+				return nil, err
+			}
+			if res.OpsPerSec > best[observe] {
+				best[observe] = res.OpsPerSec
+			}
+		}
+	}
+	overhead := 0.0
+	if best[false] > 0 {
+		overhead = 1 - best[true]/best[false]
+	}
+
+	fig := &Figure{Table: Table{
+		Title: "Observability overhead: identical fio load with the obs stack off vs on",
+		Note: fmt.Sprintf("HiNFS, 4KiB R/W 1:1, %d threads x %d ops, best of %d interleaved rounds; budget %.0f%%",
+			threads, ops, rounds, 100*obsOverheadBudget),
+		Header: []string{"obs", "ops/s", "overhead"},
+	}}
+	fig.Table.Rows = append(fig.Table.Rows,
+		[]string{"off", fmt.Sprintf("%.0f", best[false]), "-"},
+		[]string{"on", fmt.Sprintf("%.0f", best[true]), fmt.Sprintf("%.1f%%", 100*overhead)},
+	)
+	fig.put("off/opsps", best[false])
+	fig.put("on/opsps", best[true])
+	fig.put("overhead", overhead)
+	if overhead > obsOverheadBudget {
+		return fig, fmt.Errorf("obsoverhead: observability costs %.1f%% throughput, budget %.0f%%",
+			100*overhead, 100*obsOverheadBudget)
+	}
+	return fig, nil
+}

@@ -201,5 +201,57 @@ func FigureTenants(cfg Config, o Opts) (*Figure, error) {
 		fig.put(tn.name+"/p999us", float64(p999)/1e3)
 		fig.put(tn.name+"/violations", float64(run.violations.Load()))
 	}
+
+	// Secondary table: where each tenant's measured latency went. The
+	// attributed stages (queue+quota+lock+stall+flush) should sum to the
+	// measured admission-to-completion time; the residual inside the
+	// service stage is unattributed compute (memcpy, framing, handle
+	// lookups) and is reported as its own column so it cannot hide.
+	att := Table{
+		Title:  "Per-tenant stage attribution of measured latency",
+		Note:   "attributed = queue+quota+lock+stall+flush; measured = scheduler admission to completion; attributed/measured should be ~1",
+		Header: []string{"tenant", "measured(ms)", "queue", "quota", "lock", "stall", "flush", "other", "attributed"},
+	}
+	for _, tn := range tenants {
+		var ts server.TenantStats
+		for i := range stats {
+			if stats[i].Name == tn.name {
+				ts = stats[i]
+			}
+		}
+		measured := ts.MeasuredNS()
+		stagePct := func(name string) string {
+			return fmt.Sprintf("%.1f%%", 100*fracNS(ts.StageNS[name], measured))
+		}
+		var attributed int64
+		for _, st := range []string{"queue", "quota", "lock", "stall", "flush"} {
+			attributed += ts.StageNS[st]
+			fig.put(tn.name+"/stage/"+st, float64(ts.StageNS[st]))
+		}
+		other := ts.StageNS["service"] - (attributed - ts.StageNS["queue"])
+		if other < 0 {
+			other = 0
+		}
+		ratio := fracNS(attributed, measured)
+		att.Rows = append(att.Rows, []string{
+			tn.name,
+			fmt.Sprintf("%.1f", float64(measured)/1e6),
+			stagePct("queue"), stagePct("quota"), stagePct("lock"),
+			stagePct("stall"), stagePct("flush"),
+			fmt.Sprintf("%.1f%%", 100*fracNS(other, measured)),
+			fmt.Sprintf("%.1f%%", 100*ratio),
+		})
+		fig.put(tn.name+"/measuredns", float64(measured))
+		fig.put(tn.name+"/attribution", ratio)
+	}
+	fig.Extra = append(fig.Extra, att)
 	return fig, nil
+}
+
+// fracNS is part/whole for int64 nanosecond sums, 0 when whole is 0.
+func fracNS(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
 }

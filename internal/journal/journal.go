@@ -228,14 +228,24 @@ func (j *Journal) callPressure() {
 	}
 }
 
-// lock acquires ln's mutex, counting contended acquisitions.
+// lock acquires ln's mutex, counting contended acquisitions and charging
+// the contended wait to the attached op's lock stage. The uncontended
+// fast path pays nothing beyond the TryLock.
 func (j *Journal) lock(ln *lane) {
 	if ln.mu.TryLock() {
 		return
 	}
 	j.laneContended.Add(1)
 	j.col.Load().Add(obs.CtrJournalLaneContended, 1)
+	op := obs.CurrentOp()
+	var start time.Time
+	if op != nil {
+		start = time.Now()
+	}
 	ln.mu.Lock()
+	if op != nil {
+		op.Charge(obs.StageLock, time.Since(start).Nanoseconds())
+	}
 }
 
 // Begin opens a transaction on a round-robin-assigned lane and reserves its

@@ -247,8 +247,13 @@ func (d *Device) persist(off int64, n int) {
 	d.flushes.Add(1)
 	d.bytesFlushed.Add(int64(lines) * cacheline.Size)
 	c := d.col.Load()
+	// A server-attached foreground op charges its StageFlush here — the
+	// most precise spot: pure emulated device latency including bandwidth
+	// queueing. Background writeback goroutines are never attached, so
+	// their flushes stay off the per-op breakdown automatically.
+	op := obs.CurrentOp()
 	var start time.Time
-	if c != nil {
+	if c != nil || op != nil {
 		start = time.Now()
 	}
 	if d.effWrite > 0 {
@@ -262,8 +267,12 @@ func (d *Device) persist(off int64, n int) {
 	if d.cfg.TrackPersistence {
 		d.commitPending(off, n)
 	}
-	if c != nil {
-		c.Path(obs.PathNVMMFlush, time.Since(start).Nanoseconds())
+	if c != nil || op != nil {
+		ns := time.Since(start).Nanoseconds()
+		if c != nil {
+			c.Path(obs.PathNVMMFlush, ns)
+		}
+		op.Charge(obs.StageFlush, ns)
 	}
 }
 

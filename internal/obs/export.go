@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits the Prometheus text exposition format (version 0.0.4):
+// optional `# HELP`/`# TYPE` headers followed by `name{labels} value`
+// sample lines. It exists so the server and the harness can expose their
+// metrics to standard scrapers (and hinfs-top) without a client library
+// dependency. Errors are sticky; check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) writeString(s string) {
+	if p.err == nil {
+		_, p.err = io.WriteString(p.w, s)
+	}
+}
+
+// Header emits the HELP and TYPE lines for a metric family. typ is
+// "counter", "gauge", "histogram" or "untyped".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.writeString("# HELP " + name + " " + help + "\n# TYPE " + name + " " + typ + "\n")
+}
+
+// Metric emits one sample line. labels are name,value pairs; values are
+// escaped per the exposition format.
+func (p *PromWriter) Metric(name string, v float64, labels ...string) {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) >= 2 {
+		b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(labels[i])
+			b.WriteString(`="`)
+			b.WriteString(promEscape(labels[i+1]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteByte('\n')
+	p.writeString(b.String())
+}
+
+// promEscape escapes a label value (backslash, double quote, newline).
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,11 +19,12 @@ import (
 type Registry struct {
 	mu   sync.Mutex
 	vars map[string]func() any
+	prom map[string]func(io.Writer)
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{vars: make(map[string]func() any)}
+	return &Registry{vars: make(map[string]func() any), prom: make(map[string]func(io.Writer))}
 }
 
 // Default is the process-wide registry the debug server and the CLIs
@@ -41,6 +43,36 @@ func (r *Registry) Register(name string, fn func() any) {
 // RegisterCollector installs c's live snapshot under name.
 func (r *Registry) RegisterCollector(name string, c *Collector) {
 	r.Register(name, func() any { return c.Snapshot() })
+}
+
+// RegisterProm installs (or replaces) a Prometheus-exposition source: fn
+// writes text-format metric families to w on every scrape.
+func (r *Registry) RegisterProm(name string, fn func(io.Writer)) {
+	r.mu.Lock()
+	if r.prom == nil {
+		r.prom = make(map[string]func(io.Writer))
+	}
+	r.prom[name] = fn
+	r.mu.Unlock()
+}
+
+// WriteProm writes every registered exposition source to w, in name
+// order so scrapes are stable.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.prom))
+	for n := range r.prom {
+		names = append(names, n)
+	}
+	fns := make([]func(io.Writer), 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fns = append(fns, r.prom[n])
+	}
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(w)
+	}
 }
 
 // Snapshot evaluates every source.
@@ -96,6 +128,7 @@ type DebugServer struct {
 //
 //	/debug/vars   expvar JSON (includes the registry under "obs")
 //	/debug/obs    the registry snapshot alone, pretty-printed
+//	/metrics      Prometheus text exposition (RegisterProm sources)
 //	/debug/pprof  the standard Go profiling endpoints
 //
 // It returns once the listener is bound; serving continues in the
@@ -116,6 +149,10 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

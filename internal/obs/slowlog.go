@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowOp is one threshold-triggered slow-operation record, written as a
+// JSON line. The client and the server both log the same wire-propagated
+// trace ID, so one slow request can be matched across the two sides.
+type SlowOp struct {
+	// TimeNS is the completion time (unix nanoseconds).
+	TimeNS int64 `json:"ts"`
+	// Side is "client" or "server".
+	Side string `json:"side"`
+	// Trace is the request's trace ID, formatted as 16 hex digits.
+	Trace string `json:"trace"`
+	// Tenant is the serving tenant (server side only).
+	Tenant string `json:"tenant,omitempty"`
+	// Op is the protocol operation name ("write", "fsync", ...).
+	Op string `json:"op"`
+	// TotalNS is the measured latency.
+	TotalNS int64 `json:"total_ns"`
+	// Stages is the per-stage breakdown (server side only): stage name →
+	// attributed nanoseconds, zero stages omitted.
+	Stages map[string]int64 `json:"stages,omitempty"`
+	// Err is the op's error, if it failed.
+	Err string `json:"err,omitempty"`
+}
+
+// TraceString formats a trace ID the way SlowOp records carry it.
+func TraceString(trace uint64) string { return fmt.Sprintf("%016x", trace) }
+
+// StageMap converts a per-stage breakdown to the SlowOp map form,
+// omitting zero stages.
+func StageMap(stages [NumStages]int64) map[string]int64 {
+	m := make(map[string]int64, NumStages)
+	for _, st := range Stages() {
+		if v := stages[st]; v > 0 {
+			m[st.String()] = v
+		}
+	}
+	return m
+}
+
+// SlowLog writes threshold-triggered SlowOp records as JSON lines.
+// Record serializes under a mutex (slow ops are rare by construction);
+// Exceeds is the hot-path check and costs one comparison. Nil-safe.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold int64
+	logged    atomic.Int64
+}
+
+// NewSlowLog logs ops of at least threshold to w. A nil writer or a
+// non-positive threshold disables the log (returns nil).
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{w: w, threshold: threshold.Nanoseconds()}
+}
+
+// Exceeds reports whether an op of ns nanoseconds should be logged.
+func (l *SlowLog) Exceeds(ns int64) bool {
+	return l != nil && ns >= l.threshold
+}
+
+// Record writes one JSON line. The caller usually guards with Exceeds.
+func (l *SlowLog) Record(op SlowOp) {
+	if l == nil {
+		return
+	}
+	if op.TimeNS == 0 {
+		op.TimeNS = time.Now().UnixNano()
+	}
+	line, err := json.Marshal(op)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+	l.logged.Add(1)
+}
+
+// Logged returns the number of records written.
+func (l *SlowLog) Logged() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.logged.Load()
+}

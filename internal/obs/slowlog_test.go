@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRecord(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 10*time.Millisecond)
+	if l.Exceeds(9 * int64(time.Millisecond)) {
+		t.Fatal("below-threshold op must not log")
+	}
+	if !l.Exceeds(10 * int64(time.Millisecond)) {
+		t.Fatal("at-threshold op must log")
+	}
+	l.Record(SlowOp{
+		Side:    "server",
+		Trace:   TraceString(0xdeadbeef),
+		Tenant:  "gold",
+		Op:      "fsync",
+		TotalNS: 12345678,
+		Stages:  map[string]int64{"queue": 1000, "flush": 2000},
+	})
+	if l.Logged() != 1 {
+		t.Fatalf("logged = %d", l.Logged())
+	}
+	line := strings.TrimSpace(buf.String())
+	var got SlowOp
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("record is not a JSON line: %v\n%s", err, line)
+	}
+	if got.Trace != "00000000deadbeef" || got.Tenant != "gold" || got.Op != "fsync" ||
+		got.TotalNS != 12345678 || got.Stages["flush"] != 2000 {
+		t.Fatalf("round-tripped record = %+v", got)
+	}
+	if got.TimeNS == 0 {
+		t.Fatal("timestamp not stamped")
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if NewSlowLog(nil, time.Second) != nil {
+		t.Fatal("nil writer must disable the log")
+	}
+	if NewSlowLog(&bytes.Buffer{}, 0) != nil {
+		t.Fatal("zero threshold must disable the log")
+	}
+	var l *SlowLog
+	if l.Exceeds(1 << 62) {
+		t.Fatal("nil log exceeds nothing")
+	}
+	l.Record(SlowOp{Op: "x"}) // must not panic
+	if l.Logged() != 0 {
+		t.Fatal("nil log logged nothing")
+	}
+}
+
+func TestStageMapOmitsZeros(t *testing.T) {
+	var stages [NumStages]int64
+	stages[StageQueue] = 5
+	stages[StageFlush] = 9
+	m := StageMap(stages)
+	if len(m) != 2 || m["queue"] != 5 || m["flush"] != 9 {
+		t.Fatalf("StageMap = %v", m)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	if got := TraceString(0xab); got != "00000000000000ab" {
+		t.Fatalf("TraceString = %q", got)
+	}
+}
+
+func TestPromWriter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Header("hinfs_test_total", "A test counter.", "counter")
+	p.Metric("hinfs_test_total", 3, "tenant", "gold", "stage", "queue")
+	p.Metric("hinfs_test_total", 1.5)
+	p.Metric("hinfs_test_total", 1, "note", "line\nbreak\"quote\\slash")
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP hinfs_test_total A test counter.\n",
+		"# TYPE hinfs_test_total counter\n",
+		`hinfs_test_total{tenant="gold",stage="queue"} 3` + "\n",
+		"hinfs_test_total 1.5\n",
+		`hinfs_test_total{note="line\nbreak\"quote\\slash"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryWriteProm checks that exposition sources write in name
+// order and that a zero-value registry lazily initializes.
+func TestRegistryWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterProm("b", func(w io.Writer) { io.WriteString(w, "from_b 1\n") })
+	r.RegisterProm("a", func(w io.Writer) { io.WriteString(w, "from_a 1\n") })
+	var buf bytes.Buffer
+	r.WriteProm(&buf)
+	if got := buf.String(); got != "from_a 1\nfrom_b 1\n" {
+		t.Fatalf("WriteProm order:\n%s", got)
+	}
+	var zero Registry
+	zero.RegisterProm("x", func(w io.Writer) { io.WriteString(w, "x 1\n") })
+	buf.Reset()
+	zero.WriteProm(&buf)
+	if buf.String() != "x 1\n" {
+		t.Fatalf("zero-value registry:\n%s", buf.String())
+	}
+}

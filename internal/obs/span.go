@@ -32,6 +32,10 @@ type Span struct {
 	Size int64
 	// Shard is the DRAM buffer shard involved (-1 when not applicable).
 	Shard int32
+	// Trace is the wire-propagated request trace ID when the span was
+	// recorded inside a server-attached op (0 otherwise), correlating
+	// deep-layer spans with client requests and slow-op log lines.
+	Trace uint64
 	// Outcome labels how the op ended ("ok", "eager", "lazy", "mixed",
 	// "stall", "error", ...).
 	Outcome string
@@ -47,6 +51,7 @@ type jsonSpan struct {
 	Off     int64  `json:"off,omitempty"`
 	Size    int64  `json:"size,omitempty"`
 	Shard   int32  `json:"shard"`
+	Trace   string `json:"trace,omitempty"`
 	Outcome string `json:"outcome,omitempty"`
 }
 
@@ -177,7 +182,7 @@ func (t *Tracer) Dump(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, s := range t.Spans() {
-		if err := enc.Encode(jsonSpan{
+		js := jsonSpan{
 			Start:   s.Start,
 			Dur:     s.Dur,
 			Op:      s.Op.String(),
@@ -187,7 +192,11 @@ func (t *Tracer) Dump(w io.Writer) error {
 			Size:    s.Size,
 			Shard:   s.Shard,
 			Outcome: s.Outcome,
-		}); err != nil {
+		}
+		if s.Trace != 0 {
+			js.Trace = TraceString(s.Trace)
+		}
+		if err := enc.Encode(js); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Stage identifies one attributable segment of a request's latency. The
+// paper's argument is that on NVMM the interesting time is software time;
+// stages decompose a server operation's measured latency into the
+// software waits that compose it: scheduler queue wait, quota admission,
+// contended namespace/journal locks, DRAM buffer allocation stalls,
+// emulated device persist time, and the worker service time that contains
+// the middle four.
+type Stage uint8
+
+// The stages of the per-op latency breakdown.
+const (
+	// StageQueue is fair-scheduler queue wait: admission to dispatch.
+	StageQueue Stage = iota
+	// StageQuota is quota admission-check time.
+	StageQuota
+	// StageLock is contended lock wait (per-directory namespace locks,
+	// journal lanes). Uncontended acquisitions charge nothing.
+	StageLock
+	// StageStall is foreground DRAM-buffer allocation stall time, net of
+	// any device flush time charged inside the stall episode.
+	StageStall
+	// StageFlush is emulated NVMM persist latency, including bandwidth
+	// queueing (clflush loops, non-temporal store drains).
+	StageFlush
+	// StageService is total worker service time: dispatch to completion.
+	// It contains quota/lock/stall/flush plus unattributed compute.
+	StageService
+	NumStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageQueue:
+		return "queue"
+	case StageQuota:
+		return "quota"
+	case StageLock:
+		return "lock"
+	case StageStall:
+		return "stall"
+	case StageFlush:
+		return "flush"
+	case StageService:
+		return "service"
+	}
+	return "unknown"
+}
+
+// Stages lists every stage in display order.
+func Stages() []Stage {
+	return []Stage{StageQueue, StageQuota, StageLock, StageStall, StageFlush, StageService}
+}
+
+// OpCtx is the request-scoped observability context: the wire-propagated
+// trace ID plus a fixed-size per-stage latency accumulator. It is
+// embedded in long-lived session state and Reset per request, so the hot
+// path allocates nothing.
+//
+// Charging discipline: all Charge calls for one op happen either on the
+// goroutine the op is Attached to (deep layers via CurrentOp) or on the
+// scheduler worker before/after the run with happens-before edges to the
+// reader, so the stage slots are plain int64s, not atomics.
+type OpCtx struct {
+	// Trace is the wire-propagated request/trace ID (client-assigned).
+	Trace uint64
+	// Op is the op class of the request.
+	Op OpClass
+
+	stage [NumStages]int64
+	slot  int32
+	live  bool
+}
+
+// Reset prepares the context for a new request.
+func (c *OpCtx) Reset(trace uint64, op OpClass) {
+	if c == nil {
+		return
+	}
+	c.Trace = trace
+	c.Op = op
+	for i := range c.stage {
+		c.stage[i] = 0
+	}
+}
+
+// Charge adds ns to stage st. Nil-safe; negative charges are dropped.
+func (c *OpCtx) Charge(st Stage, ns int64) {
+	if c == nil || ns <= 0 {
+		return
+	}
+	c.stage[st] += ns
+}
+
+// StageNS returns the accumulated nanoseconds for st.
+func (c *OpCtx) StageNS(st Stage) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stage[st]
+}
+
+// TraceOrZero returns the trace ID, nil-safe.
+func (c *OpCtx) TraceOrZero() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.Trace
+}
+
+// Breakdown returns a copy of the per-stage accumulator.
+func (c *OpCtx) Breakdown() [NumStages]int64 {
+	if c == nil {
+		return [NumStages]int64{}
+	}
+	return c.stage
+}
+
+// --- goroutine-local attachment ---
+//
+// Deep layers (pmfs directory locks, journal lanes, buffer stalls, nvmm
+// persists) sit behind interfaces that must not grow context parameters,
+// so the executing goroutine carries the OpCtx instead: the scheduler
+// worker Attaches the context around the request body and those layers
+// look it up with CurrentOp. The registry is a fixed-size open-addressed
+// table keyed by goroutine ID with no allocation on any path, and a
+// global active counter makes CurrentOp a single atomic load when no op
+// is attached anywhere — non-server workloads pay ~nothing.
+
+const (
+	tlsSlots    = 1024 // power of two
+	tlsMaxProbe = 16
+)
+
+type tlsEntry struct {
+	gid atomic.Int64
+	ctx atomic.Pointer[OpCtx]
+	_   [6]uint64 // pad to a cacheline to keep neighbors independent
+}
+
+var (
+	tlsTab    [tlsSlots]tlsEntry
+	tlsActive atomic.Int64
+)
+
+// goroutineID parses the current goroutine's ID from the runtime.Stack
+// header ("goroutine N [running]:"). The buffer is stack-allocated and
+// deliberately too small for the full stack; only the header matters.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes) and read digits.
+	var id int64
+	for _, b := range buf[10:n] {
+		if b < '0' || b > '9' {
+			break
+		}
+		id = id*10 + int64(b-'0')
+	}
+	return id
+}
+
+func tlsHash(gid int64) uint64 {
+	return uint64(gid) * 0x9e3779b97f4a7c15
+}
+
+// Attach registers c as the current goroutine's active op. If the probe
+// window is full (pathological collision), the context stays detached:
+// deep-layer charges are lost for this op but explicit charges (queue,
+// quota, service) still land. Nil-safe.
+func (c *OpCtx) Attach() {
+	if c == nil {
+		return
+	}
+	gid := goroutineID()
+	h := tlsHash(gid)
+	for i := 0; i < tlsMaxProbe; i++ {
+		e := &tlsTab[(h+uint64(i))%tlsSlots]
+		if e.gid.CompareAndSwap(0, gid) {
+			e.ctx.Store(c)
+			c.slot = int32((h + uint64(i)) % tlsSlots)
+			c.live = true
+			tlsActive.Add(1)
+			return
+		}
+		if e.gid.Load() == gid {
+			// Re-attach on the same goroutine (nested use): replace.
+			e.ctx.Store(c)
+			c.slot = int32((h + uint64(i)) % tlsSlots)
+			c.live = true
+			return
+		}
+	}
+	c.live = false
+}
+
+// Detach removes the registration made by Attach. Nil-safe; a context
+// that never attached (or lost the probe race) is a no-op.
+func (c *OpCtx) Detach() {
+	if c == nil || !c.live {
+		return
+	}
+	e := &tlsTab[c.slot]
+	e.ctx.Store(nil)
+	e.gid.Store(0)
+	c.live = false
+	tlsActive.Add(-1)
+}
+
+// CurrentOp returns the OpCtx attached to the calling goroutine, or nil.
+// When no op is attached anywhere in the process, it is a single atomic
+// load — the obs-off fast path for every deep layer.
+func CurrentOp() *OpCtx {
+	if tlsActive.Load() == 0 {
+		return nil
+	}
+	gid := goroutineID()
+	h := tlsHash(gid)
+	for i := 0; i < tlsMaxProbe; i++ {
+		e := &tlsTab[(h+uint64(i))%tlsSlots]
+		if e.gid.Load() == gid {
+			return e.ctx.Load()
+		}
+	}
+	return nil
+}
+
+// CurrentTrace returns the attached op's trace ID, or 0.
+func CurrentTrace() uint64 {
+	if c := CurrentOp(); c != nil {
+		return c.Trace
+	}
+	return 0
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestOpCtxChargeAndBreakdown(t *testing.T) {
+	var c OpCtx
+	c.Reset(0xabcd, OpWrite)
+	c.Charge(StageQueue, 100)
+	c.Charge(StageQueue, 50)
+	c.Charge(StageFlush, 7)
+	c.Charge(StageLock, -5) // dropped
+	c.Charge(StageLock, 0)  // dropped
+	if got := c.StageNS(StageQueue); got != 150 {
+		t.Fatalf("queue = %d, want 150", got)
+	}
+	if got := c.StageNS(StageLock); got != 0 {
+		t.Fatalf("lock = %d, want 0 (non-positive charges dropped)", got)
+	}
+	b := c.Breakdown()
+	if b[StageQueue] != 150 || b[StageFlush] != 7 {
+		t.Fatalf("breakdown = %v", b)
+	}
+	if c.TraceOrZero() != 0xabcd {
+		t.Fatalf("trace = %x", c.TraceOrZero())
+	}
+
+	// Reset clears every stage for reuse.
+	c.Reset(1, OpRead)
+	if b := c.Breakdown(); b != ([NumStages]int64{}) {
+		t.Fatalf("breakdown after reset = %v", b)
+	}
+
+	// Everything is nil-safe.
+	var nilCtx *OpCtx
+	nilCtx.Reset(1, OpRead)
+	nilCtx.Charge(StageQueue, 1)
+	nilCtx.Attach()
+	nilCtx.Detach()
+	if nilCtx.StageNS(StageQueue) != 0 || nilCtx.TraceOrZero() != 0 {
+		t.Fatal("nil OpCtx must read as zero")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	if len(Stages()) != int(NumStages) {
+		t.Fatalf("Stages() lists %d, NumStages = %d", len(Stages()), NumStages)
+	}
+	seen := map[string]bool{}
+	for _, st := range Stages() {
+		name := st.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("stage %d has bad or duplicate name %q", st, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestAttachDetachCurrent(t *testing.T) {
+	if CurrentOp() != nil {
+		t.Fatal("no op attached, CurrentOp must be nil")
+	}
+	var c OpCtx
+	c.Reset(42, OpFsync)
+	c.Attach()
+	if got := CurrentOp(); got != &c {
+		t.Fatalf("CurrentOp = %p, want %p", got, &c)
+	}
+	if got := CurrentTrace(); got != 42 {
+		t.Fatalf("CurrentTrace = %d, want 42", got)
+	}
+
+	// A different goroutine must not see this goroutine's context.
+	done := make(chan *OpCtx)
+	go func() { done <- CurrentOp() }()
+	if other := <-done; other != nil {
+		t.Fatalf("sibling goroutine sees %p", other)
+	}
+
+	c.Detach()
+	if CurrentOp() != nil {
+		t.Fatal("CurrentOp after Detach must be nil")
+	}
+	if CurrentTrace() != 0 {
+		t.Fatal("CurrentTrace after Detach must be 0")
+	}
+	// Double detach is harmless.
+	c.Detach()
+}
+
+func TestAttachReplaceSameGoroutine(t *testing.T) {
+	var a, b OpCtx
+	a.Reset(1, OpRead)
+	b.Reset(2, OpWrite)
+	a.Attach()
+	b.Attach() // nested attach on the same goroutine replaces
+	if got := CurrentTrace(); got != 2 {
+		t.Fatalf("CurrentTrace = %d, want 2 after re-attach", got)
+	}
+	b.Detach()
+	if CurrentOp() != nil {
+		t.Fatal("detach after replace must clear the slot")
+	}
+}
+
+// TestTLSConcurrent exercises the goroutine-local table under -race:
+// many goroutines attach, charge through CurrentOp, and detach in loops,
+// each verifying it only ever sees its own context.
+func TestTLSConcurrent(t *testing.T) {
+	const goroutines = 64
+	const rounds = 200
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var c OpCtx
+			for r := 0; r < rounds; r++ {
+				trace := uint64(g)<<32 | uint64(r)
+				c.Reset(trace, OpWrite)
+				c.Attach()
+				cur := CurrentOp()
+				if cur == nil {
+					// Probe-window overflow is a documented graceful
+					// degradation, but with 64 goroutines in 1024 slots it
+					// should be vanishingly rare.
+					errs <- "lost context to probe overflow"
+				} else if cur.Trace != trace {
+					errs <- "saw another goroutine's context"
+				}
+				cur.Charge(StageFlush, 1)
+				c.Detach()
+				if CurrentOp() != nil {
+					errs <- "context visible after detach"
+				}
+			}
+			if c.StageNS(StageFlush) != 1 {
+				// Only the last round's charge survives its Reset.
+				errs <- "charges through CurrentOp did not land"
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	id := goroutineID()
+	if id <= 0 {
+		t.Fatalf("goroutineID = %d", id)
+	}
+	done := make(chan int64)
+	go func() { done <- goroutineID() }()
+	if other := <-done; other == id {
+		t.Fatalf("two goroutines share ID %d", id)
+	}
+}

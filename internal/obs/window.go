@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windows is a rotating ring of histogram windows: observations land in
+// the window covering the current time, and quantiles can be read over
+// the most recent K windows — p99/p999 *over time*, not just end-of-run.
+// Rotation is lazy (no background goroutine): the first observer or
+// reader to touch a slot whose epoch has passed resets it under the
+// slot's mutex; the steady-state record path is the lock-free Hist
+// observe plus one atomic epoch check. The zero number of retained
+// windows is the ring size; windows older than the ring are overwritten.
+//
+// All methods are nil-safe and safe for concurrent use.
+type Windows struct {
+	width int64 // window width in nanoseconds
+	now   func() int64
+	slots []windowSlot
+}
+
+type windowSlot struct {
+	mu    sync.Mutex
+	epoch atomic.Int64 // window index = now/width; -1 = never used
+	hist  Hist
+}
+
+// DefaultWindow and DefaultWindowCount size the ring when callers pass
+// zero: 8 one-second windows.
+const (
+	DefaultWindow      = time.Second
+	DefaultWindowCount = 8
+)
+
+// NewWindows creates a ring of count windows of the given width,
+// stamped by the wall clock. Zero arguments take the defaults.
+func NewWindows(width time.Duration, count int) *Windows {
+	return NewWindowsClock(width, count, func() int64 { return time.Now().UnixNano() })
+}
+
+// NewWindowsClock is NewWindows with an injectable clock (tests).
+func NewWindowsClock(width time.Duration, count int, now func() int64) *Windows {
+	if width <= 0 {
+		width = DefaultWindow
+	}
+	if count < 2 {
+		count = DefaultWindowCount
+	}
+	w := &Windows{width: int64(width), now: now, slots: make([]windowSlot, count)}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+	}
+	return w
+}
+
+// slotFor rotates (if needed) and returns the slot for epoch e, or nil
+// when the slot has already been claimed by a later epoch (stale writer
+// racing a clock step — the observation is dropped rather than polluting
+// a newer window).
+func (w *Windows) slotFor(e int64) *windowSlot {
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	if s.epoch.Load() == e {
+		return s
+	}
+	s.mu.Lock()
+	if s.epoch.Load() < e {
+		s.hist.Reset()
+		s.epoch.Store(e)
+	}
+	s.mu.Unlock()
+	if s.epoch.Load() != e {
+		return nil
+	}
+	return s
+}
+
+// Observe records v into the current window.
+func (w *Windows) Observe(v int64) {
+	if w == nil {
+		return
+	}
+	if s := w.slotFor(w.now() / w.width); s != nil {
+		s.hist.Observe(v)
+	}
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds.
+func (w *Windows) ObserveSince(start time.Time) {
+	if w == nil {
+		return
+	}
+	w.Observe(time.Since(start).Nanoseconds())
+}
+
+// WindowSnapshot is one window's immutable copy.
+type WindowSnapshot struct {
+	// Epoch is the window index (start time = Epoch * width).
+	Epoch int64 `json:"epoch"`
+	// StartNS is the window's start on the ring's clock.
+	StartNS int64 `json:"start_ns"`
+	Hist    HistSnapshot `json:"hist"`
+}
+
+// Snapshot returns the most recent `last` windows (including the current,
+// possibly still-filling one), oldest first. last <= 0 or > ring size
+// means the whole ring.
+func (w *Windows) Snapshot(last int) []WindowSnapshot {
+	if w == nil {
+		return nil
+	}
+	if last <= 0 || last > len(w.slots) {
+		last = len(w.slots)
+	}
+	cur := w.now() / w.width
+	out := make([]WindowSnapshot, 0, last)
+	for e := cur - int64(last) + 1; e <= cur; e++ {
+		if e < 0 {
+			continue
+		}
+		s := &w.slots[int(e%int64(len(w.slots)))]
+		if s.epoch.Load() != e {
+			continue // never filled, or already recycled
+		}
+		h := s.hist.Snapshot()
+		if s.epoch.Load() != e {
+			continue // recycled mid-copy; discard the torn snapshot
+		}
+		out = append(out, WindowSnapshot{Epoch: e, StartNS: e * w.width, Hist: h})
+	}
+	return out
+}
+
+// Merged merges the most recent `last` windows into one snapshot — the
+// "recent latency" view the exporter and hinfs-top read quantiles from.
+func (w *Windows) Merged(last int) HistSnapshot {
+	if w == nil {
+		return HistSnapshot{}
+	}
+	var m Hist
+	for _, ws := range w.Snapshot(last) {
+		for _, b := range ws.Hist.Buckets {
+			// Re-observe bucket midpoints: bucket geometry is shared, so
+			// the midpoint maps back to the same bucket and counts merge
+			// exactly; Sum is approximated by midpoint*count.
+			mid := b.Low + (b.High-b.Low-1)/2
+			m.buckets[bucketOf(mid)].Add(b.Count)
+			m.count.Add(b.Count)
+			m.sum.Add(mid * b.Count)
+		}
+		if ws.Hist.Max > m.max.Load() {
+			m.max.Store(ws.Hist.Max)
+		}
+	}
+	return m.Snapshot()
+}
+
+// Width returns the window width.
+func (w *Windows) Width() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return time.Duration(w.width)
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable nanosecond clock for window tests.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() int64      { return c.ns.Load() }
+func (c *fakeClock) advance(d int64) { c.ns.Add(d) }
+
+func TestWindowsRotation(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewWindowsClock(time.Second, 4, clk.now)
+
+	w.Observe(100)
+	w.Observe(200)
+	clk.advance(int64(time.Second)) // epoch 1
+	w.Observe(300)
+
+	snaps := w.Snapshot(0)
+	if len(snaps) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(snaps), snaps)
+	}
+	if snaps[0].Epoch != 0 || snaps[0].Hist.Count != 2 {
+		t.Fatalf("window 0 = epoch %d count %d", snaps[0].Epoch, snaps[0].Hist.Count)
+	}
+	if snaps[1].Epoch != 1 || snaps[1].Hist.Count != 1 {
+		t.Fatalf("window 1 = epoch %d count %d", snaps[1].Epoch, snaps[1].Hist.Count)
+	}
+	if snaps[0].StartNS != 0 || snaps[1].StartNS != int64(time.Second) {
+		t.Fatalf("window starts %d, %d", snaps[0].StartNS, snaps[1].StartNS)
+	}
+
+	// Advance past the ring size: epoch 0's slot is recycled for epoch 4,
+	// and the old contents must not leak into it.
+	clk.advance(3 * int64(time.Second)) // epoch 4
+	w.Observe(400)
+	snaps = w.Snapshot(0)
+	for _, s := range snaps {
+		if s.Epoch == 0 {
+			t.Fatal("recycled epoch 0 still visible")
+		}
+		if s.Epoch == 4 && s.Hist.Count != 1 {
+			t.Fatalf("recycled slot count = %d, want 1", s.Hist.Count)
+		}
+	}
+
+	// Snapshot(last) trims to the most recent windows.
+	if got := w.Snapshot(1); len(got) != 1 || got[0].Epoch != 4 {
+		t.Fatalf("Snapshot(1) = %+v", got)
+	}
+}
+
+func TestWindowsMergedExactCounts(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewWindowsClock(time.Second, 4, clk.now)
+	// Two windows with known observations.
+	vals0 := []int64{1000, 2000, 4000, 4100}
+	for _, v := range vals0 {
+		w.Observe(v)
+	}
+	clk.advance(int64(time.Second))
+	vals1 := []int64{8000, 16000}
+	for _, v := range vals1 {
+		w.Observe(v)
+	}
+
+	m := w.Merged(0)
+	if want := int64(len(vals0) + len(vals1)); m.Count != want {
+		t.Fatalf("merged count = %d, want %d", m.Count, want)
+	}
+	// Bucket counts merge exactly: the same values observed into one
+	// histogram directly must produce identical bucket counts.
+	var direct Hist
+	for _, v := range append(append([]int64{}, vals0...), vals1...) {
+		direct.Observe(v)
+	}
+	ds := direct.Snapshot()
+	if len(ds.Buckets) != len(m.Buckets) {
+		t.Fatalf("bucket sets differ: direct %d, merged %d", len(ds.Buckets), len(m.Buckets))
+	}
+	for i := range ds.Buckets {
+		if ds.Buckets[i].Low != m.Buckets[i].Low || ds.Buckets[i].Count != m.Buckets[i].Count {
+			t.Fatalf("bucket %d: direct {%d,%d} merged {%d,%d}", i,
+				ds.Buckets[i].Low, ds.Buckets[i].Count, m.Buckets[i].Low, m.Buckets[i].Count)
+		}
+	}
+}
+
+// TestWindowsQuantileMonotonicAcrossBoundary observes a rising latency
+// profile that straddles several window boundaries and checks that the
+// merged view's quantiles are monotone and bracket the observed range —
+// the property hinfs-top depends on when a scrape lands mid-rotation.
+func TestWindowsQuantileMonotonicAcrossBoundary(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewWindowsClock(time.Second, 8, clk.now)
+	lo, hi := int64(1000), int64(0)
+	v := lo
+	for e := 0; e < 6; e++ {
+		for i := 0; i < 100; i++ {
+			w.Observe(v)
+			if v > hi {
+				hi = v
+			}
+			v += 97 // strictly rising across all windows
+		}
+		clk.advance(int64(time.Second))
+	}
+	m := w.Merged(0)
+	if m.Count != 600 {
+		t.Fatalf("count = %d", m.Count)
+	}
+	p50, p90, p99, p999 := m.Percentiles()
+	if !(p50 <= p90 && p90 <= p99 && p99 <= p999) {
+		t.Fatalf("quantiles not monotone: %d %d %d %d", p50, p90, p99, p999)
+	}
+	if p50 < lo || p999 > 2*hi {
+		t.Fatalf("quantiles outside observed range [%d,%d]: p50=%d p999=%d", lo, hi, p50, p999)
+	}
+	// Merging fewer windows must only raise the quantiles (the early,
+	// faster windows drop out of the rising profile).
+	m2 := w.Merged(2)
+	if q, q2 := m.Quantile(0.5), m2.Quantile(0.5); q2 < q {
+		t.Fatalf("recent-window p50 %d below all-window p50 %d for a rising profile", q2, q)
+	}
+}
+
+// TestWindowsConcurrent hammers one ring from writer goroutines while the
+// clock advances and readers merge, under -race. Every observation must
+// land in some window or be dropped cleanly (stale-slot race); the final
+// quiesced ring must account for exactly the observations that landed in
+// retained epochs.
+func TestWindowsConcurrent(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewWindowsClock(time.Millisecond, 4, clk.now)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Clock mover: advances through ~20 epochs during the run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.advance(int64(time.Millisecond) / 250)
+			}
+		}
+	}()
+	// Readers: merge continuously; result consistency is checked by -race
+	// and the torn-snapshot re-check inside Snapshot.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m := w.Merged(0)
+					if m.Count < 0 {
+						t.Error("negative merged count")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var landed atomic.Int64
+	var writerWg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWg.Add(1)
+		go func(i int) {
+			defer writerWg.Done()
+			for j := 0; j < perWriter; j++ {
+				w.Observe(int64(1000 + i*100 + j%50))
+				landed.Add(1)
+			}
+		}(i)
+	}
+	writerWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: the retained windows can hold at most everything written;
+	// with a 4-slot ring and ~20 epochs most observations have rotated
+	// out, but whatever remains must be internally consistent.
+	m := w.Merged(0)
+	if m.Count > landed.Load() {
+		t.Fatalf("merged count %d exceeds observations %d", m.Count, landed.Load())
+	}
+	var perWindow int64
+	for _, s := range w.Snapshot(0) {
+		perWindow += s.Hist.Count
+	}
+	if perWindow != m.Count {
+		t.Fatalf("window sum %d != merged count %d on a quiet ring", perWindow, m.Count)
+	}
+}
+
+func TestWindowsNilAndDefaults(t *testing.T) {
+	var w *Windows
+	w.Observe(1)
+	w.ObserveSince(time.Now())
+	if w.Snapshot(0) != nil || w.Merged(0).Count != 0 || w.Width() != 0 {
+		t.Fatal("nil Windows must read as empty")
+	}
+	d := NewWindows(0, 0)
+	if d.Width() != DefaultWindow || len(d.slots) != DefaultWindowCount {
+		t.Fatalf("defaults: width %v slots %d", d.Width(), len(d.slots))
+	}
+	d.Observe(5)
+	if got := d.Merged(0).Count; got != 1 {
+		t.Fatalf("default ring count = %d", got)
+	}
+}

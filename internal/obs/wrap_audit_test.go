@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"hinfs/internal/vfs"
+)
+
+// The wrapper deliberately does not time these methods; everything else
+// on the two interfaces must increment an op-class histogram. A method
+// added to vfs.FileSystem or vfs.File without either instrumentation or
+// an entry here fails TestWrapFSCoversInterfaces — the audit that keeps
+// the observability layer from silently rotting as the VFS grows.
+var wrapExemptFS = map[string]string{
+	"Unmount": "teardown, not a workload op",
+}
+
+var wrapExemptFile = map[string]string{
+	"Size":  "local metadata read, no I/O",
+	"Close": "handle lifecycle, not a workload op",
+}
+
+// auditArg synthesizes a call argument for a reflected parameter type.
+func auditArg(t *testing.T, typ reflect.Type) reflect.Value {
+	switch typ.Kind() {
+	case reflect.String:
+		return reflect.ValueOf("/audit")
+	case reflect.Int, reflect.Int64:
+		return reflect.Zero(typ)
+	case reflect.Slice:
+		return reflect.MakeSlice(typ, 8, 8)
+	}
+	t.Fatalf("no argument synthesis for %v; extend auditArg", typ)
+	return reflect.Value{}
+}
+
+func totalOps(c *Collector) int64 {
+	s := c.Snapshot()
+	var n int64
+	for _, op := range OpClasses() {
+		n += s.Op(op).Count
+	}
+	return n
+}
+
+// auditMethods calls every method of iface on target, asserting the
+// collector records an op for each non-exempt one.
+func auditMethods(t *testing.T, c *Collector, target reflect.Value, iface reflect.Type, exempt map[string]string) {
+	for i := 0; i < iface.NumMethod(); i++ {
+		m := iface.Method(i)
+		args := make([]reflect.Value, 0, m.Type.NumIn())
+		for a := 0; a < m.Type.NumIn(); a++ {
+			args = append(args, auditArg(t, m.Type.In(a)))
+		}
+		before := totalOps(c)
+		target.MethodByName(m.Name).Call(args)
+		after := totalOps(c)
+		if _, ok := exempt[m.Name]; ok {
+			if after != before {
+				t.Errorf("%s.%s is exempt (%s) but recorded an op", iface.Name(), m.Name, exempt[m.Name])
+			}
+			continue
+		}
+		if after <= before {
+			t.Errorf("%s.%s recorded no op-class observation: the obs wrapper does not cover it", iface.Name(), m.Name)
+		}
+	}
+}
+
+// TestWrapFSCoversInterfaces walks vfs.FileSystem and vfs.File by
+// reflection and fails for any interface method the obs wrapper passes
+// through untimed (unless exempted above with a reason).
+func TestWrapFSCoversInterfaces(t *testing.T) {
+	c := New()
+	fs := WrapFS(fakeFS{}, c)
+	auditMethods(t, c,
+		reflect.ValueOf(fs),
+		reflect.TypeOf((*vfs.FileSystem)(nil)).Elem(),
+		wrapExemptFS)
+
+	f, err := fs.Create("/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditMethods(t, c,
+		reflect.ValueOf(f),
+		reflect.TypeOf((*vfs.File)(nil)).Elem(),
+		wrapExemptFile)
+}
+
+// recordingFS notes the paths it is asked for, so composition tests can
+// check both that the wrapper observed and that the inner layer ran.
+type recordingFS struct {
+	fakeFS
+	paths []string
+}
+
+func (r *recordingFS) Create(path string) (vfs.File, error) {
+	r.paths = append(r.paths, path)
+	return r.fakeFS.Create(path)
+}
+
+// TestWrapFSCoversSub checks the wrapper still observes when layered
+// over a vfs.Sub view — the composition every server tenant runs under
+// (obs outermost, Sub re-anchoring paths beneath it).
+func TestWrapFSCoversSub(t *testing.T) {
+	base := &recordingFS{}
+	sub, err := vfs.Sub(base, "/tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	fs := WrapFS(sub, c)
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Op(OpCreate).Count != 1 || s.Op(OpWrite).Count != 1 {
+		t.Fatalf("sub-view ops not observed: create=%d write=%d",
+			s.Op(OpCreate).Count, s.Op(OpWrite).Count)
+	}
+	// And the create really went through the Sub re-anchoring.
+	if len(base.paths) != 1 || base.paths[0] != "/tenant/f" {
+		t.Fatalf("inner create paths = %v, want [/tenant/f]", base.paths)
+	}
+}

@@ -199,7 +199,8 @@ func (fs *FS) nsSerial(write bool) func() {
 	return fs.serialMu.RUnlock
 }
 
-// dirLock acquires st's directory lock, counting contended acquisitions.
+// dirLock acquires st's directory lock, counting contended acquisitions
+// and charging the contended wait to the attached op's lock stage.
 func (fs *FS) dirLock(st *inodeState, write bool) {
 	if write {
 		if st.dir.TryLock() {
@@ -210,10 +211,18 @@ func (fs *FS) dirLock(st *inodeState, write bool) {
 	}
 	fs.dirContended.Add(1)
 	fs.col.Load().Add(obs.CtrDirLockContended, 1)
+	op := obs.CurrentOp()
+	var start time.Time
+	if op != nil {
+		start = time.Now()
+	}
 	if write {
 		st.dir.Lock()
 	} else {
 		st.dir.RLock()
+	}
+	if op != nil {
+		op.Charge(obs.StageLock, time.Since(start).Nanoseconds())
 	}
 }
 

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 )
 
@@ -27,7 +30,23 @@ type Client struct {
 	in     []byte
 	out    enc
 	closed bool
+	// trace is the request-ID generator: seeded per client from the wall
+	// clock (scrambled so concurrent clients do not collide), incremented
+	// per request. The current value is sent in every request frame and is
+	// what joins a client-side slow-op record to the server-side one.
+	trace atomic.Uint64
+	// slow, when set, receives client-observed slow-op records — the
+	// round-trip latency as the application saw it, wire time included.
+	slow atomic.Pointer[obs.SlowLog]
 }
+
+// SetSlowOpLog installs a client-side slow-op log: any request whose
+// full round trip reaches the log's threshold is recorded with side
+// "client" and the same trace ID the server saw. Pass nil to disable.
+func (c *Client) SetSlowOpLog(l *obs.SlowLog) { c.slow.Store(l) }
+
+// nextTrace returns a fresh trace ID for one request.
+func (c *Client) nextTrace() uint64 { return c.trace.Add(1) }
 
 // Dial connects to addr and attaches to tenant.
 func Dial(addr, tenant string) (*Client, error) {
@@ -46,9 +65,11 @@ func NewClient(conn net.Conn, tenant string) (*Client, error) {
 		br:   bufio.NewReaderSize(conn, 64<<10),
 		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
+	c.trace.Store(uint64(time.Now().UnixNano()) * 0x9e3779b97f4a7c15)
 	c.mu.Lock()
 	c.out.b = c.out.b[:0]
 	c.out.u8(opAttach)
+	c.out.u64(c.nextTrace())
 	c.out.str(tenant)
 	resp, err := c.roundTripLocked()
 	if err == nil {
@@ -86,14 +107,39 @@ func (c *Client) roundTripLocked() ([]byte, error) {
 	return resp, nil
 }
 
-// call performs one request: build encodes the request into c.out, parse
+// call performs one request for op: the op byte and a fresh trace ID are
+// written first, then build encodes the request body into c.out; parse
 // (optional) decodes a successful response body.
-func (c *Client) call(build func(*enc), parse func(*dec) error) error {
+func (c *Client) call(op byte, build func(*enc), parse func(*dec) error) error {
+	slow := c.slow.Load()
+	var start time.Time
+	if slow != nil {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.out.b = c.out.b[:0]
-	build(&c.out)
+	c.out.u8(op)
+	trace := c.nextTrace()
+	c.out.u64(trace)
+	if build != nil {
+		build(&c.out)
+	}
 	resp, err := c.roundTripLocked()
+	if slow != nil {
+		if lat := time.Since(start).Nanoseconds(); slow.Exceeds(lat) {
+			rec := obs.SlowOp{
+				Side:    "client",
+				Trace:   obs.TraceString(trace),
+				Op:      opName(op),
+				TotalNS: lat,
+			}
+			if err != nil {
+				rec.Err = err.Error()
+			}
+			slow.Record(rec)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -123,8 +169,7 @@ func (c *Client) call(build func(*enc), parse func(*dec) error) error {
 // Create implements vfs.FileSystem.
 func (c *Client) Create(path string) (vfs.File, error) {
 	var id uint32
-	err := c.call(func(e *enc) {
-		e.u8(opCreate)
+	err := c.call(opCreate, func(e *enc) {
 		e.str(path)
 	}, func(d *dec) error {
 		id = d.u32()
@@ -139,8 +184,7 @@ func (c *Client) Create(path string) (vfs.File, error) {
 // Open implements vfs.FileSystem.
 func (c *Client) Open(path string, flags int) (vfs.File, error) {
 	var id uint32
-	err := c.call(func(e *enc) {
-		e.u8(opOpen)
+	err := c.call(opOpen, func(e *enc) {
 		e.u32(uint32(flags))
 		e.str(path)
 	}, func(d *dec) error {
@@ -155,29 +199,28 @@ func (c *Client) Open(path string, flags int) (vfs.File, error) {
 
 // Mkdir implements vfs.FileSystem.
 func (c *Client) Mkdir(path string) error {
-	return c.call(func(e *enc) { e.u8(opMkdir); e.str(path) }, nil)
+	return c.call(opMkdir, func(e *enc) { e.str(path) }, nil)
 }
 
 // Rmdir implements vfs.FileSystem.
 func (c *Client) Rmdir(path string) error {
-	return c.call(func(e *enc) { e.u8(opRmdir); e.str(path) }, nil)
+	return c.call(opRmdir, func(e *enc) { e.str(path) }, nil)
 }
 
 // Unlink implements vfs.FileSystem.
 func (c *Client) Unlink(path string) error {
-	return c.call(func(e *enc) { e.u8(opUnlink); e.str(path) }, nil)
+	return c.call(opUnlink, func(e *enc) { e.str(path) }, nil)
 }
 
 // Rename implements vfs.FileSystem.
 func (c *Client) Rename(oldpath, newpath string) error {
-	return c.call(func(e *enc) { e.u8(opRename); e.str(oldpath); e.str(newpath) }, nil)
+	return c.call(opRename, func(e *enc) { e.str(oldpath); e.str(newpath) }, nil)
 }
 
 // Stat implements vfs.FileSystem.
 func (c *Client) Stat(path string) (vfs.FileInfo, error) {
 	var fi vfs.FileInfo
-	err := c.call(func(e *enc) {
-		e.u8(opStat)
+	err := c.call(opStat, func(e *enc) {
 		e.str(path)
 	}, func(d *dec) error {
 		fi.Name = d.str()
@@ -192,8 +235,7 @@ func (c *Client) Stat(path string) (vfs.FileInfo, error) {
 // ReadDir implements vfs.FileSystem.
 func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
 	var ents []vfs.DirEntry
-	err := c.call(func(e *enc) {
-		e.u8(opReadDir)
+	err := c.call(opReadDir, func(e *enc) {
 		e.str(path)
 	}, func(d *dec) error {
 		n := int(d.u32())
@@ -216,7 +258,7 @@ func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
 
 // Sync implements vfs.FileSystem.
 func (c *Client) Sync() error {
-	return c.call(func(e *enc) { e.u8(opSync) }, nil)
+	return c.call(opSync, nil, nil)
 }
 
 // Unmount implements vfs.FileSystem: it ends the session and closes the
@@ -269,8 +311,7 @@ func (f *remoteFile) ReadAt(p []byte, off int64) (int, error) {
 			chunk = MaxIO
 		}
 		var n int
-		err := f.c.call(func(e *enc) {
-			e.u8(opRead)
+		err := f.c.call(opRead, func(e *enc) {
 			e.u32(f.id)
 			e.u64(uint64(off + int64(total)))
 			e.u32(uint32(chunk))
@@ -306,8 +347,7 @@ func (f *remoteFile) WriteAt(p []byte, off int64) (int, error) {
 			chunk = MaxIO
 		}
 		var n int
-		err := f.c.call(func(e *enc) {
-			e.u8(opWrite)
+		err := f.c.call(opWrite, func(e *enc) {
 			e.u32(f.id)
 			e.u64(uint64(off + int64(total)))
 			e.bytes(p[total : total+chunk])
@@ -333,7 +373,7 @@ func (f *remoteFile) Fsync() error {
 	if err := f.checkOpen(); err != nil {
 		return err
 	}
-	return f.c.call(func(e *enc) { e.u8(opFsync); e.u32(f.id) }, nil)
+	return f.c.call(opFsync, func(e *enc) { e.u32(f.id) }, nil)
 }
 
 // Truncate implements vfs.File.
@@ -341,8 +381,7 @@ func (f *remoteFile) Truncate(size int64) error {
 	if err := f.checkOpen(); err != nil {
 		return err
 	}
-	return f.c.call(func(e *enc) {
-		e.u8(opTruncate)
+	return f.c.call(opTruncate, func(e *enc) {
 		e.u32(f.id)
 		e.u64(uint64(size))
 	}, nil)
@@ -354,7 +393,7 @@ func (f *remoteFile) Size() int64 {
 		return 0
 	}
 	var size int64
-	err := f.c.call(func(e *enc) { e.u8(opSize); e.u32(f.id) }, func(d *dec) error {
+	err := f.c.call(opSize, func(e *enc) { e.u32(f.id) }, func(d *dec) error {
 		size = int64(d.u64())
 		return nil
 	})
@@ -374,5 +413,5 @@ func (f *remoteFile) Close() error {
 	}
 	f.closed = true
 	f.mu.Unlock()
-	return f.c.call(func(e *enc) { e.u8(opClose); e.u32(f.id) }, nil)
+	return f.c.call(opClose, func(e *enc) { e.u32(f.id) }, nil)
 }

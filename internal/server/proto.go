@@ -18,9 +18,12 @@ import (
 
 // Wire format: every message is one frame, a big-endian uint32 payload
 // length followed by the payload. A request payload starts with the op
-// byte; a response payload starts with a status byte (0 = OK, else an
-// error code from the table below). Sessions are synchronous: one
-// request, one response, in order, per connection. Concurrency comes from
+// byte followed by a u64 trace ID — a client-assigned request identifier
+// propagated through the server's per-stage latency attribution and both
+// sides' slow-op logs, so one slow request can be matched end to end. A
+// response payload starts with a status byte (0 = OK, else an error code
+// from the table below). Sessions are synchronous: one request, one
+// response, in order, per connection. Concurrency comes from
 // connections, which are cheap — the load generator opens thousands.
 const (
 	opAttach byte = iota + 1
@@ -40,6 +43,45 @@ const (
 	opReadDir
 	opSync
 )
+
+// opName names an opcode for logs and metrics.
+func opName(op byte) string {
+	switch op {
+	case opAttach:
+		return "attach"
+	case opOpen:
+		return "open"
+	case opCreate:
+		return "create"
+	case opClose:
+		return "close"
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opFsync:
+		return "fsync"
+	case opTruncate:
+		return "truncate"
+	case opSize:
+		return "size"
+	case opMkdir:
+		return "mkdir"
+	case opRmdir:
+		return "rmdir"
+	case opUnlink:
+		return "unlink"
+	case opRename:
+		return "rename"
+	case opStat:
+		return "stat"
+	case opReadDir:
+		return "readdir"
+	case opSync:
+		return "sync"
+	}
+	return "unknown"
+}
 
 // MaxIO bounds the data bytes of one read or write request; larger client
 // I/O is chunked. Combined with the path limits in vfs, it gives MaxFrame.

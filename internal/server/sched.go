@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 )
 
@@ -79,6 +80,10 @@ type schedQueue struct {
 	// servedNS is cumulative measured service time, the quantity the
 	// weights divide; exported per tenant via Server.Stats.
 	servedNS int64
+	// estErrNS accumulates |measured - estimated| over settled requests:
+	// how wrong the pre-charge model is for this tenant's mix, exported
+	// so estimate drift is visible before it distorts short-run fairness.
+	estErrNS int64
 }
 
 type schedReq struct {
@@ -88,6 +93,11 @@ type schedReq struct {
 	done chan struct{}
 	// ran distinguishes "executed" from "abandoned at shutdown".
 	ran bool
+	// enq is the admission time; the worker charges ctx's queue stage
+	// with enq→dispatch. ctx (optional) also gets attached to the worker
+	// goroutine around run, so deep layers can charge their stages.
+	enq time.Time
+	ctx *obs.OpCtx
 }
 
 // opCost estimates an operation's service time in nanoseconds from its
@@ -140,6 +150,7 @@ func (s *sched) enqueue(tenant string, r *schedReq) error {
 		}
 	}
 	q.lastArrival = now
+	r.enq = now
 	r.q = q
 	q.reqs = append(q.reqs, r)
 	s.mu.Unlock()
@@ -150,8 +161,10 @@ func (s *sched) enqueue(tenant string, r *schedReq) error {
 // Do runs fn under the fair scheduler, blocking until it has executed.
 // Session loops call it once per request, so a session has at most one
 // request in the scheduler — queue depth is bounded by connection count.
-func (s *sched) Do(tenant string, cost int64, fn func()) error {
-	r := &schedReq{cost: cost, run: fn, done: make(chan struct{})}
+// ctx (optional) receives queue-wait and service-time stage charges and
+// is attached to the worker goroutine for the duration of fn.
+func (s *sched) Do(tenant string, cost int64, ctx *obs.OpCtx, fn func()) error {
+	r := &schedReq{cost: cost, run: fn, done: make(chan struct{}), ctx: ctx}
 	if err := s.enqueue(tenant, r); err != nil {
 		return err
 	}
@@ -207,6 +220,11 @@ func (s *sched) settle(q *schedQueue, delta int64) {
 	s.mu.Lock()
 	q.vrt += delta / q.weight
 	q.servedNS += delta
+	if delta < 0 {
+		q.estErrNS -= delta
+	} else {
+		q.estErrNS += delta
+	}
 	if q.vrt > s.vtime {
 		s.vtime = q.vrt
 	}
@@ -221,27 +239,60 @@ func (s *sched) worker() {
 			return
 		}
 		r.ran = true
+		if r.ctx != nil {
+			r.ctx.Charge(obs.StageQueue, time.Since(r.enq).Nanoseconds())
+			r.ctx.Attach()
+		}
 		start := time.Now()
 		r.run()
-		s.settle(r.q, time.Since(start).Nanoseconds()-r.cost)
+		dur := time.Since(start).Nanoseconds()
+		if r.ctx != nil {
+			r.ctx.Detach()
+			r.ctx.Charge(obs.StageService, dur)
+		}
+		s.settle(r.q, dur-r.cost)
 		close(r.done)
 	}
+}
+
+// SchedStats is one tenant's scheduler-internal state, exported for the
+// debug endpoint, the Prometheus exposition and hinfs-top.
+type SchedStats struct {
+	// QueueDepth is the number of requests waiting or running.
+	QueueDepth int
+	// VruntimeLagNS is how far the tenant's virtual clock trails the
+	// service frontier (0 when at or past it): its unused entitlement.
+	VruntimeLagNS int64
+	// ServiceNS is cumulative measured service time.
+	ServiceNS int64
+	// EstErrNS is cumulative |measured - estimated| over settled
+	// requests: the pre-charge model's accumulated error.
+	EstErrNS int64
+}
+
+// stats snapshots per-tenant scheduler state.
+func (s *sched) stats() map[string]SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]SchedStats, len(s.queues))
+	for name, q := range s.queues {
+		lag := s.vtime - q.vrt
+		if lag < 0 {
+			lag = 0
+		}
+		out[name] = SchedStats{
+			QueueDepth:    len(q.reqs),
+			VruntimeLagNS: lag,
+			ServiceNS:     q.servedNS,
+			EstErrNS:      q.estErrNS,
+		}
+	}
+	return out
 }
 
 // close stops the workers after draining nothing further; queued requests
 // are completed (their done channels closed) without running so blocked
 // sessions unwind.
-// serviceNS reports each tenant's cumulative measured service time.
-func (s *sched) serviceNS() map[string]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.queues))
-	for name, q := range s.queues {
-		out[name] = q.servedNS
-	}
-	return out
-}
-
 func (s *sched) close() {
 	s.mu.Lock()
 	if s.closed {

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"hinfs/internal/obs"
 	"hinfs/internal/vfs"
 )
 
@@ -22,6 +24,19 @@ type Config struct {
 	// Workers bounds concurrently executing requests (default 8). This is
 	// the fair scheduler's service capacity.
 	Workers int
+	// SlowOpThreshold triggers the structured slow-op log: any op whose
+	// admission-to-completion latency reaches it is written to SlowOpLog
+	// as one JSON line with trace ID, tenant, op and the full per-stage
+	// breakdown. 0 disables the log.
+	SlowOpThreshold time.Duration
+	// SlowOpLog receives the slow-op JSON lines (default os.Stderr when
+	// SlowOpThreshold is set).
+	SlowOpLog io.Writer
+	// MetricsWindow and MetricsWindows shape the per-tenant time-series
+	// latency metrics: MetricsWindows rotating windows of MetricsWindow
+	// each (defaults 1s × 8).
+	MetricsWindow  time.Duration
+	MetricsWindows int
 }
 
 // Server multiplexes framed-RPC sessions from many clients onto one
@@ -32,6 +47,7 @@ type Server struct {
 	tenants map[string]*tenant
 	order   []string
 	sched   *sched
+	slow    *obs.SlowLog
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -54,6 +70,13 @@ func New(cfg Config) (*Server, error) {
 		tenants: make(map[string]*tenant),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	if cfg.SlowOpThreshold > 0 {
+		w := cfg.SlowOpLog
+		if w == nil {
+			w = os.Stderr
+		}
+		s.slow = obs.NewSlowLog(w, cfg.SlowOpThreshold)
+	}
 	for name := range cfg.Tenants {
 		s.order = append(s.order, name)
 	}
@@ -71,7 +94,11 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
 		}
-		s.tenants[name] = &tenant{name: name, view: view, cfg: tc}
+		t := &tenant{name: name, view: view, cfg: tc}
+		for i := range t.win {
+			t.win[i] = obs.NewWindows(cfg.MetricsWindow, cfg.MetricsWindows)
+		}
+		s.tenants[name] = t
 		weights[name] = int64(tc.Weight)
 	}
 	s.sched = newSched(weights, s.order, cfg.Workers)
@@ -169,14 +196,91 @@ func (s *Server) Close() error {
 
 // Stats snapshots every tenant, in name order.
 func (s *Server) Stats() []TenantStats {
-	svc := s.sched.serviceNS()
+	sched := s.sched.stats()
 	out := make([]TenantStats, 0, len(s.order))
 	for _, name := range s.order {
 		ts := s.tenants[name].stats()
-		ts.ServiceNS = svc[name]
+		ts.Sched = sched[name]
+		ts.ServiceNS = ts.Sched.ServiceNS
 		out = append(out, ts)
 	}
 	return out
+}
+
+// SlowOpsLogged reports how many slow-op records the server has written.
+func (s *Server) SlowOpsLogged() int64 { return s.slow.Logged() }
+
+// WriteProm writes the server's tenant and scheduler metrics in the
+// Prometheus text exposition format: per-tenant op/byte/quota counters,
+// per-stage attributed time, recent-window latency quantiles per op
+// class, and scheduler internals (queue depth, vruntime lag, estimate
+// error). Register it on a debug server with
+// obs.Default.RegisterProm("server", srv.WriteProm).
+func (s *Server) WriteProm(w io.Writer) {
+	p := obs.NewPromWriter(w)
+	stats := s.Stats()
+
+	p.Header("hinfs_tenant_ops_total", "Completed operations per tenant.", "counter")
+	for i := range stats {
+		p.Metric("hinfs_tenant_ops_total", float64(stats[i].Ops), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_tenant_bytes_total", "Bytes moved per tenant and direction.", "counter")
+	for i := range stats {
+		p.Metric("hinfs_tenant_bytes_total", float64(stats[i].BytesRead), "tenant", stats[i].Name, "dir", "read")
+		p.Metric("hinfs_tenant_bytes_total", float64(stats[i].BytesWritten), "tenant", stats[i].Name, "dir", "write")
+	}
+	p.Header("hinfs_tenant_used_bytes", "Approximate logical bytes in use per tenant.", "gauge")
+	for i := range stats {
+		p.Metric("hinfs_tenant_used_bytes", float64(stats[i].UsedBytes), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_tenant_quota_rejects_total", "Operations rejected by the byte quota.", "counter")
+	for i := range stats {
+		p.Metric("hinfs_tenant_quota_rejects_total", float64(stats[i].QuotaRejects), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_tenant_stage_ns_total", "Measured latency attributed to each stage, per tenant.", "counter")
+	for i := range stats {
+		for _, st := range obs.Stages() {
+			p.Metric("hinfs_tenant_stage_ns_total", float64(stats[i].StageNS[st.String()]),
+				"tenant", stats[i].Name, "stage", st.String())
+		}
+	}
+	p.Header("hinfs_tenant_measured_ns_total", "Cumulative admission-to-completion latency per tenant.", "counter")
+	for i := range stats {
+		p.Metric("hinfs_tenant_measured_ns_total", float64(stats[i].MeasuredNS()), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_tenant_window_latency_ns", "Latency quantiles over the recent metric windows, per tenant and op class.", "gauge")
+	for i := range stats {
+		for class, h := range stats[i].WindowLat {
+			if h.Count == 0 {
+				continue
+			}
+			for _, q := range []struct {
+				v float64
+				s string
+			}{{0.5, "0.5"}, {0.99, "0.99"}, {0.999, "0.999"}} {
+				p.Metric("hinfs_tenant_window_latency_ns", float64(h.Quantile(q.v)),
+					"tenant", stats[i].Name, "class", class, "quantile", q.s)
+			}
+		}
+	}
+	p.Header("hinfs_sched_queue_depth", "Requests queued or running per tenant.", "gauge")
+	for i := range stats {
+		p.Metric("hinfs_sched_queue_depth", float64(stats[i].Sched.QueueDepth), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_sched_vruntime_lag_ns", "How far the tenant's virtual clock trails the service frontier.", "gauge")
+	for i := range stats {
+		p.Metric("hinfs_sched_vruntime_lag_ns", float64(stats[i].Sched.VruntimeLagNS), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_sched_service_ns_total", "Measured worker time consumed per tenant.", "counter")
+	for i := range stats {
+		p.Metric("hinfs_sched_service_ns_total", float64(stats[i].Sched.ServiceNS), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_sched_estimate_error_ns_total", "Cumulative |measured-estimated| service time per tenant.", "counter")
+	for i := range stats {
+		p.Metric("hinfs_sched_estimate_error_ns_total", float64(stats[i].Sched.EstErrNS), "tenant", stats[i].Name)
+	}
+	p.Header("hinfs_slow_ops_total", "Slow-op log records written by the server.", "counter")
+	p.Metric("hinfs_slow_ops_total", float64(s.slow.Logged()))
 }
 
 // --- session ---
@@ -192,6 +296,10 @@ type session struct {
 	ten     *tenant
 	handles map[uint32]handle
 	nextID  uint32
+	// opctx is the request-scoped observability context, embedded so the
+	// per-request hot path allocates nothing: Reset on decode, charged
+	// through the scheduler and deep layers, read back after completion.
+	opctx obs.OpCtx
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -243,12 +351,33 @@ func fail(out *enc, err error) {
 	}
 }
 
+// obsClass maps an opcode to the obs op class used for trace spans and
+// the slow-op log.
+func obsClass(op byte) obs.OpClass {
+	switch op {
+	case opRead:
+		return obs.OpRead
+	case opWrite:
+		return obs.OpWrite
+	case opFsync, opSync:
+		return obs.OpFsync
+	case opCreate:
+		return obs.OpCreate
+	case opUnlink:
+		return obs.OpUnlink
+	}
+	return obs.OpMeta
+}
+
 // dispatch decodes one request and produces one response. Attach runs
 // inline; every other op runs under the fair scheduler as the session's
-// tenant.
+// tenant. Every request carries a u64 trace ID after the op byte; it
+// rides sess.opctx through the scheduler and the deep layers so the
+// response-side accounting can attribute the measured latency to stages.
 func (sess *session) dispatch(payload []byte, out *enc) {
 	d := dec{b: payload}
 	op := d.u8()
+	trace := d.u64()
 	if d.err != nil {
 		fail(out, vfs.ErrInvalid)
 		return
@@ -274,6 +403,7 @@ func (sess *session) dispatch(payload []byte, out *enc) {
 	}
 	// Decode in the session goroutine; only the file-system work runs in
 	// a scheduler slot.
+	sess.opctx.Reset(trace, obsClass(op))
 	run, cost, class := sess.decode(op, &d)
 	if run == nil {
 		fail(out, vfs.ErrInvalid)
@@ -281,26 +411,29 @@ func (sess *session) dispatch(payload []byte, out *enc) {
 	}
 	t := sess.ten
 	start := time.Now()
-	if err := t.srvDo(sess.srv.sched, cost, run, out); err != nil {
+	err := t.srvDo(sess.srv.sched, cost, &sess.opctx, run, out)
+	lat := time.Since(start).Nanoseconds()
+	if err != nil {
 		out.b = out.b[:0]
 		fail(out, err)
 		return
 	}
-	lat := time.Since(start).Nanoseconds()
-	t.ops.Add(1)
-	switch class {
-	case classRead:
-		t.readLat.Observe(lat)
-	case classWrite:
-		t.writeLat.Observe(lat)
-	default:
-		t.metaLat.Observe(lat)
+	t.record(class, lat, &sess.opctx)
+	if sess.srv.slow.Exceeds(lat) {
+		sess.srv.slow.Record(obs.SlowOp{
+			Side:    "server",
+			Trace:   obs.TraceString(trace),
+			Tenant:  t.name,
+			Op:      opName(op),
+			TotalNS: lat,
+			Stages:  obs.StageMap(sess.opctx.Breakdown()),
+		})
 	}
 }
 
 // srvDo runs fn in a scheduler slot for tenant t.
-func (t *tenant) srvDo(s *sched, cost int64, fn func(*enc), out *enc) error {
-	return s.Do(t.name, cost, func() { fn(out) })
+func (t *tenant) srvDo(s *sched, cost int64, ctx *obs.OpCtx, fn func(*enc), out *enc) error {
+	return s.Do(t.name, cost, ctx, func() { fn(out) })
 }
 
 type opClass int
@@ -418,7 +551,10 @@ func (sess *session) decode(op byte, d *dec) (func(*enc), int64, opClass) {
 			if growth < 0 {
 				growth = 0
 			}
-			if err := t.chargeGrow(growth); err != nil {
+			qt := time.Now()
+			err := t.chargeGrow(growth)
+			sess.opctx.Charge(obs.StageQuota, time.Since(qt).Nanoseconds())
+			if err != nil {
 				fail(out, err)
 				return
 			}
@@ -462,8 +598,11 @@ func (sess *session) decode(op byte, d *dec) (func(*enc), int64, opClass) {
 				return
 			}
 			oldSize := h.f.Size()
-			if err := t.chargeGrow(size - oldSize); err != nil {
-				fail(out, err)
+			qt := time.Now()
+			cerr := t.chargeGrow(size - oldSize)
+			sess.opctx.Charge(obs.StageQuota, time.Since(qt).Nanoseconds())
+			if cerr != nil {
+				fail(out, cerr)
 				return
 			}
 			err := h.f.Truncate(size)

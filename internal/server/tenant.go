@@ -40,6 +40,33 @@ type tenant struct {
 	readLat  obs.Hist
 	writeLat obs.Hist
 	metaLat  obs.Hist
+	// win is the same admission-to-completion latency per class, but in
+	// rotating windows, so p99/p999 can be read over recent time instead
+	// of only end-of-run. Indexed by opClass.
+	win [3]*obs.Windows
+	// stageNS accumulates each op's per-stage breakdown: where the
+	// tenant's measured latency actually went.
+	stageNS [obs.NumStages]atomic.Int64
+}
+
+// record folds one completed op's measurements into the tenant:
+// class histogram, window, per-stage sums.
+func (t *tenant) record(class opClass, latNS int64, ctx *obs.OpCtx) {
+	t.ops.Add(1)
+	switch class {
+	case classRead:
+		t.readLat.Observe(latNS)
+	case classWrite:
+		t.writeLat.Observe(latNS)
+	default:
+		t.metaLat.Observe(latNS)
+	}
+	t.win[class].Observe(latNS)
+	for _, st := range obs.Stages() {
+		if ns := ctx.StageNS(st); ns > 0 {
+			t.stageNS[st].Add(ns)
+		}
+	}
 }
 
 // chargeGrow admits growth bytes against the quota, returning ErrQuota
@@ -85,12 +112,36 @@ type TenantStats struct {
 	// ServiceNS is the measured worker time the tenant has consumed —
 	// the quantity the fair-share weights divide.
 	ServiceNS int64
-	ReadLat      obs.HistSnapshot
-	WriteLat     obs.HistSnapshot
-	MetaLat      obs.HistSnapshot
+	ReadLat   obs.HistSnapshot
+	WriteLat  obs.HistSnapshot
+	MetaLat   obs.HistSnapshot
+	// StageNS attributes the tenant's cumulative measured latency to
+	// stages, keyed by obs.Stage names. queue+quota+lock+stall+flush is
+	// the attributed part; "service" is total worker time (containing
+	// the middle four); measured-minus-attributed is unaccounted compute
+	// (memcpy, framing, handle lookups).
+	StageNS map[string]int64
+	// Sched is the tenant's live scheduler state.
+	Sched SchedStats
+	// WindowLat is the admission-to-completion latency over the recent
+	// metric windows, per class ("read"/"write"/"meta") — the time-series
+	// view the exposition endpoint serves quantiles from.
+	WindowLat map[string]obs.HistSnapshot
+}
+
+// MeasuredNS returns the tenant's cumulative admission-to-completion
+// latency (the denominator of the stage attribution shares).
+func (ts *TenantStats) MeasuredNS() int64 {
+	return ts.ReadLat.Sum + ts.WriteLat.Sum + ts.MetaLat.Sum
 }
 
 func (t *tenant) stats() TenantStats {
+	stages := make(map[string]int64, obs.NumStages)
+	for _, st := range obs.Stages() {
+		if v := t.stageNS[st].Load(); v != 0 {
+			stages[st.String()] = v
+		}
+	}
 	return TenantStats{
 		Name:         t.name,
 		Weight:       t.cfg.Weight,
@@ -103,5 +154,11 @@ func (t *tenant) stats() TenantStats {
 		ReadLat:      t.readLat.Snapshot(),
 		WriteLat:     t.writeLat.Snapshot(),
 		MetaLat:      t.metaLat.Snapshot(),
+		StageNS:      stages,
+		WindowLat: map[string]obs.HistSnapshot{
+			"read":  t.win[classRead].Merged(0),
+			"write": t.win[classWrite].Merged(0),
+			"meta":  t.win[classMeta].Merged(0),
+		},
 	}
 }
