@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figFlag   = flag.String("fig", "all", "figure to regenerate: 1,2,6,7,8,9,10,11,12,13 or 'all'")
+		figFlag   = flag.String("fig", "all", "figure(s) to regenerate: 1,2,6,7,8,9,10,11,12,13, a named report, a comma-separated list, or 'all'")
 		quick     = flag.Bool("quick", false, "trim sweeps to fewer points")
 		ops       = flag.Int("ops", 0, "override per-thread op count (0 = per-figure default)")
 		threads   = flag.Int("threads", 0, "override thread count (0 = per-figure default)")
@@ -104,8 +104,9 @@ func main() {
 		"amplification": harness.FigureAmplification,
 		"tenants":       harness.FigureTenants,
 		"obsoverhead":   harness.FigureObsOverhead,
+		"batch":         harness.FigureBatch,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants", "obsoverhead"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants", "obsoverhead", "batch"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
@@ -116,6 +117,7 @@ func main() {
 		fmt.Println("'amplification' is the §2 copy-attribution + write-amplification report (not a paper figure)")
 		fmt.Println("'tenants' is the multi-tenant server fairness report (not a paper figure)")
 		fmt.Println("'obsoverhead' is the observability on/off throughput gate (not a paper figure)")
+		fmt.Println("'batch' is the pipelined-submission throughput sweep with its 2x speedup gate (not a paper figure)")
 		return
 	}
 
@@ -146,7 +148,13 @@ func main() {
 			run(name)
 		}
 	} else {
-		run(*figFlag)
+		// Comma-separated lists run several figures in one invocation
+		// (and one JSON document), e.g. -fig 7,batch for the CI gate.
+		for _, name := range strings.Split(*figFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				run(name)
+			}
+		}
 	}
 	if *jsonPath != "" {
 		if err := doc.WriteFile(*jsonPath); err != nil {

@@ -25,7 +25,7 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		wl       = flag.String("workload", "varmail", "personality: varmail or append")
+		wl       = flag.String("workload", "varmail", "personality: varmail, append or batchfence")
 		ops      = flag.Int("ops", 120, "workload operations per run")
 		points   = flag.Int("points", 48, "crash points to explore")
 		perms    = flag.Int("perms", 3, "torn-cacheline permutations per point (first is always drop-all)")

@@ -7,9 +7,14 @@
 //
 //	hinfs-load -selfserve -tenants gold:4:data,bronze:1:mixed -clients 512
 //
+//	hinfs-load -selfserve -batch 32 -tenants alpha:1:data,beta:1:data
+//
 // Each tenant spec is name:weight:profile. Profiles: "data" (16 KiB
 // reads/writes with an fsync every fourth op), "meta" (create/stat/
-// unlink churn), "mixed" (alternating cycles of both). In -addr mode
+// unlink churn), "mixed" (alternating cycles of both). With -batch N > 1,
+// data-profile clients submit through the pipelined Batch API with up
+// to N ops in flight per connection (meta and mixed stay synchronous),
+// and the report gains a realized-pipeline-depth column. In -addr mode
 // the tenants must already exist on the server and the weight field is
 // informational; with -selfserve an in-process server is constructed
 // from the specs, so one process can exercise the full stack (used by
@@ -72,11 +77,15 @@ func parseTenants(s string) ([]tenantSpec, error) {
 	return out, nil
 }
 
-// tenantRun accumulates one tenant's client-side results.
+// tenantRun accumulates one tenant's client-side results. depthSum
+// holds realized pipeline depth in thousandths (per batched client, at
+// exit) so the report's depth column is a mean over clients.
 type tenantRun struct {
 	ops        atomic.Int64
 	errs       atomic.Int64
 	violations atomic.Int64
+	depthSum   atomic.Int64
+	depthN     atomic.Int64
 	lat        obs.Hist
 }
 
@@ -93,6 +102,7 @@ func run() int {
 		clients   = flag.Int("clients", 64, "concurrent clients per tenant")
 		duration  = flag.Duration("duration", 5*time.Second, "load window")
 		iosize    = flag.Int("iosize", 16<<10, "data op size (bytes)")
+		batch     = flag.Int("batch", 1, "pipeline window for data-profile clients (1 = synchronous)")
 		slowOp    = flag.Duration("slow-op", 0, "log a JSON line to stderr for every round trip at or over this latency (0 = off); trace IDs match the server's slow-op log")
 	)
 	flag.Parse()
@@ -107,6 +117,9 @@ func run() int {
 	}
 	if *iosize <= 0 || *iosize > server.MaxIO {
 		return fail(fmt.Errorf("iosize must be in (0, %d]", server.MaxIO))
+	}
+	if *batch < 1 || *batch > server.DefaultBatchWindow {
+		return fail(fmt.Errorf("batch must be in [1, %d]", server.DefaultBatchWindow))
 	}
 	if (*addr == "") == !*selfserve {
 		return fail(fmt.Errorf("exactly one of -addr or -selfserve is required"))
@@ -123,7 +136,12 @@ func run() int {
 		for _, tn := range tenants {
 			srvTenants[tn.name] = server.TenantConfig{Root: "/tenants/" + tn.name, Weight: tn.weight}
 		}
-		srv, err := server.New(server.Config{FS: inst.FS, Tenants: srvTenants, Workers: *workers})
+		srv, err := server.New(server.Config{
+			FS: inst.FS, Tenants: srvTenants, Workers: *workers,
+			// Batched dispatch coalesces each batch's trailing persist
+			// fences into one ordering point (see nvmm.FenceScope).
+			BatchFences: func() server.PersistScope { return inst.Dev.EnterFenceScope() },
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -157,7 +175,7 @@ func run() int {
 			wg.Add(1)
 			go func(tn tenantSpec, i int) {
 				defer wg.Done()
-				client(target, tn, other, i, *iosize, runs[tn.name], slowLog, stop)
+				client(target, tn, other, i, *iosize, *batch, runs[tn.name], slowLog, stop)
 			}(tn, i)
 		}
 	}
@@ -173,7 +191,7 @@ func run() int {
 	for _, tn := range tenants {
 		total += runs[tn.name].ops.Load()
 	}
-	fmt.Println("tenant        weight  profile  ops      ops/s    share  p50(us)   p99(us)   p999(us)  errors  violations")
+	fmt.Println("tenant        weight  profile  ops      ops/s    share  p50(us)   p99(us)   p999(us)  depth  errors  violations")
 	for _, tn := range tenants {
 		r := runs[tn.name]
 		ops := r.ops.Load()
@@ -182,9 +200,13 @@ func run() int {
 			share = 100 * float64(ops) / float64(total)
 		}
 		p50, _, p99, p999 := r.lat.Snapshot().Percentiles()
-		fmt.Printf("%-12s  %6d  %-7s  %-7d  %-7.0f  %4.1f%%  %-8.1f  %-8.1f  %-8.1f  %6d  %10d\n",
+		depth := "-"
+		if n := r.depthN.Load(); n > 0 {
+			depth = fmt.Sprintf("%.1f", float64(r.depthSum.Load())/float64(n)/1000)
+		}
+		fmt.Printf("%-12s  %6d  %-7s  %-7d  %-7.0f  %4.1f%%  %-8.1f  %-8.1f  %-8.1f  %5s  %6d  %10d\n",
 			tn.name, tn.weight, tn.profile, ops, float64(ops)/elapsed.Seconds(), share,
-			float64(p50)/1e3, float64(p99)/1e3, float64(p999)/1e3,
+			float64(p50)/1e3, float64(p99)/1e3, float64(p999)/1e3, depth,
 			r.errs.Load(), r.violations.Load())
 		badness += r.errs.Load() + r.violations.Load()
 	}
@@ -196,8 +218,10 @@ func run() int {
 	return 0
 }
 
-// client simulates one synchronous user until stop closes.
-func client(addr string, tn tenantSpec, other string, id, iosize int, run *tenantRun, slow *obs.SlowLog, stop <-chan struct{}) {
+// client simulates one user until stop closes: synchronous round trips
+// by default, the pipelined Batch path for data-profile clients when
+// batch > 1.
+func client(addr string, tn tenantSpec, other string, id, iosize, batch int, run *tenantRun, slow *obs.SlowLog, stop <-chan struct{}) {
 	c, err := server.Dial(addr, tn.name)
 	if err != nil {
 		run.errs.Add(1)
@@ -211,6 +235,10 @@ func client(addr string, tn tenantSpec, other string, id, iosize int, run *tenan
 		return
 	}
 	defer f.Close()
+	if batch > 1 && tn.profile == "data" {
+		batchedClient(c, f, other, batch, iosize, run, stop)
+		return
+	}
 	buf := make([]byte, iosize)
 	for j := 0; ; j++ {
 		select {
@@ -238,6 +266,66 @@ func client(addr string, tn tenantSpec, other string, id, iosize int, run *tenan
 		if j%64 == 63 {
 			// Escape probe: a sibling tenant's namespace must be
 			// structurally unreachable.
+			if _, err := c.Stat("/../" + other + "/u0"); err != vfs.ErrInvalid {
+				run.violations.Add(1)
+			}
+		}
+	}
+}
+
+// batchedClient drives the data profile through the pipelined Batch
+// API: each round queues 32 ops in dataOp's write/read/fsync cadence
+// with up to `window` in flight on the connection, then reaps them
+// together. Per-op latency lands in the tenant histogram via the
+// batch's latency hook; realized pipeline depth is recorded at exit.
+func batchedClient(c *server.Client, f vfs.File, other string, window, iosize int, run *tenantRun, stop <-chan struct{}) {
+	b := c.NewBatch()
+	b.SetWindow(window)
+	b.SetLatency(&run.lat)
+	wbuf := make([]byte, iosize)
+	// A reply may land any time before Wait returns, so in-flight reads
+	// cannot share a destination buffer.
+	rbufs := make([][]byte, 32)
+	for k := range rbufs {
+		rbufs[k] = make([]byte, iosize)
+	}
+	for j, round := 0, 0; ; round++ {
+		select {
+		case <-stop:
+			run.depthSum.Add(int64(b.AchievedDepth() * 1000))
+			run.depthN.Add(1)
+			return
+		default:
+		}
+		for k := 0; k < 32; k++ {
+			switch {
+			case j%4 == 3:
+				b.Fsync(f)
+			case j%2 == 0:
+				b.WriteAt(f, wbuf, int64(j%32)*int64(iosize))
+			default:
+				b.ReadAt(f, rbufs[k], int64((j-1)%32)*int64(iosize))
+			}
+			j++
+		}
+		if err := b.Wait(); err != nil {
+			// A shutdown race at window close is not a client failure.
+			if err != vfs.ErrUnmounted {
+				run.errs.Add(1)
+			}
+			return
+		}
+		for _, o := range b.Ops() {
+			// io.EOF is still contractual on a fresh file's first lap.
+			if o.Err != nil && o.Err != io.EOF {
+				run.errs.Add(1)
+				return
+			}
+		}
+		run.ops.Add(int64(b.Len()))
+		b.Reset()
+		if round%8 == 7 {
+			// Escape probe, same contract as the synchronous path.
 			if _, err := c.Stat("/../" + other + "/u0"); err != vfs.ErrInvalid {
 				run.violations.Add(1)
 			}

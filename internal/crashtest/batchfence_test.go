@@ -1,0 +1,63 @@
+package crashtest
+
+import (
+	"testing"
+
+	"hinfs/internal/core"
+	"hinfs/internal/nvmm"
+)
+
+// TestExploreBatchFenceStock explores the fence-coalesced persist
+// schedule batched server dispatch produces: grouped ops under fence
+// scopes, trailing fences collapsed to one per group. Stock HiNFS must
+// survive every crash point under every torn permutation.
+func TestExploreBatchFenceStock(t *testing.T) {
+	rep, err := Explore(Config{Workload: "batchfence", Ops: 80, Points: 32, Perms: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != rep.Cases {
+		t.Fatalf("only %d of %d cases remounted", rep.Recovered, rep.Cases)
+	}
+	if len(rep.Violations) != 0 || rep.Suppressed != 0 {
+		for i, v := range rep.Violations {
+			if i == 10 {
+				break
+			}
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d violations on stock HiNFS (%s)", len(rep.Violations)+rep.Suppressed, rep.Summary())
+	}
+}
+
+// TestBatchFenceActuallyCoalesces proves the workload exercises the
+// elision path — a run must retire a substantial number of fences into
+// scope-close coalescing, or the exploration above is testing nothing
+// new.
+func TestBatchFenceActuallyCoalesces(t *testing.T) {
+	cfg := Config{Workload: "batchfence"}
+	cfg.fill()
+	dev, err := nvmm.New(nvmm.Config{Size: cfg.DeviceSize, TrackPersistence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mkfs(dev, cfg.fsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Abandon()
+	w := &BatchFence{Dev: dev}
+	if err := w.Setup(fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(fs, 1, 80); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.Stats()
+	if st.FencesElided == 0 {
+		t.Fatal("batchfence run elided no fences — the coalescing path was not exercised")
+	}
+	t.Logf("fences %d, elided %d (%.0f%% of an uncoalesced run)",
+		st.Fences, st.FencesElided,
+		100*float64(st.FencesElided)/float64(st.Fences+st.FencesElided))
+}

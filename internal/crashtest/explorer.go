@@ -17,8 +17,10 @@ import (
 // Config parameterizes one exploration.
 type Config struct {
 	// Workload names the personality: "varmail" (default — the paper's
-	// fsync- and namespace-heavy mail server) or "append" (append-heavy
-	// logs with sparse fsyncs, the widest lazy-write windows).
+	// fsync- and namespace-heavy mail server), "append" (append-heavy
+	// logs with sparse fsyncs, the widest lazy-write windows) or
+	// "batchfence" (grouped ops under fence scopes — the coalesced
+	// persist schedule of the pipelined server's dispatch batches).
 	Workload string
 	// Ops is the per-run operation count (default 120).
 	Ops int
@@ -96,8 +98,10 @@ func (cfg *Config) newWorkload() (workload.Workload, error) {
 		return &workload.Varmail{Files: 64, FileSize: 4 << 10, AppendSize: 4 << 10}, nil
 	case "append":
 		return &AppendSync{}, nil
+	case "batchfence":
+		return &BatchFence{}, nil
 	}
-	return nil, fmt.Errorf("crashtest: unknown workload %q (have varmail, append)", cfg.Workload)
+	return nil, fmt.Errorf("crashtest: unknown workload %q (have varmail, append, batchfence)", cfg.Workload)
 }
 
 // Violation is one detected crash-consistency failure, with everything
@@ -207,6 +211,9 @@ func (cfg *Config) runOnce(target int64, keep bool) (*runResult, error) {
 	w, err := cfg.newWorkload()
 	if err != nil {
 		return nil, err
+	}
+	if bf, ok := w.(*BatchFence); ok {
+		bf.Dev = dev // the fence-scope API lives on the device, below the VFS
 	}
 	if err := w.Setup(rec); err != nil {
 		return nil, fmt.Errorf("crashtest: %s setup: %w", w.Name(), err)

@@ -1,0 +1,10 @@
+//go:build amd64
+
+package goid
+
+import "unsafe"
+
+// getg returns the current goroutine's g pointer from thread-local
+// storage. Implemented in assembly; the (TLS) pseudo-register has been
+// the stable way to reach g since the Go 1.x ABI was set.
+func getg() unsafe.Pointer

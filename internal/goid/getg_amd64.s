@@ -1,0 +1,9 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func getg() uintptr
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package goid
+
+import "unsafe"
+
+// getg has no shim on this architecture; nil keeps ID on the portable
+// runtime.Stack parse.
+func getg() unsafe.Pointer { return nil }

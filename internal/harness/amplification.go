@@ -121,6 +121,7 @@ func runDrained(sys System, cfg Config, w workload.Workload, threads, ops int) (
 			BytesFlushed: after.BytesFlushed - before.BytesFlushed,
 			Flushes:      after.Flushes - before.Flushes,
 			Fences:       after.Fences - before.Fences,
+			FencesElided: after.FencesElided - before.FencesElided,
 			ReadTime:     after.ReadTime - before.ReadTime,
 			WriteTime:    after.WriteTime - before.WriteTime,
 		},

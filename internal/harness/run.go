@@ -75,6 +75,7 @@ func RunOn(inst *Instance, w workload.Workload, threads, ops int) (RunResult, er
 			BytesFlushed: after.BytesFlushed - before.BytesFlushed,
 			Flushes:      after.Flushes - before.Flushes,
 			Fences:       after.Fences - before.Fences,
+			FencesElided: after.FencesElided - before.FencesElided,
 			ReadTime:     after.ReadTime - before.ReadTime,
 			WriteTime:    after.WriteTime - before.WriteTime,
 		},

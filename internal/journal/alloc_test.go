@@ -1,0 +1,41 @@
+package journal
+
+import (
+	"testing"
+
+	"hinfs/internal/nvmm"
+)
+
+// TestTxAllocBudget pins the journal hot path's allocation budget: one
+// Begin/LogRange/LogBitmap/Commit cycle heap-allocates at most once —
+// the Tx itself, which is deliberately not pooled (deferred commits and
+// After chains hold *Tx pointers for unbounded time, so reuse would
+// alias a live chain). The undo slot list rides in the Tx's inline
+// array and log-area zeroing uses the shared zero block, both of which
+// this test guards against regression.
+func TestTxAllocBudget(t *testing.T) {
+	dev, err := nvmm.New(nvmm.Config{Size: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		base = 4096
+		size = 2 << 20
+		addr = 6 << 20 // data range well clear of the journal area
+	)
+	j, err := New(dev, base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteNT(make([]byte, 64), addr)
+
+	n := testing.AllocsPerRun(400, func() {
+		tx := j.Begin()
+		tx.LogRange(addr, 40)
+		tx.LogBitmap(addr+64, 0xff)
+		tx.Commit()
+	})
+	if n > 1 {
+		t.Fatalf("journal tx cycle allocates %.1f objects/op, want <= 1 (the Tx)", n)
+	}
+}

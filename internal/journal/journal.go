@@ -156,6 +156,13 @@ type Tx struct {
 	touched    [2]bool // lane halves containing this tx's entries
 	hasEntries bool
 	slots      []int64 // addresses of this tx's undo entries (for invalidation)
+	// slotsArr backs slots inline: a typical metadata transaction logs a
+	// handful of entries, so the common case never heap-allocates the
+	// slot list. (The Tx itself is the one remaining allocation on the
+	// journal hot path — it is not pooled, deliberately: deferred commits
+	// and After-chains hold *Tx pointers for unbounded time, so reuse
+	// would alias a live chain.)
+	slotsArr [8]int64
 
 	pending   atomic.Int32 // blocks that must persist before commit
 	sealed    atomic.Bool  // no more pending blocks will be added
@@ -253,6 +260,7 @@ func (j *Journal) lock(ln *lane) {
 func (j *Journal) Begin() *Tx {
 	ln := j.lanes[j.nextLane.Add(1)%uint64(len(j.lanes))]
 	t := &Tx{j: j, ln: ln, id: j.nextID.Add(1)}
+	t.slots = t.slotsArr[:0]
 	j.lock(ln)
 	ln.open[t.id] = struct{}{}
 	t.commitSlot = j.allocSlotLocked(ln, t)
@@ -297,11 +305,14 @@ func (j *Journal) allocSlotLocked(ln *lane, t *Tx) int64 {
 	}
 }
 
+// zeroBlock is the shared all-zero source for log-area resets; it is
+// only ever read, so sharing it across lanes and with Recover is safe.
+var zeroBlock [cacheline.BlockSize]byte
+
 func (j *Journal) zeroHalfLocked(h *half) {
-	zero := make([]byte, cacheline.BlockSize)
 	hs := int64(h.count) * EntrySize
 	for off := int64(0); off < hs; off += cacheline.BlockSize {
-		j.dev.Write(zero, h.base+off)
+		j.dev.Write(zeroBlock[:], h.base+off)
 	}
 	j.dev.Flush(h.base, int(hs))
 	j.dev.Fence()
@@ -672,9 +683,8 @@ func Recover(dev *nvmm.Device, base, size int64) (rolledBack int, err error) {
 	}
 	rolledBack = len(rolled)
 	// Reset the area.
-	zero := make([]byte, cacheline.BlockSize)
 	for off := int64(0); off < size; off += cacheline.BlockSize {
-		dev.Write(zero, base+off)
+		dev.Write(zeroBlock[:], base+off)
 	}
 	dev.Flush(base, int(size))
 	dev.Fence()

@@ -1,0 +1,217 @@
+package nvmm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hinfs/internal/goid"
+)
+
+// Fence coalescing.
+//
+// A batch of independent operations dispatched together (the server's
+// per-tenant dispatch batch) each ends with a trailing Fence() — the
+// ordering point that makes the op's last persist visible before its
+// reply. Between independent ops those trailing fences are redundant:
+// one fence at the end of the batch orders everything the batch
+// persisted (NVLog's group-barrier observation). A FenceScope captures
+// exactly that: while a goroutine runs inside a scope,
+//
+//   - Fence() becomes pending instead of issuing (latency and the
+//     fault-plane event are both skipped);
+//   - any subsequent store or flush on the same goroutine materializes
+//     the pending fence first, so ordering *within* an op — fence
+//     between dependent persists — is preserved exactly;
+//   - OpBoundary() marks the seam between independent ops: a fence
+//     still pending there is provably trailing and is deferred to the
+//     scope's end;
+//   - Close() issues one real fence covering every deferred trailing
+//     fence and counts the rest as elided (Stats.FencesElided).
+//
+// Elided fences never reach the fault plane, so the crash explorer sees
+// the coalesced persist-event schedule — the schedule it verifies is the
+// schedule production runs.
+//
+// Attachment is goroutine-local via the same open-addressed
+// goroutine-ID table obs uses for OpCtx: deep layers (journal, pmfs,
+// core) call d.Fence() through interfaces that must not grow scope
+// parameters. When no scope is active anywhere, Fence() pays one atomic
+// load over the old path.
+
+const (
+	fsSlots    = 512 // power of two
+	fsMaxProbe = 16
+)
+
+type fsEntry struct {
+	gid   atomic.Int64
+	scope atomic.Pointer[FenceScope]
+	_     [6]uint64 // pad to a cacheline to keep neighbors independent
+}
+
+var (
+	fsTab    [fsSlots]fsEntry
+	fsActive atomic.Int64
+
+	scopePool = sync.Pool{New: func() any { return new(FenceScope) }}
+)
+
+// fenceGoid is the table key; goid.ID keeps the per-fence and
+// per-store lookups at nanoseconds.
+func fenceGoid() int64 { return goid.ID() }
+
+func fsHash(gid int64) uint64 { return uint64(gid) * 0x9e3779b97f4a7c15 }
+
+// FenceScope is a goroutine-attached fence-coalescing window. Not safe
+// for concurrent use: it belongs to the goroutine that entered it.
+type FenceScope struct {
+	d        *Device
+	slot     int32
+	attached bool
+	depth    int32
+	// pending is a requested-but-unissued fence with no store after it
+	// yet — it may still need to materialize if the current op stores
+	// again, or it may prove trailing at the next OpBoundary.
+	pending bool
+	// deferred counts trailing fences already proven safe to coalesce.
+	deferred int64
+}
+
+// EnterFenceScope opens a coalescing window for the calling goroutine.
+// Nested entry on the same goroutine and device returns the same scope
+// (Close unwinds the nesting); entry while a scope for a different
+// device is attached returns a detached scope, under which fences stay
+// real. The scope must be Closed on the same goroutine.
+func (d *Device) EnterFenceScope() *FenceScope {
+	gid := fenceGoid()
+	h := fsHash(gid)
+	if fsActive.Load() != 0 {
+		for i := 0; i < fsMaxProbe; i++ {
+			e := &fsTab[(h+uint64(i))%fsSlots]
+			if e.gid.Load() == gid {
+				s := e.scope.Load()
+				if s != nil && s.d == d {
+					s.depth++
+					return s
+				}
+				// Another device's scope owns this goroutine; don't
+				// entangle the two — run detached.
+				return &FenceScope{d: d}
+			}
+		}
+	}
+	s := scopePool.Get().(*FenceScope)
+	s.d = d
+	s.depth = 0
+	s.pending = false
+	s.deferred = 0
+	s.attached = false
+	for i := 0; i < fsMaxProbe; i++ {
+		idx := (h + uint64(i)) % fsSlots
+		e := &fsTab[idx]
+		if e.gid.CompareAndSwap(0, gid) {
+			e.scope.Store(s)
+			s.slot = int32(idx)
+			s.attached = true
+			fsActive.Add(1)
+			return s
+		}
+	}
+	// Probe window full (pathological collision): run detached; every
+	// fence stays real, so only the optimization is lost.
+	return s
+}
+
+// fenceScope returns the scope attached to the calling goroutine for
+// this device, or nil. One atomic load when no scope is active anywhere.
+func (d *Device) fenceScope() *FenceScope {
+	if fsActive.Load() == 0 {
+		return nil
+	}
+	gid := fenceGoid()
+	h := fsHash(gid)
+	for i := 0; i < fsMaxProbe; i++ {
+		e := &fsTab[(h+uint64(i))%fsSlots]
+		if e.gid.Load() == gid {
+			if s := e.scope.Load(); s != nil && s.d == d {
+				return s
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// materializeFence issues a pending in-scope fence before a store or
+// flush, preserving intra-op ordering under coalescing: a fence between
+// two dependent persists on the same goroutine always lands between
+// them on the device's event stream.
+//
+// The fencesPending gate makes this nearly free on the common path: the
+// goroutine-ID lookup only runs while some scope on this device holds a
+// pending fence, a window that closes at the owner's next store or
+// OpBoundary. Only the owning goroutine's view of the gate matters for
+// correctness — a pending fence must materialize before *that
+// goroutine's* next store, and the owner always observes its own
+// counter increment; other goroutines' lookups are no-ops either way.
+func (d *Device) materializeFence() {
+	if d.fencesPending.Load() == 0 {
+		return
+	}
+	if s := d.fenceScope(); s != nil && s.pending {
+		s.pending = false
+		d.fencesPending.Add(-1)
+		d.fenceReal()
+	}
+}
+
+// OpBoundary marks the seam between two independent operations in the
+// batch: a fence still pending here trails its op and is deferred to
+// the scope's single closing fence. Nil-safe.
+func (s *FenceScope) OpBoundary() {
+	if s == nil {
+		return
+	}
+	if s.pending {
+		s.pending = false
+		s.d.fencesPending.Add(-1)
+		s.deferred++
+	}
+}
+
+// Close ends the window: one real fence stands in for every fence the
+// scope absorbed, and the surplus is counted in Stats.FencesElided.
+// Nil-safe; nested entries unwind without fencing.
+func (s *FenceScope) Close() {
+	if s == nil {
+		return
+	}
+	if s.depth > 0 {
+		s.depth--
+		return
+	}
+	absorbed := s.deferred
+	d := s.d
+	if s.pending {
+		absorbed++
+		s.pending = false
+		d.fencesPending.Add(-1)
+	}
+	if s.attached {
+		e := &fsTab[s.slot]
+		e.scope.Store(nil)
+		e.gid.Store(0)
+		fsActive.Add(-1)
+		s.attached = false
+	}
+	// Detach before fencing so the closing fence is real even though it
+	// runs on the scope's own goroutine.
+	if absorbed > 0 {
+		d.fenceReal()
+		d.fencesElided.Add(absorbed - 1)
+	}
+	s.d = nil
+	s.pending = false
+	s.deferred = 0
+	scopePool.Put(s)
+}

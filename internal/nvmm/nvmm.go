@@ -72,12 +72,21 @@ type Stats struct {
 	BytesFlushed int64
 	// Flushes counts Flush calls.
 	Flushes int64
-	// Fences counts Fence calls.
+	// Fences counts ordering fences actually issued to the device.
 	Fences int64
-	// ReadTime is the cumulative time spent in Read (copy + read latency).
+	// FencesElided counts redundant trailing fences absorbed by
+	// FenceScope coalescing: fences requested by the software above but
+	// covered by a batch's single closing fence (see fence.go). Fences +
+	// FencesElided is what an uncoalesced run would have issued.
+	FencesElided int64
+	// ReadTime is the cumulative emulated device time charged by Read
+	// (read latency per covered cacheline).
 	ReadTime time.Duration
-	// WriteTime is the cumulative time spent in Write/WriteNT/Flush
-	// (copy + emulated write latency + bandwidth queueing).
+	// WriteTime is the cumulative emulated device time charged by
+	// persists (write latency per covered cacheline plus bandwidth
+	// queueing). Cached stores (Write) charge nothing until flushed,
+	// like real stores. Analytic, not wall-clock: it is pure device
+	// physics, free of scheduler noise — and free of per-op clock reads.
 	WriteTime time.Duration
 }
 
@@ -108,8 +117,15 @@ type Device struct {
 	bytesFlushed atomic.Int64
 	flushes      atomic.Int64
 	fences       atomic.Int64
-	readTime     atomic.Int64
-	writeTime    atomic.Int64
+	fencesElided atomic.Int64
+	// fencesPending counts this device's fence scopes holding a pending
+	// (requested but unissued) fence. It gates materializeFence: stores
+	// and flushes only pay the goroutine-ID lookup when some scope might
+	// actually need materializing — one atomic load otherwise, which
+	// keeps scoped batches from taxing every other goroutine's hot path.
+	fencesPending atomic.Int64
+	readTime      atomic.Int64
+	writeTime     atomic.Int64
 
 	// col, when set, receives per-persist flush latency observations
 	// (obs.PathNVMMFlush). Set before concurrent use.
@@ -185,26 +201,27 @@ func (d *Device) check(off int64, n int) {
 // Read copies len(dst) bytes at off into dst (an NVMM load).
 func (d *Device) Read(dst []byte, off int64) {
 	d.check(off, len(dst))
-	start := time.Now()
 	copy(dst, d.data[off:])
 	if d.effRead > 0 {
-		Wait(time.Duration(cacheline.LineCount(off, len(dst))) * d.effRead)
+		cost := time.Duration(cacheline.LineCount(off, len(dst))) * d.effRead
+		Wait(cost)
+		d.readTime.Add(int64(cost))
 	}
 	d.bytesRead.Add(int64(len(dst)))
-	d.readTime.Add(int64(time.Since(start)))
 }
 
 // Write stores src at off. Like a CPU store, the data lands in the (cached)
-// image immediately but is not durable until Flush covers it.
+// image immediately but is not durable until Flush covers it. A cached
+// store charges no device time — that is the point of the DRAM-speed
+// store path — so nothing accrues to Stats.WriteTime here.
 func (d *Device) Write(src []byte, off int64) {
 	d.check(off, len(src))
-	start := time.Now()
+	d.materializeFence()
 	copy(d.data[off:], src)
 	d.bytesWritten.Add(int64(len(src)))
 	if d.cfg.TrackPersistence {
 		d.markPending(off, len(src))
 	}
-	d.writeTime.Add(int64(time.Since(start)))
 }
 
 // WriteNT stores src at off with a non-temporal (cache-bypassing) store and
@@ -212,7 +229,7 @@ func (d *Device) Write(src []byte, off int64) {
 // This models PMFS's copy_from_user_inatomic_nocache path.
 func (d *Device) WriteNT(src []byte, off int64) {
 	d.check(off, len(src))
-	start := time.Now()
+	d.materializeFence()
 	copy(d.data[off:], src)
 	d.bytesWritten.Add(int64(len(src)))
 	if d.cfg.TrackPersistence {
@@ -220,7 +237,6 @@ func (d *Device) WriteNT(src []byte, off int64) {
 	}
 	d.faultPoint(EvWriteNT)
 	d.persist(off, len(src))
-	d.writeTime.Add(int64(time.Since(start)))
 }
 
 // Flush makes the byte range [off, off+n) durable, paying the write latency
@@ -230,10 +246,9 @@ func (d *Device) Flush(off int64, n int) {
 	if n == 0 {
 		return
 	}
-	start := time.Now()
+	d.materializeFence()
 	d.faultPoint(EvFlush)
 	d.persist(off, n)
-	d.writeTime.Add(int64(time.Since(start)))
 }
 
 // SetObs attaches a collector receiving flush-latency observations
@@ -251,35 +266,45 @@ func (d *Device) persist(off int64, n int) {
 	// most precise spot: pure emulated device latency including bandwidth
 	// queueing. Background writeback goroutines are never attached, so
 	// their flushes stay off the per-op breakdown automatically.
+	//
+	// With a collector attached, the charge is wall time around the wait
+	// (the collector wants what the op actually experienced). Without
+	// one, the charge is the analytically known device time — latency
+	// plus port queueing — which spares the hot path two clock reads per
+	// flush; on a flush-heavy path those reads are a measurable tax.
 	op := obs.CurrentOp()
 	var start time.Time
-	if c != nil || op != nil {
+	if c != nil {
 		start = time.Now()
 	}
+	var devNS int64
 	if d.effWrite > 0 {
 		cost := int64(lines) * int64(d.effWrite)
 		if d.ports == nil {
+			devNS = cost
 			Wait(time.Duration(cost))
 		} else {
-			d.portWait(cost)
+			devNS = d.portWait(cost)
 		}
 	}
 	if d.cfg.TrackPersistence {
 		d.commitPending(off, n)
 	}
-	if c != nil || op != nil {
+	d.writeTime.Add(devNS)
+	if c != nil {
 		ns := time.Since(start).Nanoseconds()
-		if c != nil {
-			c.Path(obs.PathNVMMFlush, ns)
-		}
+		c.Path(obs.PathNVMMFlush, ns)
 		op.Charge(obs.StageFlush, ns)
+	} else {
+		op.Charge(obs.StageFlush, devNS)
 	}
 }
 
 // portWait claims the earliest-free write port, occupies it for cost
-// nanoseconds, and waits until the occupation ends. Equivalent to the
-// paper's "an NVMM writing thread is queued when Nw writers are active".
-func (d *Device) portWait(cost int64) {
+// nanoseconds, and waits until the occupation ends, returning the total
+// nanoseconds waited (latency plus queueing). Equivalent to the paper's
+// "an NVMM writing thread is queued when Nw writers are active".
+func (d *Device) portWait(cost int64) int64 {
 	for {
 		now := int64(time.Since(d.base))
 		pi, minBusy := 0, int64(1)<<62
@@ -295,7 +320,7 @@ func (d *Device) portWait(cost int64) {
 		end := start + cost
 		if d.ports[pi].CompareAndSwap(minBusy, end) {
 			Wait(time.Duration(end - now))
-			return
+			return end - now
 		}
 	}
 }
@@ -312,8 +337,22 @@ func (d *Device) Slice(off int64, n int) []byte {
 
 // Fence is an ordering point (mfence). The Go memory model plus the
 // file-system locks already order our operations, so it only counts
-// (and feeds the persist-event stream, see fault.go).
+// (and feeds the persist-event stream, see fault.go). Inside a
+// FenceScope the fence is held pending instead: it materializes before
+// the goroutine's next store/flush, or coalesces into the scope's
+// single closing fence if it proves trailing (see fence.go).
 func (d *Device) Fence() {
+	if s := d.fenceScope(); s != nil {
+		if !s.pending {
+			s.pending = true
+			d.fencesPending.Add(1)
+		}
+		return
+	}
+	d.fenceReal()
+}
+
+func (d *Device) fenceReal() {
 	d.faultPoint(EvFence)
 	d.fences.Add(1)
 }
@@ -377,6 +416,7 @@ func (d *Device) Stats() Stats {
 		BytesFlushed: d.bytesFlushed.Load(),
 		Flushes:      d.flushes.Load(),
 		Fences:       d.fences.Load(),
+		FencesElided: d.fencesElided.Load(),
 		ReadTime:     time.Duration(d.readTime.Load()),
 		WriteTime:    time.Duration(d.writeTime.Load()),
 	}
@@ -392,6 +432,7 @@ func (d *Device) ResetStats() {
 	d.bytesFlushed.Store(0)
 	d.flushes.Store(0)
 	d.fences.Store(0)
+	d.fencesElided.Store(0)
 	d.readTime.Store(0)
 	d.writeTime.Store(0)
 }

@@ -1,8 +1,9 @@
 package obs
 
 import (
-	"runtime"
 	"sync/atomic"
+
+	"hinfs/internal/goid"
 )
 
 // Stage identifies one attributable segment of a request's latency. The
@@ -150,22 +151,10 @@ var (
 	tlsActive atomic.Int64
 )
 
-// goroutineID parses the current goroutine's ID from the runtime.Stack
-// header ("goroutine N [running]:"). The buffer is stack-allocated and
-// deliberately too small for the full stack; only the header matters.
-func goroutineID() int64 {
-	var buf [64]byte
-	n := runtime.Stack(buf[:], false)
-	// Skip "goroutine " (10 bytes) and read digits.
-	var id int64
-	for _, b := range buf[10:n] {
-		if b < '0' || b > '9' {
-			break
-		}
-		id = id*10 + int64(b-'0')
-	}
-	return id
-}
+// goroutineID is the table key. goid.ID is two loads on amd64, which is
+// what lets CurrentOp sit on the per-persist device path: with a server
+// op attached everywhere, a traceback-based ID would tax every flush.
+func goroutineID() int64 { return goid.ID() }
 
 func tlsHash(gid int64) uint64 {
 	return uint64(gid) * 0x9e3779b97f4a7c15

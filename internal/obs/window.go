@@ -100,7 +100,7 @@ type WindowSnapshot struct {
 	// Epoch is the window index (start time = Epoch * width).
 	Epoch int64 `json:"epoch"`
 	// StartNS is the window's start on the ring's clock.
-	StartNS int64 `json:"start_ns"`
+	StartNS int64        `json:"start_ns"`
 	Hist    HistSnapshot `json:"hist"`
 }
 

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hinfs/internal/vfs"
+)
+
+// TestBatchRoundTrip pipelines a mixed write/fsync/read burst through
+// one connection and checks every op's result individually.
+func TestBatchRoundTrip(t *testing.T) {
+	srv := testServer(t, twoTenants())
+	c := pipeClient(t, srv, "alpha")
+	f, err := c.Create("/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	b := c.NewBatch()
+	const n = 48
+	writes := make([]*BatchOp, n)
+	for i := 0; i < n; i++ {
+		data := []byte(fmt.Sprintf("chunk-%02d!", i))
+		writes[i] = b.WriteAt(f, data, int64(i*10))
+	}
+	sync := b.Fsync(f)
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range writes {
+		if w.Err != nil || w.N != 9 {
+			t.Fatalf("write %d = %d, %v", i, w.N, w.Err)
+		}
+	}
+	if sync.Err != nil {
+		t.Fatalf("fsync: %v", sync.Err)
+	}
+	if d := b.AchievedDepth(); d <= 1 {
+		t.Fatalf("achieved depth %.2f, want > 1 for a pipelined burst", d)
+	}
+
+	b.Reset()
+	bufs := make([][]byte, n)
+	reads := make([]*BatchOp, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, 9)
+		reads[i] = b.ReadAt(f, bufs[i], int64(i*10))
+	}
+	// One read past EOF rides in the same batch.
+	tail := b.ReadAt(f, make([]byte, 16), int64(n*10))
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reads {
+		want := fmt.Sprintf("chunk-%02d!", i)
+		if r.Err != nil && !(i == n-1 && r.Err == io.EOF) {
+			t.Fatalf("read %d: %v", i, r.Err)
+		}
+		if r.N != 9 || string(bufs[i]) != want {
+			t.Fatalf("read %d = %d %q, want %q", i, r.N, bufs[i], want)
+		}
+	}
+	if tail.Err != io.EOF || tail.N != 0 {
+		t.Fatalf("past-EOF read = %d, %v", tail.N, tail.Err)
+	}
+}
+
+// TestBatchWindowOne checks the degenerate synchronous window still
+// completes everything (it is the baseline the batch figure sweeps from).
+func TestBatchWindowOne(t *testing.T) {
+	srv := testServer(t, twoTenants())
+	c := pipeClient(t, srv, "alpha")
+	f, err := c.Create("/w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := c.NewBatch()
+	b.SetWindow(1)
+	for i := 0; i < 8; i++ {
+		b.WriteAt(f, []byte{byte(i)}, int64(i))
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.AchievedDepth(); d != 1 {
+		t.Fatalf("achieved depth %.2f at window 1, want exactly 1", d)
+	}
+	got := make([]byte, 8)
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("read back %v", got)
+	}
+}
+
+// TestBatchValidation checks that ill-formed ops fail locally without
+// touching the wire, and that the rest of the batch still completes.
+func TestBatchValidation(t *testing.T) {
+	srv := testServer(t, twoTenants())
+	c := pipeClient(t, srv, "alpha")
+	c2 := pipeClient(t, srv, "beta")
+	f, err := c.Create("/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c2.Create("/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	b := c.NewBatch()
+	foreign := b.WriteAt(g, []byte("x"), 0) // other client's handle
+	huge := b.ReadAt(f, make([]byte, MaxIO+1), 0)
+	ok := b.WriteAt(f, []byte("fine"), 0)
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if foreign.Err != vfs.ErrInvalid {
+		t.Fatalf("foreign handle = %v, want ErrInvalid", foreign.Err)
+	}
+	if huge.Err != vfs.ErrInvalid {
+		t.Fatalf("oversized read = %v, want ErrInvalid", huge.Err)
+	}
+	if ok.Err != nil || ok.N != 4 {
+		t.Fatalf("valid op in mixed batch = %d, %v", ok.N, ok.Err)
+	}
+
+	f.Close()
+	b.Reset()
+	closed := b.Fsync(f)
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if closed.Err != vfs.ErrClosed {
+		t.Fatalf("closed handle = %v, want ErrClosed", closed.Err)
+	}
+}
+
+// TestBatchInterleavesWithSyncCalls checks a batch and the synchronous
+// client path share one connection safely: the sync path's strict echo
+// check must never see a batch op's reply.
+func TestBatchInterleavesWithSyncCalls(t *testing.T) {
+	srv := testServer(t, twoTenants())
+	c := pipeClient(t, srv, "alpha")
+	f, err := c.Create("/mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := c.NewBatch()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 16; i++ {
+			b.WriteAt(f, []byte("data"), int64(i*4))
+		}
+		if err := b.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range b.ops {
+			if o.Err != nil {
+				t.Fatal(o.Err)
+			}
+		}
+		b.Reset()
+		if _, err := c.Stat("/mix"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBatchTorture races batched submissions on many connections
+// against server shutdown. The invariant under test: every queued op
+// ends done with either a result or an error — exactly one completion,
+// matched by trace — and nothing hangs or panics, under -race.
+func TestBatchTorture(t *testing.T) {
+	srv := testServer(t, twoTenants())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	const clients = 12
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			tenant := []string{"alpha", "beta"}[i%2]
+			c, err := Dial(addr, tenant)
+			if err != nil {
+				return // server may already be closing
+			}
+			defer c.Unmount()
+			f, err := c.Create(fmt.Sprintf("/t%d", i))
+			if err != nil {
+				return
+			}
+			b := c.NewBatch()
+			b.SetWindow(1 + rng.Intn(DefaultBatchWindow))
+			buf := make([]byte, 512)
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nops := 1 + rng.Intn(40)
+				for j := 0; j < nops; j++ {
+					switch rng.Intn(3) {
+					case 0:
+						b.WriteAt(f, buf[:1+rng.Intn(512)], int64(rng.Intn(1<<16)))
+					case 1:
+						b.ReadAt(f, buf[:1+rng.Intn(512)], int64(rng.Intn(1<<16)))
+					default:
+						b.Fsync(f)
+					}
+				}
+				err := b.Wait()
+				for k, o := range b.ops {
+					if !o.done {
+						t.Errorf("client %d round %d: op %d not completed after Wait", i, round, k)
+						return
+					}
+				}
+				if err != nil {
+					return // transport failed: all ops completed with the error
+				}
+				b.Reset()
+			}
+		}(i)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestClientEncodeZeroAllocs pins the client submission path's
+// allocation budget: encoding and framing one write request reuses the
+// connection buffers and allocates nothing.
+func TestClientEncodeZeroAllocs(t *testing.T) {
+	var e enc
+	bw := bufio.NewWriterSize(io.Discard, 64<<10)
+	payload := make([]byte, 4096)
+	n := testing.AllocsPerRun(1000, func() {
+		e.b = e.b[:0]
+		e.u8(opWrite)
+		e.u64(0x1234)
+		e.u32(7)
+		e.u64(8192)
+		e.bytes(payload)
+		if err := writeFrame(bw, e.b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("frame encode allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestSchedDispatchZeroAllocs pins the scheduler's steady-state budget:
+// enqueue, dispatch and settle of a pooled request allocate nothing —
+// the queue links are intrusive and the envelope is caller-owned.
+func TestSchedDispatchZeroAllocs(t *testing.T) {
+	s := &sched{
+		queues: map[string]*schedQueue{"t": {weight: 1}},
+		order:  []string{"t"},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	r := schedTask(1000, func() {})
+	buf := make([]*schedReq, 0, 1)
+	n := testing.AllocsPerRun(1000, func() {
+		if err := s.enqueue("t", r); err != nil {
+			t.Fatal(err)
+		}
+		buf = s.nextBatch(buf[:0], 1)
+		if len(buf) != 1 {
+			t.Fatal("dispatch returned nothing")
+		}
+		buf[0].t.exec()
+		s.settle(buf[0].q, 50)
+	})
+	if n != 0 {
+		t.Fatalf("dispatch cycle allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestServerReadWriteSteadyStateAllocs measures the whole stack end to
+// end — client encode, server session, scheduler, pmfs, reply — for
+// small reads and writes over an in-memory pipe, and bounds the
+// amortized allocation rate. The pooled request/reply path keeps it to
+// a handful of objects per op (pmfs internals and runtime channel ops),
+// an order of magnitude below the pre-pooling baseline; the tight zero
+// checks live in the targeted tests above.
+func TestServerReadWriteSteadyStateAllocs(t *testing.T) {
+	srv := testServer(t, twoTenants())
+	c := pipeClient(t, srv, "alpha")
+	f, err := c.Create("/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ { // warm pools on both sides
+		f.ReadAt(buf, 0)
+		f.WriteAt(buf, 0)
+	}
+	n := testing.AllocsPerRun(500, func() {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Two full RPCs; the budget is deliberately loose (goroutine wakeups
+	// and timer reads vary) but catches any per-op buffer regression.
+	if n > 30 {
+		t.Fatalf("read+write round trip allocates %.1f objects, want <= 30", n)
+	}
+}

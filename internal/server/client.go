@@ -18,8 +18,9 @@ import (
 // written against the VFS interfaces run unchanged over the wire; the
 // error identities (vfs.ErrNotExist, io.EOF, ...) survive the round trip.
 //
-// A Client is safe for concurrent use; the session protocol is
-// synchronous, so concurrent calls serialize on the connection. For
+// A Client is safe for concurrent use; synchronous calls serialize on
+// the connection. For single-connection parallelism, use NewBatch — the
+// pipelined submission path (batch.go); for multi-connection
 // parallelism, open more clients — connections are the unit of
 // concurrency, which is how the load generator simulates users.
 type Client struct {
@@ -69,13 +70,16 @@ func NewClient(conn net.Conn, tenant string) (*Client, error) {
 	c.mu.Lock()
 	c.out.b = c.out.b[:0]
 	c.out.u8(opAttach)
-	c.out.u64(c.nextTrace())
+	trace := c.nextTrace()
+	c.out.u64(trace)
 	c.out.str(tenant)
 	resp, err := c.roundTripLocked()
 	if err == nil {
 		var d dec
 		d.b = resp
-		if st := d.u8(); st != stOK {
+		if rt := d.u64(); d.err != nil || rt != trace {
+			err = fmt.Errorf("server: attach response trace mismatch")
+		} else if st := d.u8(); st != stOK {
 			err = errFor(st, d.str())
 		}
 	}
@@ -144,6 +148,14 @@ func (c *Client) call(op byte, build func(*enc), parse func(*dec) error) error {
 		return err
 	}
 	d := dec{b: resp}
+	if rt := d.u64(); d.err != nil || rt != trace {
+		// The reply stream is desynchronized (a reply for a request this
+		// call never made); there is no way to resynchronize a framed
+		// pipeline, so poison the connection.
+		c.closed = true
+		c.conn.Close()
+		return fmt.Errorf("server: response trace mismatch (got %#x, want %#x)", rt, trace)
+	}
 	st := d.u8()
 	if st != stOK && st != stEOF {
 		detail := ""

@@ -8,6 +8,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,10 +22,16 @@ import (
 // byte followed by a u64 trace ID — a client-assigned request identifier
 // propagated through the server's per-stage latency attribution and both
 // sides' slow-op logs, so one slow request can be matched end to end. A
-// response payload starts with a status byte (0 = OK, else an error code
-// from the table below). Sessions are synchronous: one request, one
-// response, in order, per connection. Concurrency comes from
-// connections, which are cheap — the load generator opens thousands.
+// response payload starts with the echoed u64 trace ID followed by a
+// status byte (0 = OK, else an error code from the table below).
+//
+// Sessions are pipelined: a client may have many requests in flight on
+// one connection, and responses may arrive in any order — the echoed
+// trace ID is the correlator. The synchronous client path still sends
+// one request at a time and asserts the echo; the Batch API exploits the
+// pipeline (client.go/batch.go). The server bounds in-flight requests
+// per session with a window; connections remain cheap, so large-scale
+// concurrency still comes from connections.
 const (
 	opAttach byte = iota + 1
 	opOpen
@@ -109,7 +116,7 @@ const (
 	stUnmounted
 	stEOF // ReadAt reached end of file (data may accompany it)
 	stBadHandle
-	stNoTenant    // op before a successful Attach
+	stNoTenant // op before a successful Attach
 	stUnknownTenant
 	stQuota // tenant over its byte quota
 	stOther // unmodelled error; detail string follows
@@ -166,10 +173,14 @@ func errFor(code byte, detail string) error {
 
 // --- frame I/O ---
 
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+// writeFrame emits the length prefix byte-wise so the header never
+// escapes to the heap — frame encode is allocation-free (tested).
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	n := uint32(len(payload))
+	w.WriteByte(byte(n >> 24))
+	w.WriteByte(byte(n >> 16))
+	w.WriteByte(byte(n >> 8))
+	if err := w.WriteByte(byte(n)); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
@@ -203,7 +214,7 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 // enc appends big-endian fields to a reusable buffer.
 type enc struct{ b []byte }
 
-func (e *enc) u8(v byte)   { e.b = append(e.b, v) }
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
 func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
 func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
 
@@ -217,6 +228,20 @@ func (e *enc) str(s string) {
 func (e *enc) bytes(p []byte) {
 	e.u32(uint32(len(p)))
 	e.b = append(e.b, p...)
+}
+
+// grow extends the buffer by n uninitialized bytes and returns the new
+// region, so payloads (read data) can be produced in place instead of
+// staged through a scratch buffer and copied.
+func (e *enc) grow(n int) []byte {
+	l := len(e.b)
+	if cap(e.b)-l < n {
+		nb := make([]byte, l, l+n)
+		copy(nb, e.b)
+		e.b = nb
+	}
+	e.b = e.b[: l+n : cap(e.b)]
+	return e.b[l:]
 }
 
 var errTruncated = errors.New("server: truncated message")

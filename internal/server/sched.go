@@ -38,6 +38,14 @@ import (
 // execute at once, however many sessions are connected. That bound is
 // what makes fairness meaningful — contention is resolved by the virtual
 // clocks, not by goroutine-scheduler luck.
+//
+// With pipelined sessions a backlogged tenant queue usually holds many
+// requests; a worker drains up to `batch` of them in one dispatch and
+// brackets the run in a PersistScope (when configured), so the batch's
+// trailing device fences coalesce into one ordering point. The whole
+// batch's measured service time settles against the tenant's clock, so
+// batching changes the grain of fairness (bounded by batch × quantum),
+// never its ratios.
 type sched struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -51,6 +59,34 @@ type sched struct {
 	vtime  int64
 	closed bool
 	wg     sync.WaitGroup
+	// batch bounds how many requests one worker drains from a single
+	// tenant queue per dispatch.
+	batch int
+	// newScope, when set, opens a persist scope around every multi-op
+	// dispatch batch (server.Config.BatchFences).
+	newScope func() PersistScope
+}
+
+// PersistScope brackets a dispatch batch for fence coalescing. The
+// concrete implementation is nvmm.FenceScope; the indirection keeps the
+// server ignorant of the device (baselines and tests run without one).
+type PersistScope interface {
+	// OpBoundary marks the seam between two independent ops.
+	OpBoundary()
+	// Close issues the batch's single coalesced ordering point.
+	Close()
+}
+
+// task is one schedulable unit of work.
+type task interface {
+	// exec runs the operation body in a worker slot.
+	exec()
+	// finish completes the task: delivers the response or unblocks the
+	// submitter. It runs after the whole dispatch batch's persist scope
+	// has closed, so a reply released here is never sent before the
+	// batch's coalesced ordering fence. ran=false means the scheduler
+	// shut down before the task executed.
+	finish(ran bool)
 }
 
 // schedQuantum is the granularity of the fairness guarantee in
@@ -70,13 +106,20 @@ const (
 	idleGrace    = 50 * time.Millisecond
 )
 
+// defaultDispatchBatch is the per-dispatch drain bound when the server
+// config leaves it zero.
+const defaultDispatchBatch = 8
+
 type schedQueue struct {
 	weight int64
 	vrt    int64 // virtual runtime: service ns consumed / weight
 	// lastArrival is when the tenant last enqueued a request; the lag
 	// clamp applies only after idleGrace of silence.
 	lastArrival time.Time
-	reqs        []*schedReq
+	// head/tail is the intrusive FIFO of waiting requests: enqueue links
+	// the request itself, so admission allocates nothing.
+	head, tail *schedReq
+	depth      int
 	// servedNS is cumulative measured service time, the quantity the
 	// weights divide; exported per tenant via Server.Stats.
 	servedNS int64
@@ -86,18 +129,43 @@ type schedQueue struct {
 	estErrNS int64
 }
 
+func (q *schedQueue) push(r *schedReq) {
+	r.next = nil
+	if q.tail == nil {
+		q.head = r
+	} else {
+		q.tail.next = r
+	}
+	q.tail = r
+	q.depth++
+}
+
+func (q *schedQueue) pop() *schedReq {
+	r := q.head
+	if r == nil {
+		return nil
+	}
+	q.head = r.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	r.next = nil
+	q.depth--
+	return r
+}
+
+// schedReq is the intrusive scheduling envelope embedded in every task:
+// the cost estimate, the queue link, and the observability context.
 type schedReq struct {
 	cost int64 // estimated service nanoseconds, pre-charged at dispatch
 	q    *schedQueue
-	run  func()
-	done chan struct{}
-	// ran distinguishes "executed" from "abandoned at shutdown".
-	ran bool
+	next *schedReq
 	// enq is the admission time; the worker charges ctx's queue stage
 	// with enq→dispatch. ctx (optional) also gets attached to the worker
-	// goroutine around run, so deep layers can charge their stages.
+	// goroutine around exec, so deep layers can charge their stages.
 	enq time.Time
 	ctx *obs.OpCtx
+	t   task
 }
 
 // opCost estimates an operation's service time in nanoseconds from its
@@ -107,8 +175,8 @@ type schedReq struct {
 // estimate cannot buy extra service.
 func opCost(dataBytes int) int64 { return int64(1+dataBytes/4096) * 1000 }
 
-func newSched(weights map[string]int64, order []string, workers int) *sched {
-	s := &sched{queues: make(map[string]*schedQueue), order: order}
+func newSched(weights map[string]int64, order []string, workers, batch int, newScope func() PersistScope) *sched {
+	s := &sched{queues: make(map[string]*schedQueue), order: order, newScope: newScope}
 	s.cond = sync.NewCond(&s.mu)
 	for name, w := range weights {
 		if w <= 0 {
@@ -116,6 +184,10 @@ func newSched(weights map[string]int64, order []string, workers int) *sched {
 		}
 		s.queues[name] = &schedQueue{weight: w}
 	}
+	if batch <= 0 {
+		batch = defaultDispatchBatch
+	}
+	s.batch = batch
 	if workers <= 0 {
 		workers = 1
 	}
@@ -138,10 +210,10 @@ func (s *sched) enqueue(tenant string, r *schedReq) error {
 		return ErrUnknownTenant
 	}
 	now := time.Now()
-	if len(q.reqs) == 0 && now.Sub(q.lastArrival) > idleGrace {
+	if q.head == nil && now.Sub(q.lastArrival) > idleGrace {
 		base := s.vtime
 		for _, name := range s.order {
-			if o := s.queues[name]; o != q && len(o.reqs) > 0 && o.vrt < base {
+			if o := s.queues[name]; o != q && o.head != nil && o.vrt < base {
 				base = o.vrt
 			}
 		}
@@ -152,44 +224,57 @@ func (s *sched) enqueue(tenant string, r *schedReq) error {
 	q.lastArrival = now
 	r.enq = now
 	r.q = q
-	q.reqs = append(q.reqs, r)
+	q.push(r)
 	s.mu.Unlock()
 	s.cond.Signal()
 	return nil
 }
 
+// funcTask adapts a plain closure to the task interface for the blocking
+// Do path.
+type funcTask struct {
+	sr   schedReq
+	fn   func()
+	ran  bool
+	done chan struct{}
+}
+
+func (t *funcTask) exec() { t.ran = true; t.fn() }
+
+func (t *funcTask) finish(bool) { close(t.done) }
+
 // Do runs fn under the fair scheduler, blocking until it has executed.
-// Session loops call it once per request, so a session has at most one
-// request in the scheduler — queue depth is bounded by connection count.
 // ctx (optional) receives queue-wait and service-time stage charges and
 // is attached to the worker goroutine for the duration of fn.
 func (s *sched) Do(tenant string, cost int64, ctx *obs.OpCtx, fn func()) error {
-	r := &schedReq{cost: cost, run: fn, done: make(chan struct{}), ctx: ctx}
-	if err := s.enqueue(tenant, r); err != nil {
+	t := &funcTask{fn: fn, done: make(chan struct{})}
+	t.sr = schedReq{cost: cost, ctx: ctx, t: t}
+	if err := s.enqueue(tenant, &t.sr); err != nil {
 		return err
 	}
-	<-r.done
-	if !r.ran {
+	<-t.done
+	if !t.ran {
 		return vfs.ErrUnmounted
 	}
 	return nil
 }
 
-// next blocks for the next request to serve, nil when the scheduler is
-// closed. Policy: serve the backlogged queue with the smallest virtual
-// runtime (ties: order position), advancing its clock by the estimated
-// cost over weight.
-func (s *sched) next() *schedReq {
+// nextBatch blocks for work and drains up to max requests from the
+// backlogged queue with the smallest virtual runtime (ties: order
+// position), appending them to buf. Each dequeued request advances the
+// queue's clock by its estimated cost over weight. Returns buf unchanged
+// when the scheduler is closed.
+func (s *sched) nextBatch(buf []*schedReq, max int) []*schedReq {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.closed {
-			return nil
+			return buf
 		}
 		var best *schedQueue
 		for _, name := range s.order {
 			q := s.queues[name]
-			if len(q.reqs) == 0 {
+			if q.head == nil {
 				continue
 			}
 			if best == nil || q.vrt < best.vrt {
@@ -200,15 +285,30 @@ func (s *sched) next() *schedReq {
 			s.cond.Wait()
 			continue
 		}
-		r := best.reqs[0]
-		best.reqs = best.reqs[1:]
-		best.vrt += r.cost / best.weight
-		best.servedNS += r.cost
+		for len(buf) < max {
+			r := best.pop()
+			if r == nil {
+				break
+			}
+			best.vrt += r.cost / best.weight
+			best.servedNS += r.cost
+			buf = append(buf, r)
+		}
 		if best.vrt > s.vtime {
 			s.vtime = best.vrt
 		}
-		return r
+		return buf
 	}
+}
+
+// next is single-request dispatch: the policy nextBatch generalizes,
+// kept for determinism tests. nil when the scheduler is closed.
+func (s *sched) next() *schedReq {
+	buf := s.nextBatch(make([]*schedReq, 0, 1), 1)
+	if len(buf) == 0 {
+		return nil
+	}
+	return buf[0]
 }
 
 // settle charges q the difference between measured and estimated service
@@ -233,25 +333,44 @@ func (s *sched) settle(q *schedQueue, delta int64) {
 
 func (s *sched) worker() {
 	defer s.wg.Done()
+	buf := make([]*schedReq, 0, s.batch)
 	for {
-		r := s.next()
-		if r == nil {
+		buf = s.nextBatch(buf[:0], s.batch)
+		if len(buf) == 0 {
 			return
 		}
-		r.ran = true
-		if r.ctx != nil {
-			r.ctx.Charge(obs.StageQueue, time.Since(r.enq).Nanoseconds())
-			r.ctx.Attach()
+		// A multi-op batch coalesces its trailing persist fences: one
+		// scope around the whole drain, an op boundary between requests,
+		// one real fence at close. Every request's reply is released
+		// only after the scope closes, so no client ever sees an ack
+		// whose ordering point has not been issued.
+		var scope PersistScope
+		if len(buf) > 1 && s.newScope != nil {
+			scope = s.newScope()
 		}
-		start := time.Now()
-		r.run()
-		dur := time.Since(start).Nanoseconds()
-		if r.ctx != nil {
-			r.ctx.Detach()
-			r.ctx.Charge(obs.StageService, dur)
+		for i, r := range buf {
+			if i > 0 && scope != nil {
+				scope.OpBoundary()
+			}
+			if r.ctx != nil {
+				r.ctx.Charge(obs.StageQueue, time.Since(r.enq).Nanoseconds())
+				r.ctx.Attach()
+			}
+			start := time.Now()
+			r.t.exec()
+			dur := time.Since(start).Nanoseconds()
+			if r.ctx != nil {
+				r.ctx.Detach()
+				r.ctx.Charge(obs.StageService, dur)
+			}
+			s.settle(r.q, dur-r.cost)
 		}
-		s.settle(r.q, dur-r.cost)
-		close(r.done)
+		if scope != nil {
+			scope.Close()
+		}
+		for _, r := range buf {
+			r.t.finish(true)
+		}
 	}
 }
 
@@ -281,7 +400,7 @@ func (s *sched) stats() map[string]SchedStats {
 			lag = 0
 		}
 		out[name] = SchedStats{
-			QueueDepth:    len(q.reqs),
+			QueueDepth:    q.depth,
 			VruntimeLagNS: lag,
 			ServiceNS:     q.servedNS,
 			EstErrNS:      q.estErrNS,
@@ -291,8 +410,7 @@ func (s *sched) stats() map[string]SchedStats {
 }
 
 // close stops the workers after draining nothing further; queued requests
-// are completed (their done channels closed) without running so blocked
-// sessions unwind.
+// are finished without running so blocked sessions unwind.
 func (s *sched) close() {
 	s.mu.Lock()
 	if s.closed {
@@ -302,13 +420,14 @@ func (s *sched) close() {
 	s.closed = true
 	var orphans []*schedReq
 	for _, q := range s.queues {
-		orphans = append(orphans, q.reqs...)
-		q.reqs = nil
+		for r := q.pop(); r != nil; r = q.pop() {
+			orphans = append(orphans, r)
+		}
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
 	s.wg.Wait()
 	for _, r := range orphans {
-		close(r.done)
+		r.t.finish(false)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -37,7 +38,25 @@ type Config struct {
 	// each (defaults 1s × 8).
 	MetricsWindow  time.Duration
 	MetricsWindows int
+	// SessionWindow bounds in-flight (pipelined) requests per session
+	// (default 256). A client exceeding it is simply not read from until
+	// replies drain — backpressure, not an error.
+	SessionWindow int
+	// DispatchBatch bounds how many queued requests one scheduler worker
+	// drains from a single tenant queue per dispatch (default 8). The
+	// whole batch's service time is charged to the tenant, so batching
+	// coarsens the fairness grain without changing the ratios.
+	DispatchBatch int
+	// BatchFences, when set, opens a persist scope around every multi-op
+	// dispatch batch so the batch's trailing device fences coalesce into
+	// one ordering point (wire it to nvmm's Device.EnterFenceScope).
+	// Replies are released only after the scope closes.
+	BatchFences func() PersistScope
 }
+
+// defaultSessionWindow is the per-session in-flight bound when the
+// config leaves SessionWindow zero.
+const defaultSessionWindow = 256
 
 // Server multiplexes framed-RPC sessions from many clients onto one
 // backing file system, with per-tenant namespace confinement, quota
@@ -48,6 +67,7 @@ type Server struct {
 	order   []string
 	sched   *sched
 	slow    *obs.SlowLog
+	window  int
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -69,6 +89,10 @@ func New(cfg Config) (*Server, error) {
 		fs:      cfg.FS,
 		tenants: make(map[string]*tenant),
 		conns:   make(map[net.Conn]struct{}),
+		window:  cfg.SessionWindow,
+	}
+	if s.window <= 0 {
+		s.window = defaultSessionWindow
 	}
 	if cfg.SlowOpThreshold > 0 {
 		w := cfg.SlowOpLog
@@ -101,7 +125,7 @@ func New(cfg Config) (*Server, error) {
 		s.tenants[name] = t
 		weights[name] = int64(tc.Weight)
 	}
-	s.sched = newSched(weights, s.order, cfg.Workers)
+	s.sched = newSched(weights, s.order, cfg.Workers, cfg.DispatchBatch, cfg.BatchFences)
 	return s, nil
 }
 
@@ -291,15 +315,84 @@ type handle struct {
 	flags int
 }
 
+// session is one connection's server-side state. The reader goroutine
+// (serveConn) decodes frames and admits requests to the scheduler; any
+// worker may execute them; the writer goroutine serializes completions
+// back onto the wire in completion order, which — with out-of-order
+// completion across the fair scheduler — is not arrival order. The
+// window (slots) bounds in-flight requests per session, so one
+// pipelining client cannot queue unbounded work.
 type session struct {
-	srv     *Server
-	ten     *tenant
+	srv  *Server
+	conn net.Conn
+	ten  *tenant
+	bw   *bufio.Writer
+
+	// hmu guards the handle table: with pipelining, several workers can
+	// execute this session's requests concurrently.
+	hmu     sync.Mutex
 	handles map[uint32]handle
 	nextID  uint32
-	// opctx is the request-scoped observability context, embedded so the
-	// per-request hot path allocates nothing: Reset on decode, charged
-	// through the scheduler and deep layers, read back after completion.
+
+	// completions carries finished requests to the writer goroutine;
+	// slots is the window semaphore (send = acquire, receive = release).
+	// Both are sized to the window, so a completion send never blocks:
+	// every in-flight request holds exactly one slot.
+	completions chan *request
+	slots       chan struct{}
+	// dead is set by the writer on a wire error; completions are then
+	// drained for accounting without writing. Only the writer touches it.
+	dead bool
+}
+
+// request is the pooled per-request envelope: decoded arguments, the
+// scheduler seat, the response buffer and the observability context. One
+// pool object cycles reader → scheduler → worker → writer → pool with
+// zero steady-state allocations.
+type request struct {
+	sr   schedReq
+	sess *session
+
+	op     byte
+	trace  uint64
+	lclass opClass
+	start  time.Time
+	ran    bool
+
+	// Decoded arguments (per-op subset).
+	id    uint32
+	flags int
+	n     int
+	off   int64
+	size  int64
+	path  string
+	path2 string
+	data  []byte // aliases buf; valid until the request is pooled
+
+	buf   []byte // reusable frame receive buffer
+	out   enc    // reusable response buffer
 	opctx obs.OpCtx
+}
+
+var reqPool = sync.Pool{New: func() any {
+	r := &request{}
+	r.sr.t = r
+	r.sr.ctx = &r.opctx
+	return r
+}}
+
+func getReq(sess *session) *request {
+	r := reqPool.Get().(*request)
+	r.sess = sess
+	return r
+}
+
+func putReq(r *request) {
+	r.sess = nil
+	r.data = nil
+	r.path, r.path2 = "", ""
+	r.ran = false
+	reqPool.Put(r)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -310,40 +403,214 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sess := &session{srv: s, handles: make(map[uint32]handle), nextID: 1}
-	defer sess.closeAll()
+	sess := &session{
+		srv:         s,
+		conn:        conn,
+		bw:          bufio.NewWriterSize(conn, 64<<10),
+		handles:     make(map[uint32]handle),
+		nextID:      1,
+		completions: make(chan *request, s.window),
+		slots:       make(chan struct{}, s.window),
+	}
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		sess.writeLoop()
+	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	var in []byte
-	var out enc
 	for {
-		payload, err := readFrame(br, in)
+		req := getReq(sess)
+		payload, err := readFrame(br, req.buf)
 		if err != nil {
-			return // EOF, reset, or protocol violation: the session is over
+			putReq(req)
+			break // EOF, reset, or protocol violation: the session is over
 		}
-		in = payload
+		req.buf = payload
+		sess.slots <- struct{}{} // window: blocks until a reply drains
+		sess.admit(req)
+	}
+	// Teardown: in-flight requests hold slots until the writer completes
+	// them, so holding every slot proves the pipeline is empty. Then the
+	// writer can stop and the handles can close.
+	for i := 0; i < cap(sess.slots); i++ {
+		sess.slots <- struct{}{}
+	}
+	close(sess.completions)
+	writerWG.Wait()
+	sess.closeAll()
+}
+
+// admit decodes one request frame and routes it: attach and malformed
+// frames answer inline; everything else is queued under the fair
+// scheduler as the session's tenant. The caller has acquired a window
+// slot; the request releases it when the writer completes it.
+func (sess *session) admit(req *request) {
+	d := dec{b: req.buf}
+	req.op = d.u8()
+	req.trace = d.u64()
+	if d.err != nil {
+		// Header too short to even carry a trace; echo zero.
+		sess.respondErr(req, vfs.ErrInvalid)
+		return
+	}
+	if req.op == opAttach {
+		name := d.str()
+		if d.err != nil {
+			sess.respondErr(req, vfs.ErrInvalid)
+			return
+		}
+		t := sess.srv.tenants[name]
+		if t == nil {
+			sess.respondErr(req, ErrUnknownTenant)
+			return
+		}
+		sess.ten = t
+		out := &req.out
 		out.b = out.b[:0]
-		sess.dispatch(payload, &out)
-		if err := writeFrame(bw, out.b); err != nil {
-			return
+		out.u64(req.trace)
+		out.u8(stOK)
+		sess.completions <- req
+		return
+	}
+	if sess.ten == nil {
+		sess.respondErr(req, ErrNoTenant)
+		return
+	}
+	if !req.parse(&d) {
+		sess.respondErr(req, vfs.ErrInvalid)
+		return
+	}
+	req.opctx.Reset(req.trace, obsClass(req.op))
+	req.start = time.Now()
+	if err := sess.srv.sched.enqueue(sess.ten.name, &req.sr); err != nil {
+		sess.respondErr(req, err)
+	}
+}
+
+// respondErr completes req inline with an error response (no scheduler
+// pass, no tenant accounting).
+func (sess *session) respondErr(req *request, err error) {
+	out := &req.out
+	out.b = out.b[:0]
+	out.u64(req.trace)
+	encodeErr(out, err)
+	sess.completions <- req
+}
+
+// parse decodes the per-op arguments into req and sets its scheduler
+// cost and latency class. False means a malformed request.
+func (req *request) parse(d *dec) bool {
+	req.sr.cost = 1
+	req.lclass = classMeta
+	switch req.op {
+	case opOpen:
+		req.flags = int(d.u32())
+		req.path = d.str()
+	case opCreate:
+		req.path = d.str()
+	case opClose, opFsync, opSize:
+		req.id = d.u32()
+	case opRead:
+		req.id = d.u32()
+		req.off = int64(d.u64())
+		req.n = int(d.u32())
+		if req.n < 0 || req.n > MaxIO {
+			return false
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		req.sr.cost = opCost(req.n)
+		req.lclass = classRead
+	case opWrite:
+		req.id = d.u32()
+		req.off = int64(d.u64())
+		req.data = d.bytes()
+		req.sr.cost = opCost(len(req.data))
+		req.lclass = classWrite
+	case opTruncate:
+		req.id = d.u32()
+		req.size = int64(d.u64())
+	case opMkdir, opRmdir, opUnlink, opStat, opReadDir:
+		req.path = d.str()
+	case opRename:
+		req.path = d.str()
+		req.path2 = d.str()
+	case opSync:
+	default:
+		return false
+	}
+	return d.err == nil
+}
+
+// writeLoop is the session's writer goroutine: it serializes completed
+// requests onto the wire, flushing only when the completion queue goes
+// empty so a burst of pipelined replies shares one syscall.
+func (sess *session) writeLoop() {
+	for req := range sess.completions {
+		if !sess.dead {
+			err := writeFrame(sess.bw, req.out.b)
+			if err == nil && len(sess.completions) == 0 {
+				err = sess.bw.Flush()
+			}
+			if err != nil {
+				// The client is gone; keep draining completions for
+				// accounting and slot release, but stop writing and
+				// unblock the reader.
+				sess.dead = true
+				sess.conn.Close()
+			}
+		}
+		sess.complete(req)
+	}
+}
+
+// complete records one executed request's accounting, returns it to the
+// pool and releases its window slot.
+func (sess *session) complete(req *request) {
+	if req.ran {
+		t := sess.ten
+		lat := time.Since(req.start).Nanoseconds()
+		t.record(req.lclass, lat, &req.opctx)
+		if sess.srv.slow.Exceeds(lat) {
+			sess.srv.slow.Record(obs.SlowOp{
+				Side:    "server",
+				Trace:   obs.TraceString(req.trace),
+				Tenant:  t.name,
+				Op:      opName(req.op),
+				TotalNS: lat,
+				Stages:  obs.StageMap(req.opctx.Breakdown()),
+			})
 		}
 	}
+	putReq(req)
+	<-sess.slots
+}
+
+// finish implements task: the scheduler hands the request to the writer
+// once its dispatch batch (and persist scope) is done. ran=false means
+// the scheduler shut down before exec; answer ErrUnmounted.
+func (req *request) finish(ran bool) {
+	if !ran {
+		out := &req.out
+		out.b = out.b[:0]
+		out.u64(req.trace)
+		encodeErr(out, vfs.ErrUnmounted)
+	}
+	req.sess.completions <- req
 }
 
 // closeAll closes every handle the session still holds — the server-side
 // half of the handle lifecycle: a dying connection leaks nothing.
 func (sess *session) closeAll() {
+	sess.hmu.Lock()
+	defer sess.hmu.Unlock()
 	for id, h := range sess.handles {
 		h.f.Close()
 		delete(sess.handles, id)
 	}
 }
 
-// fail encodes an error response.
-func fail(out *enc, err error) {
+// encodeErr appends an error status to a response.
+func encodeErr(out *enc, err error) {
 	code := codeFor(err)
 	out.u8(code)
 	if code == stOther {
@@ -369,73 +636,6 @@ func obsClass(op byte) obs.OpClass {
 	return obs.OpMeta
 }
 
-// dispatch decodes one request and produces one response. Attach runs
-// inline; every other op runs under the fair scheduler as the session's
-// tenant. Every request carries a u64 trace ID after the op byte; it
-// rides sess.opctx through the scheduler and the deep layers so the
-// response-side accounting can attribute the measured latency to stages.
-func (sess *session) dispatch(payload []byte, out *enc) {
-	d := dec{b: payload}
-	op := d.u8()
-	trace := d.u64()
-	if d.err != nil {
-		fail(out, vfs.ErrInvalid)
-		return
-	}
-	if op == opAttach {
-		name := d.str()
-		if d.err != nil {
-			fail(out, vfs.ErrInvalid)
-			return
-		}
-		t := sess.srv.tenants[name]
-		if t == nil {
-			fail(out, ErrUnknownTenant)
-			return
-		}
-		sess.ten = t
-		out.u8(stOK)
-		return
-	}
-	if sess.ten == nil {
-		fail(out, ErrNoTenant)
-		return
-	}
-	// Decode in the session goroutine; only the file-system work runs in
-	// a scheduler slot.
-	sess.opctx.Reset(trace, obsClass(op))
-	run, cost, class := sess.decode(op, &d)
-	if run == nil {
-		fail(out, vfs.ErrInvalid)
-		return
-	}
-	t := sess.ten
-	start := time.Now()
-	err := t.srvDo(sess.srv.sched, cost, &sess.opctx, run, out)
-	lat := time.Since(start).Nanoseconds()
-	if err != nil {
-		out.b = out.b[:0]
-		fail(out, err)
-		return
-	}
-	t.record(class, lat, &sess.opctx)
-	if sess.srv.slow.Exceeds(lat) {
-		sess.srv.slow.Record(obs.SlowOp{
-			Side:    "server",
-			Trace:   obs.TraceString(trace),
-			Tenant:  t.name,
-			Op:      opName(op),
-			TotalNS: lat,
-			Stages:  obs.StageMap(sess.opctx.Breakdown()),
-		})
-	}
-}
-
-// srvDo runs fn in a scheduler slot for tenant t.
-func (t *tenant) srvDo(s *sched, cost int64, ctx *obs.OpCtx, fn func(*enc), out *enc) error {
-	return s.Do(t.name, cost, ctx, func() { fn(out) })
-}
-
 type opClass int
 
 const (
@@ -444,301 +644,255 @@ const (
 	classWrite
 )
 
-// decode parses the request for op and returns the closure that executes
-// it and encodes the response, plus its scheduler cost and latency class.
-// A nil closure means a malformed request.
-func (sess *session) decode(op byte, d *dec) (func(*enc), int64, opClass) {
+// fail encodes an error response, preserving the trace echo.
+func (req *request) fail(err error) {
+	req.out.b = req.out.b[:8]
+	encodeErr(&req.out, err)
+}
+
+// exec implements task: it runs the decoded operation against the
+// tenant's view and encodes the response into req.out. It runs in a
+// scheduler worker; concurrent with other requests of the same session.
+func (req *request) exec() {
+	req.ran = true
+	sess := req.sess
 	t := sess.ten
 	view := t.view
-	switch op {
+	out := &req.out
+	out.b = out.b[:0]
+	out.u64(req.trace)
+	switch req.op {
 	case opOpen:
-		flags := int(d.u32())
-		path := d.str()
-		if d.err != nil {
-			return nil, 0, classMeta
+		f, err := view.Open(req.path, req.flags)
+		if err != nil {
+			req.fail(err)
+			return
 		}
-		return func(out *enc) {
-			f, err := view.Open(path, flags)
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			id := sess.put(f, flags)
-			out.u8(stOK)
-			out.u32(id)
-		}, 1, classMeta
+		out.u8(stOK)
+		out.u32(sess.put(f, req.flags))
 	case opCreate:
-		path := d.str()
-		if d.err != nil {
-			return nil, 0, classMeta
+		f, err := view.Create(req.path)
+		if err != nil {
+			req.fail(err)
+			return
 		}
-		return func(out *enc) {
-			f, err := view.Create(path)
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			id := sess.put(f, vfs.ORdwr)
-			out.u8(stOK)
-			out.u32(id)
-		}, 1, classMeta
+		out.u8(stOK)
+		out.u32(sess.put(f, vfs.ORdwr))
 	case opClose:
-		id := d.u32()
-		if d.err != nil {
-			return nil, 0, classMeta
+		h, ok := sess.take(req.id)
+		if !ok {
+			req.fail(ErrBadHandle)
+			return
 		}
-		return func(out *enc) {
-			h, ok := sess.handles[id]
-			if !ok {
-				fail(out, ErrBadHandle)
-				return
-			}
-			delete(sess.handles, id)
-			if err := h.f.Close(); err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-		}, 1, classMeta
+		if err := h.f.Close(); err != nil {
+			req.fail(err)
+			return
+		}
+		out.u8(stOK)
 	case opRead:
-		id := d.u32()
-		off := int64(d.u64())
-		n := int(d.u32())
-		if d.err != nil || n < 0 || n > MaxIO {
-			return nil, 0, classRead
+		h, ok := sess.get(req.id)
+		if !ok {
+			req.fail(ErrBadHandle)
+			return
 		}
-		return func(out *enc) {
-			h, ok := sess.handles[id]
-			if !ok {
-				fail(out, ErrBadHandle)
-				return
-			}
-			buf := make([]byte, n)
-			got, err := h.f.ReadAt(buf, off)
-			switch err {
-			case nil:
-				out.u8(stOK)
-			case io.EOF:
-				out.u8(stEOF)
-			default:
-				fail(out, err)
-				return
-			}
-			out.bytes(buf[:got])
-			t.bytesR.Add(int64(got))
-		}, opCost(n), classRead
+		// Read directly into the response buffer: status and length are
+		// placeholders until the read lands, so the hot path stages no
+		// scratch copy and allocates nothing at steady state.
+		out.u8(0)
+		out.u32(0)
+		dst := out.grow(req.n)
+		got, err := h.f.ReadAt(dst, req.off)
+		switch err {
+		case nil:
+			out.b[8] = stOK
+		case io.EOF:
+			out.b[8] = stEOF
+		default:
+			out.b = out.b[:8]
+			encodeErr(out, err)
+			return
+		}
+		binary.BigEndian.PutUint32(out.b[9:13], uint32(got))
+		out.b = out.b[:13+got]
+		t.bytesR.Add(int64(got))
 	case opWrite:
-		id := d.u32()
-		off := int64(d.u64())
-		data := d.bytes()
-		if d.err != nil {
-			return nil, 0, classWrite
+		h, ok := sess.get(req.id)
+		if !ok {
+			req.fail(ErrBadHandle)
+			return
 		}
-		return func(out *enc) {
-			h, ok := sess.handles[id]
-			if !ok {
-				fail(out, ErrBadHandle)
-				return
-			}
-			// Quota: admit the estimated growth before writing, settle to
-			// the actual size delta after.
-			oldSize := h.f.Size()
-			end := off + int64(len(data))
-			if h.flags&vfs.OAppend != 0 {
-				end = oldSize + int64(len(data))
-			}
-			growth := end - oldSize
-			if growth < 0 {
-				growth = 0
-			}
-			qt := time.Now()
-			err := t.chargeGrow(growth)
-			sess.opctx.Charge(obs.StageQuota, time.Since(qt).Nanoseconds())
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			n, err := h.f.WriteAt(data, off)
-			t.settle(h.f.Size() - oldSize - growth)
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-			out.u32(uint32(n))
-			t.bytesW.Add(int64(n))
-		}, opCost(len(data)), classWrite
+		// Quota: admit the estimated growth before writing, settle to
+		// the actual size delta after.
+		oldSize := h.f.Size()
+		end := req.off + int64(len(req.data))
+		if h.flags&vfs.OAppend != 0 {
+			end = oldSize + int64(len(req.data))
+		}
+		growth := end - oldSize
+		if growth < 0 {
+			growth = 0
+		}
+		qt := time.Now()
+		err := t.chargeGrow(growth)
+		req.opctx.Charge(obs.StageQuota, time.Since(qt).Nanoseconds())
+		if err != nil {
+			req.fail(err)
+			return
+		}
+		n, err := h.f.WriteAt(req.data, req.off)
+		t.settle(h.f.Size() - oldSize - growth)
+		if err != nil {
+			req.fail(err)
+			return
+		}
+		out.u8(stOK)
+		out.u32(uint32(n))
+		t.bytesW.Add(int64(n))
 	case opFsync:
-		id := d.u32()
-		if d.err != nil {
-			return nil, 0, classMeta
+		h, ok := sess.get(req.id)
+		if !ok {
+			req.fail(ErrBadHandle)
+			return
 		}
-		return func(out *enc) {
-			h, ok := sess.handles[id]
-			if !ok {
-				fail(out, ErrBadHandle)
-				return
-			}
-			if err := h.f.Fsync(); err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-		}, 1, classMeta
+		if err := h.f.Fsync(); err != nil {
+			req.fail(err)
+			return
+		}
+		out.u8(stOK)
 	case opTruncate:
-		id := d.u32()
-		size := int64(d.u64())
-		if d.err != nil {
-			return nil, 0, classMeta
+		h, ok := sess.get(req.id)
+		if !ok {
+			req.fail(ErrBadHandle)
+			return
 		}
-		return func(out *enc) {
-			h, ok := sess.handles[id]
-			if !ok {
-				fail(out, ErrBadHandle)
-				return
-			}
-			oldSize := h.f.Size()
-			qt := time.Now()
-			cerr := t.chargeGrow(size - oldSize)
-			sess.opctx.Charge(obs.StageQuota, time.Since(qt).Nanoseconds())
-			if cerr != nil {
-				fail(out, cerr)
-				return
-			}
-			err := h.f.Truncate(size)
-			grow := size - oldSize
-			if grow < 0 {
-				grow = 0
-			}
-			t.settle(h.f.Size() - oldSize - grow)
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-		}, 1, classMeta
+		oldSize := h.f.Size()
+		qt := time.Now()
+		cerr := t.chargeGrow(req.size - oldSize)
+		req.opctx.Charge(obs.StageQuota, time.Since(qt).Nanoseconds())
+		if cerr != nil {
+			req.fail(cerr)
+			return
+		}
+		err := h.f.Truncate(req.size)
+		grow := req.size - oldSize
+		if grow < 0 {
+			grow = 0
+		}
+		t.settle(h.f.Size() - oldSize - grow)
+		if err != nil {
+			req.fail(err)
+			return
+		}
+		out.u8(stOK)
 	case opSize:
-		id := d.u32()
-		if d.err != nil {
-			return nil, 0, classMeta
+		h, ok := sess.get(req.id)
+		if !ok {
+			req.fail(ErrBadHandle)
+			return
 		}
-		return func(out *enc) {
-			h, ok := sess.handles[id]
-			if !ok {
-				fail(out, ErrBadHandle)
-				return
-			}
-			out.u8(stOK)
-			out.u64(uint64(h.f.Size()))
-		}, 1, classMeta
+		out.u8(stOK)
+		out.u64(uint64(h.f.Size()))
 	case opMkdir, opRmdir, opUnlink:
-		path := d.str()
-		if d.err != nil {
-			return nil, 0, classMeta
-		}
-		return func(out *enc) {
-			var err error
-			switch op {
-			case opMkdir:
-				err = view.Mkdir(path)
-			case opRmdir:
-				err = view.Rmdir(path)
-			case opUnlink:
-				var fi vfs.FileInfo
-				fi, err = view.Stat(path)
-				if err == nil {
-					if err = view.Unlink(path); err == nil {
-						t.settle(-fi.Size)
-					}
+		var err error
+		switch req.op {
+		case opMkdir:
+			err = view.Mkdir(req.path)
+		case opRmdir:
+			err = view.Rmdir(req.path)
+		case opUnlink:
+			var fi vfs.FileInfo
+			fi, err = view.Stat(req.path)
+			if err == nil {
+				if err = view.Unlink(req.path); err == nil {
+					t.settle(-fi.Size)
 				}
 			}
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-		}, 1, classMeta
+		}
+		if err != nil {
+			req.fail(err)
+			return
+		}
+		out.u8(stOK)
 	case opRename:
-		oldp := d.str()
-		newp := d.str()
-		if d.err != nil {
-			return nil, 0, classMeta
+		if err := view.Rename(req.path, req.path2); err != nil {
+			req.fail(err)
+			return
 		}
-		return func(out *enc) {
-			if err := view.Rename(oldp, newp); err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-		}, 1, classMeta
+		out.u8(stOK)
 	case opStat:
-		path := d.str()
-		if d.err != nil {
-			return nil, 0, classMeta
+		fi, err := view.Stat(req.path)
+		if err != nil {
+			req.fail(err)
+			return
 		}
-		return func(out *enc) {
-			fi, err := view.Stat(path)
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-			out.str(fi.Name)
-			out.u64(uint64(fi.Size))
-			if fi.IsDir {
+		out.u8(stOK)
+		out.str(fi.Name)
+		out.u64(uint64(fi.Size))
+		if fi.IsDir {
+			out.u8(1)
+		} else {
+			out.u8(0)
+		}
+		out.u64(uint64(fi.Blocks))
+	case opReadDir:
+		ents, err := view.ReadDir(req.path)
+		if err != nil {
+			req.fail(err)
+			return
+		}
+		total := 0
+		for _, e := range ents {
+			total += 3 + len(e.Name)
+		}
+		if total > MaxIO {
+			req.fail(fmt.Errorf("server: directory listing exceeds %d bytes", MaxIO))
+			return
+		}
+		out.u8(stOK)
+		out.u32(uint32(len(ents)))
+		for _, e := range ents {
+			out.str(e.Name)
+			if e.IsDir {
 				out.u8(1)
 			} else {
 				out.u8(0)
 			}
-			out.u64(uint64(fi.Blocks))
-		}, 1, classMeta
-	case opReadDir:
-		path := d.str()
-		if d.err != nil {
-			return nil, 0, classMeta
 		}
-		return func(out *enc) {
-			ents, err := view.ReadDir(path)
-			if err != nil {
-				fail(out, err)
-				return
-			}
-			total := 0
-			for _, e := range ents {
-				total += 3 + len(e.Name)
-			}
-			if total > MaxIO {
-				fail(out, fmt.Errorf("server: directory listing exceeds %d bytes", MaxIO))
-				return
-			}
-			out.u8(stOK)
-			out.u32(uint32(len(ents)))
-			for _, e := range ents {
-				out.str(e.Name)
-				if e.IsDir {
-					out.u8(1)
-				} else {
-					out.u8(0)
-				}
-			}
-		}, 1, classMeta
 	case opSync:
-		return func(out *enc) {
-			if err := view.Sync(); err != nil {
-				fail(out, err)
-				return
-			}
-			out.u8(stOK)
-		}, 1, classMeta
+		if err := view.Sync(); err != nil {
+			req.fail(err)
+			return
+		}
+		out.u8(stOK)
 	}
-	return nil, 0, classMeta
 }
 
 // put registers a handle and returns its session-local ID. IDs are never
 // reused within a session, so a stale client ID cannot alias a newer file.
 func (sess *session) put(f vfs.File, flags int) uint32 {
+	sess.hmu.Lock()
+	defer sess.hmu.Unlock()
 	id := sess.nextID
 	sess.nextID++
 	sess.handles[id] = handle{f: f, flags: flags}
 	return id
+}
+
+// get looks up a handle.
+func (sess *session) get(id uint32) (handle, bool) {
+	sess.hmu.Lock()
+	defer sess.hmu.Unlock()
+	h, ok := sess.handles[id]
+	return h, ok
+}
+
+// take removes and returns a handle (opClose).
+func (sess *session) take(id uint32) (handle, bool) {
+	sess.hmu.Lock()
+	defer sess.hmu.Unlock()
+	h, ok := sess.handles[id]
+	if ok {
+		delete(sess.handles, id)
+	}
+	return h, ok
 }

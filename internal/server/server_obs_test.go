@@ -96,8 +96,12 @@ func TestStageAttribution(t *testing.T) {
 	}
 	// Attribution must neither miss most of the latency nor exceed it by
 	// more than bookkeeping skew (stage charges and the latency clock are
-	// read at slightly different instants).
-	if ratio := float64(attributed) / float64(measured); ratio < 0.5 || ratio > 1.1 {
+	// read at slightly different instants). The floor is loose because
+	// StageFlush charges analytic device time when no collector is
+	// attached: the emulation's wall overshoot (spin-wait quantization,
+	// preemption on small hosts) is real latency but lands in
+	// unattributed service, not flush.
+	if ratio := float64(attributed) / float64(measured); ratio < 0.35 || ratio > 1.1 {
 		t.Errorf("attributed/measured = %.2f (attributed %d, measured %d, stages %v)",
 			ratio, attributed, measured, ts.StageNS)
 	}

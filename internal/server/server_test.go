@@ -55,6 +55,15 @@ func twoTenants() map[string]TenantConfig {
 	}
 }
 
+// schedTask wraps a closure in the scheduler's task envelope for the
+// deterministic unit tests below (no workers; dispatch by direct next()
+// calls, execution by r.t.exec()).
+func schedTask(cost int64, fn func()) *schedReq {
+	ft := &funcTask{fn: fn, done: make(chan struct{})}
+	ft.sr = schedReq{cost: cost, t: ft}
+	return &ft.sr
+}
+
 // TestSchedulerWeights drives the credit scheduler deterministically —
 // no workers, direct next() calls — and checks that backlogged tenants
 // are served in weight proportion.
@@ -73,9 +82,9 @@ func TestSchedulerWeights(t *testing.T) {
 	served := map[string]int{}
 	for _, name := range s.order {
 		name := name
+		q := s.queues[name]
 		for i := 0; i < 64; i++ {
-			s.queues[name].reqs = append(s.queues[name].reqs,
-				&schedReq{cost: reqCost, run: func() { served[name]++ }, done: make(chan struct{})})
+			q.push(schedTask(reqCost, func() { served[name]++ }))
 		}
 	}
 	// Serve exactly one replenish cycle's worth of requests. No workers
@@ -86,11 +95,55 @@ func TestSchedulerWeights(t *testing.T) {
 		if r == nil {
 			t.Fatal("scheduler returned nil with backlog")
 		}
-		r.run()
+		r.t.exec()
 	}
 	if served["big"] != 48 || served["small"] != 16 {
 		t.Fatalf("served big=%d small=%d, want 48 and 16",
 			served["big"], served["small"])
+	}
+}
+
+// TestSchedulerBatchDrain checks batched dispatch: one nextBatch call
+// drains up to the cap from the min-vrt queue only, pre-charging each
+// request, so a batch is a contiguous single-tenant run.
+func TestSchedulerBatchDrain(t *testing.T) {
+	s := &sched{
+		queues: map[string]*schedQueue{
+			"a": {weight: 1},
+			"b": {weight: 1},
+		},
+		order: []string{"a", "b"},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < 12; i++ {
+		for _, name := range s.order {
+			q := s.queues[name]
+			r := schedTask(schedQuantum, func() {})
+			r.q = q
+			q.push(r)
+		}
+	}
+	buf := s.nextBatch(nil, 8)
+	if len(buf) != 8 {
+		t.Fatalf("batch drained %d, want 8", len(buf))
+	}
+	for i, r := range buf {
+		if r.q != s.queues["a"] {
+			t.Fatalf("batch element %d from wrong queue", i)
+		}
+	}
+	if got := s.queues["a"].vrt; got != 8*schedQuantum {
+		t.Fatalf("pre-charged vrt = %d, want %d", got, 8*schedQuantum)
+	}
+	// Having pre-charged 8 quanta, tenant a is now behind b: the next
+	// batch must come from b, and a short queue yields a short batch.
+	buf = s.nextBatch(buf[:0], 8)
+	if len(buf) != 8 || buf[0].q != s.queues["b"] {
+		t.Fatalf("second batch len=%d from a=%v", len(buf), buf[0].q == s.queues["a"])
+	}
+	buf = s.nextBatch(buf[:0], 8)
+	if len(buf) != 4 || buf[0].q != s.queues["a"] {
+		t.Fatalf("third batch len=%d, want the 4 left in a", len(buf))
 	}
 }
 
@@ -127,9 +180,8 @@ func TestSchedulerSettle(t *testing.T) {
 	}
 	// With both backlogged, the tenant that has consumed less weighted
 	// service is served first regardless of arrival order.
-	nop := func() {}
-	s.enqueue("heavy", &schedReq{cost: 1, run: nop, done: make(chan struct{})})
-	s.enqueue("light", &schedReq{cost: 1, run: nop, done: make(chan struct{})})
+	s.enqueue("heavy", schedTask(1, func() {}))
+	s.enqueue("light", schedTask(1, func() {}))
 	if r := s.next(); r.q != light {
 		t.Fatal("scheduler served the overdrawn tenant before the lagging one")
 	}
@@ -144,7 +196,7 @@ func TestSchedulerLagClamp(t *testing.T) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.vtime = 100 * schedQuantum // frontier advanced while t was idle
-	if err := s.enqueue("t", &schedReq{cost: 1, run: func() {}, done: make(chan struct{})}); err != nil {
+	if err := s.enqueue("t", schedTask(1, func() {})); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := s.queues["t"].vrt, 100*schedQuantum-lagWindow; got != want {

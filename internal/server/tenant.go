@@ -25,10 +25,10 @@ type TenantConfig struct {
 
 // tenant is the server-side state of one tenant.
 type tenant struct {
-	name  string
-	view  vfs.FileSystem // Sub-rooted at cfg.Root
-	cfg   TenantConfig
-	used  atomic.Int64 // approximate logical bytes
+	name string
+	view vfs.FileSystem // Sub-rooted at cfg.Root
+	cfg  TenantConfig
+	used atomic.Int64 // approximate logical bytes
 	// rejects counts quota rejections.
 	rejects atomic.Int64
 	ops     atomic.Int64

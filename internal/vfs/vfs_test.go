@@ -104,16 +104,16 @@ type recordFS struct {
 
 func (r *recordFS) note(p string) { r.paths = append(r.paths, p) }
 
-func (r *recordFS) Create(p string) (File, error)       { r.note(p); return nil, nil }
-func (r *recordFS) Open(p string, f int) (File, error)  { r.note(p); return nil, nil }
-func (r *recordFS) Mkdir(p string) error                { r.note(p); return nil }
-func (r *recordFS) Rmdir(p string) error                { r.note(p); return nil }
-func (r *recordFS) Unlink(p string) error               { r.note(p); return nil }
-func (r *recordFS) Rename(o, n string) error            { r.note(o); r.note(n); return nil }
-func (r *recordFS) Stat(p string) (FileInfo, error)     { r.note(p); return FileInfo{IsDir: true}, nil }
+func (r *recordFS) Create(p string) (File, error)        { r.note(p); return nil, nil }
+func (r *recordFS) Open(p string, f int) (File, error)   { r.note(p); return nil, nil }
+func (r *recordFS) Mkdir(p string) error                 { r.note(p); return nil }
+func (r *recordFS) Rmdir(p string) error                 { r.note(p); return nil }
+func (r *recordFS) Unlink(p string) error                { r.note(p); return nil }
+func (r *recordFS) Rename(o, n string) error             { r.note(o); r.note(n); return nil }
+func (r *recordFS) Stat(p string) (FileInfo, error)      { r.note(p); return FileInfo{IsDir: true}, nil }
 func (r *recordFS) ReadDir(p string) ([]DirEntry, error) { r.note(p); return nil, nil }
-func (r *recordFS) Sync() error                         { return nil }
-func (r *recordFS) Unmount() error                      { return nil }
+func (r *recordFS) Sync() error                          { return nil }
+func (r *recordFS) Unmount() error                       { return nil }
 
 func TestSubResolvesUnderRoot(t *testing.T) {
 	inner := &recordFS{}
