@@ -105,8 +105,9 @@ func main() {
 		"tenants":       harness.FigureTenants,
 		"obsoverhead":   harness.FigureObsOverhead,
 		"batch":         harness.FigureBatch,
+		"chaostraffic":  harness.FigureChaosTraffic,
 	}
-	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants", "obsoverhead", "batch"}
+	order := []string{"1", "2", "6", "7", "8", "9", "10", "11", "12", "13", "pool", "metascale", "latency", "amplification", "tenants", "obsoverhead", "batch", "chaostraffic"}
 
 	if *figFlag == "list" {
 		fmt.Println("available figures:", order)
@@ -118,6 +119,7 @@ func main() {
 		fmt.Println("'tenants' is the multi-tenant server fairness report (not a paper figure)")
 		fmt.Println("'obsoverhead' is the observability on/off throughput gate (not a paper figure)")
 		fmt.Println("'batch' is the pipelined-submission throughput sweep with its 2x speedup gate (not a paper figure)")
+		fmt.Println("'chaostraffic' is the crash-under-load flight-forensics report with its zero-violation gate (not a paper figure)")
 		return
 	}
 

@@ -3,10 +3,18 @@
 // crash point with the nvmm fault plane armed, materializes several
 // torn-cacheline images per point (seed 0 always drops every pending
 // line), remounts each through journal recovery, and verifies both the
-// metadata checker and the application-level oracle.
+// metadata checker and the application-level oracle — plus, with the
+// flight recorder on (default), the flight-forensics invariants: the
+// recovered ring's record suffix must match the recorded op schedule.
 //
 //	$ go run ./cmd/hinfs-crash -workload varmail -points 500 -perms 3
+//	$ go run ./cmd/hinfs-crash -workload traffic -points 20
 //	$ go run ./cmd/hinfs-crash -selftest
+//	$ go run ./cmd/hinfs-crash -forensics -from 731 -to 731
+//
+// Every violation prints a repro line whose -from/-to pin the crash
+// window to the single failing persist event — paste it back to re-run
+// just that case (or add -forensics to dump the recovered flight ring).
 //
 // Exit status: 0 = exploration clean (or self-test passed), 1 =
 // consistency violations found (or self-test failed to find the seeded
@@ -25,19 +33,26 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		wl       = flag.String("workload", "varmail", "personality: varmail, append or batchfence")
-		ops      = flag.Int("ops", 120, "workload operations per run")
-		points   = flag.Int("points", 48, "crash points to explore")
-		perms    = flag.Int("perms", 3, "torn-cacheline permutations per point (first is always drop-all)")
-		seed     = flag.Uint64("seed", 1, "exploration seed (same seed, same report)")
-		from     = flag.Int64("from", 0, "restrict crash window to persist events >= this (0 = start of workload)")
-		to       = flag.Int64("to", 0, "restrict crash window to persist events <= this (0 = end of run)")
-		device   = flag.Int64("device", 24, "device size (MiB)")
-		buffer   = flag.Int("buffer", 512, "DRAM buffer (4 KiB blocks)")
-		verbose  = flag.Bool("v", false, "log every crash case to stderr")
-		selftest = flag.Bool("selftest", false, "verify the explorer detects the deliberately seeded §4.1 ordering bug")
+		wl        = flag.String("workload", "varmail", "personality: varmail, append, batchfence or traffic (chaos under multi-tenant server load)")
+		ops       = flag.Int("ops", 120, "workload operations per run (deterministic workloads)")
+		points    = flag.Int("points", 48, "crash points to explore")
+		perms     = flag.Int("perms", 3, "torn-cacheline permutations per point (first is always drop-all)")
+		seed      = flag.Uint64("seed", 1, "exploration seed (same seed, same report)")
+		from      = flag.Int64("from", 0, "restrict crash window to persist events >= this (0 = start of workload)")
+		to        = flag.Int64("to", 0, "restrict crash window to persist events <= this (0 = end of run)")
+		device    = flag.Int64("device", 24, "device size (MiB)")
+		buffer    = flag.Int("buffer", 512, "DRAM buffer (4 KiB blocks)")
+		clients   = flag.Int("clients", 2, "clients per tenant (traffic workload)")
+		flight    = flag.Bool("flight", true, "record a flight ring in the image and verify the flight-* invariants")
+		forensics = flag.Bool("forensics", false, "dump the recovered flight ring as JSON lines (violating cases; with a clean report, the end-of-run image)")
+		verbose   = flag.Bool("v", false, "log every crash case to stderr")
+		selftest  = flag.Bool("selftest", false, "verify the explorer detects the deliberately seeded §4.1 ordering bug")
 	)
 	flag.Parse()
+
+	if *wl == "traffic" {
+		return runTraffic(*points, *perms, *seed, *clients, *device<<20, *buffer, *verbose)
+	}
 
 	cfg := crashtest.Config{
 		Workload:   *wl,
@@ -50,6 +65,7 @@ func run() int {
 		DeviceSize: *device << 20,
 
 		BufferBlocks: *buffer,
+		Flight:       *flight,
 	}
 	if *verbose {
 		cfg.Log = os.Stderr
@@ -64,7 +80,82 @@ func run() int {
 		return 2
 	}
 	fmt.Println(rep.Summary())
-	return printViolations(rep)
+	code := printViolations(rep.Violations, rep.Suppressed, reproPrefix(cfg))
+	if *forensics {
+		if ferr := dumpForensics(cfg, rep); ferr != nil {
+			fmt.Fprintln(os.Stderr, "hinfs-crash: forensics:", ferr)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}
+	return code
+}
+
+// reproPrefix renders the invocation that reproduces a violation once
+// -from/-to pin the event; printViolations appends those per violation.
+func reproPrefix(cfg crashtest.Config) string {
+	s := fmt.Sprintf("hinfs-crash -workload %s -ops %d -seed %d -perms %d",
+		cfg.Workload, cfg.Ops, cfg.Seed, cfg.Perms)
+	if !cfg.Flight {
+		s += " -flight=false"
+	}
+	return s
+}
+
+// dumpForensics writes the recovered flight ring for up to three
+// distinct violating cases (or, with a clean report, for a drop-all
+// crash at the last persist event) as JSON lines on stdout.
+func dumpForensics(cfg crashtest.Config, rep *crashtest.Report) error {
+	type c struct {
+		ev   int64
+		seed uint64
+	}
+	var cases []c
+	seen := map[c]bool{}
+	for _, v := range rep.Violations {
+		k := c{v.Event, v.Seed}
+		if v.Event > 0 && !seen[k] {
+			seen[k] = true
+			cases = append(cases, k)
+		}
+		if len(cases) == 3 {
+			break
+		}
+	}
+	if len(cases) == 0 {
+		cases = append(cases, c{rep.TotalEvents, 0})
+	}
+	for _, k := range cases {
+		fmt.Printf("forensics: flight ring recovered from crash at event %d, torn seed %#x\n", k.ev, k.seed)
+		if err := crashtest.Forensics(cfg, k.ev, k.seed, os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runTraffic(points, perms int, seed uint64, clients int, device int64, buffer int, verbose bool) int {
+	cfg := crashtest.TrafficConfig{
+		Points:           points,
+		Perms:            perms,
+		Seed:             seed,
+		ClientsPerTenant: clients,
+		DeviceSize:       device,
+		BufferBlocks:     buffer,
+	}
+	if verbose {
+		cfg.Log = os.Stderr
+	}
+	rep, err := crashtest.ExploreTraffic(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hinfs-crash:", err)
+		return 2
+	}
+	fmt.Println(rep.Summary())
+	// Traffic runs are not deterministic; the violation lines identify
+	// the case but there is no replayable -from/-to repro.
+	return printViolations(rep.Violations, rep.Suppressed, "")
 }
 
 // runSelftest proves the explorer has teeth: stock HiNFS must survive
@@ -83,7 +174,7 @@ func runSelftest(cfg crashtest.Config) int {
 		return 2
 	}
 	fmt.Println("  " + rep.Summary())
-	if code := printViolations(rep); code != 0 {
+	if code := printViolations(rep.Violations, rep.Suppressed, reproPrefix(cfg)); code != 0 {
 		fmt.Fprintln(os.Stderr, "hinfs-crash: selftest: stock HiNFS must explore clean")
 		return code
 	}
@@ -104,16 +195,19 @@ func runSelftest(cfg crashtest.Config) int {
 	return 0
 }
 
-func printViolations(rep *crashtest.Report) int {
+func printViolations(violations []crashtest.Violation, suppressed int, repro string) int {
 	const show = 20
-	for i, v := range rep.Violations {
+	for i, v := range violations {
 		if i == show {
-			fmt.Printf("... and %d more\n", len(rep.Violations)-show+rep.Suppressed)
+			fmt.Printf("... and %d more\n", len(violations)-show+suppressed)
 			break
 		}
 		fmt.Println("VIOLATION", v)
+		if repro != "" && v.Event > 0 {
+			fmt.Printf("  repro: %s -from %d -to %d\n", repro, v.Event, v.Event)
+		}
 	}
-	if len(rep.Violations) > 0 {
+	if len(violations) > 0 {
 		return 1
 	}
 	return 0

@@ -80,6 +80,7 @@ func run() int {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/obs, /debug/vars and /debug/pprof on this address")
 		statsIvl  = flag.Duration("stats-interval", 0, "dump the per-tenant stats table to stdout at this interval (0 = only at shutdown)")
 		slowOp    = flag.Duration("slow-op", 0, "log a JSON line to stderr for every request at or over this latency (0 = off)")
+		flightBlk = flag.Int64("flight", 32, "NVMM flight-recorder region size in 4 KiB blocks; one record per dispatched request, crash-survivable (0 = off; hinfs/pmfs only)")
 		tenants   = tenantFlags{}
 	)
 	flag.Var(tenants, "tenant", "tenant spec name:root:weight:quotaMiB (repeatable)")
@@ -97,6 +98,7 @@ func run() int {
 	inst, err := harness.NewInstance(harness.System(*system), harness.Config{
 		DeviceSize:   *device << 20,
 		WriteLatency: *latency,
+		FlightBlocks: *flightBlk,
 		// The debug endpoint implies collection: the instance's collector
 		// (op-class and decision-path histograms) backs /debug/obs.
 		Observe: *debugAddr != "",
@@ -105,12 +107,16 @@ func run() int {
 		return fail(err)
 	}
 	defer inst.Close()
+	if *flightBlk > 0 && inst.Flight == nil {
+		fmt.Fprintf(os.Stderr, "hinfs-server: %s persists no flight ring; recording disabled\n", *system)
+	}
 
 	srv, err := server.New(server.Config{
 		FS:              inst.FS,
 		Tenants:         tenants,
 		Workers:         *workers,
 		SlowOpThreshold: *slowOp,
+		Flight:          inst.Flight,
 	})
 	if err != nil {
 		return fail(err)
@@ -138,6 +144,10 @@ func run() int {
 		}
 		fmt.Printf("hinfs-server:   tenant %s root=%s weight=%d quota=%s\n",
 			name, tc.Root, tc.Weight, quota)
+	}
+	if inst.Flight != nil {
+		fmt.Printf("hinfs-server:   flight ring %d slots (%d blocks, crash-survivable)\n",
+			inst.Flight.Slots(), *flightBlk)
 	}
 
 	errc := make(chan error, 1)

@@ -11,7 +11,10 @@
 // Rates (ops/s, MB/s) and stage shares are computed from deltas between
 // consecutive scrapes; quantiles are the server's rotating-window gauges
 // and need no history. The first frame therefore shows cumulative stage
-// shares and no rates.
+// shares and no rates. The header reports the windows' coverage
+// ("quantiles over last 8s") from hinfs_window_coverage_ns, and a footer
+// reports the NVMM flight ring's append count when the server records
+// one.
 package main
 
 import (
@@ -196,7 +199,13 @@ func render(w io.Writer, url string, cur, prev scrape) {
 	if !prev.at.IsZero() {
 		dt = cur.at.Sub(prev.at).Seconds()
 	}
-	fmt.Fprintf(w, "hinfs-top  %s  %s\n\n", url, cur.at.Format("15:04:05"))
+	fmt.Fprintf(w, "hinfs-top  %s  %s", url, cur.at.Format("15:04:05"))
+	// Window coverage: how far back the rotating quantile windows reach,
+	// so the p50/p99 columns read as "over the last Ns", not "ever".
+	if cov, ok := cur.get("hinfs_window_coverage_ns"); ok && cov > 0 {
+		fmt.Fprintf(w, "  quantiles over last %.0fs", cov/1e9)
+	}
+	fmt.Fprint(w, "\n\n")
 	fmt.Fprintf(w, "%-10s %8s %8s %8s %6s", "tenant", "ops/s", "rMB/s", "wMB/s", "depth")
 	for _, st := range stageCols {
 		fmt.Fprintf(w, " %6s", st)
@@ -233,6 +242,10 @@ func render(w io.Writer, url string, cur, prev scrape) {
 	}
 	if slow, ok := cur.get("hinfs_slow_ops_total"); ok && slow > 0 {
 		fmt.Fprintf(w, "\nslow ops logged: %.0f (see server stderr for trace IDs)\n", slow)
+	}
+	if seq, ok := cur.get("hinfs_flight_seq"); ok {
+		slots, _ := cur.get("hinfs_flight_slots")
+		fmt.Fprintf(w, "\nflight ring: %.0f records appended (%.0f slots, crash-survivable)\n", seq, slots)
 	}
 }
 

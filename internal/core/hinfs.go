@@ -302,6 +302,9 @@ func (f *File) Size() int64 { return f.pf.Size() }
 // Ino returns the file's inode number.
 func (f *File) Ino() pmfs.Ino { return f.pf.Ino() }
 
+// InodeNumber implements vfs.InodeNumberer.
+func (f *File) InodeNumber() uint64 { return uint64(f.pf.Ino()) }
+
 // ReadAt implements vfs.File: a single copy to the user buffer, merged per
 // cacheline between DRAM and NVMM (§3.3.1).
 func (f *File) ReadAt(p []byte, off int64) (int, error) {

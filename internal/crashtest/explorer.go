@@ -47,6 +47,14 @@ type Config struct {
 	// ordering bug; the self-test uses it to prove the explorer detects
 	// real ordering violations.
 	UnsafeSkipOrderedCommit bool
+	// Flight formats a flight-recorder region into the image, appends one
+	// record per mutating op during the runs, and verifies the recovered
+	// record suffix against the recorded op schedule at every crash case
+	// (the "flight-*" invariant class): a surviving record must name an
+	// op that completed before the crash, every record written strictly
+	// before the crash must survive, and an fsynced size a surviving
+	// fsync record claims must be met by the recovered file.
+	Flight bool
 	// Log, when non-nil, receives a line per verified crash case and
 	// per violation.
 	Log io.Writer
@@ -80,14 +88,23 @@ func (cfg *Config) fill() {
 // inline-only writeback, a fake clock that never advances — the whole
 // persist-event schedule must be a pure function of the op stream.
 func (cfg *Config) fsOpts() core.Options {
+	var flightBlocks int64
+	if cfg.Flight {
+		flightBlocks = flightRegionBlocks
+	}
 	return core.Options{
 		BufferBlocks:            cfg.BufferBlocks,
 		Clock:                   clock.NewFake(time.Unix(0, 0)),
 		Buffer:                  buffer.Config{Shards: 1, WritebackThreads: -1},
-		PMFS:                    pmfs.Options{JournalBlocks: 512, MaxInodes: 2048},
+		PMFS:                    pmfs.Options{JournalBlocks: 512, MaxInodes: 2048, FlightBlocks: flightBlocks},
 		UnsafeSkipOrderedCommit: cfg.UnsafeSkipOrderedCommit,
 	}
 }
+
+// flightRegionBlocks sizes the explorer's flight ring: 32 blocks = 128 KB
+// ≈ 1023 slots, comfortably more records than any explorer run appends,
+// so the lost-record invariant never has to reason about lapping.
+const flightRegionBlocks = 32
 
 func (cfg *Config) newWorkload() (workload.Workload, error) {
 	switch cfg.Workload {
@@ -207,7 +224,7 @@ func (cfg *Config) runOnce(target int64, keep bool) (*runResult, error) {
 		return nil, err
 	}
 	defer fs.Abandon()
-	rec := &recorder{fs: fs, dev: dev, keep: keep}
+	rec := &recorder{fs: fs, dev: dev, keep: keep, flt: fs.Flight()}
 	w, err := cfg.newWorkload()
 	if err != nil {
 		return nil, err
@@ -359,6 +376,9 @@ func (cfg *Config) verifyCase(rep *Report, base *runResult, state *nvmm.CrashSta
 	for _, ov := range m.verify(fs) {
 		rep.add(Violation{Event: pt, Seed: seed, Invariant: ov.invariant,
 			Path: ov.path, Detail: ov.detail}, cfg.Log)
+	}
+	if cfg.Flight {
+		cfg.verifyFlight(rep, base, fs, dev, pt, seed)
 	}
 	if cfg.Log != nil {
 		fmt.Fprintf(cfg.Log, "point %d seed %#016x (%s, %d pending lines): rolled back %d, %d violations\n",

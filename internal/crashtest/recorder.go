@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"hinfs/internal/nvmm"
+	"hinfs/internal/obs/flight"
 	"hinfs/internal/vfs"
 )
 
@@ -63,6 +64,19 @@ type opRecord struct {
 	data    []byte
 	startEv int64
 	ev      int64
+	// Flight-recorder stamps (zero when the run records no flight ring):
+	// the sequence number the op's flight record was appended under, the
+	// canonical op code it carried, and the persist-event ordinal of the
+	// record's own WriteNT. The record is durable in a crash image iff
+	// the crash event is strictly greater than flightEv (WriteNT commits
+	// its lines right after its fault point); at exactly flightEv the
+	// record's two cachelines are pending — the torn-tail case.
+	flightSeq uint64
+	flightOp  uint8
+	flightEv  int64
+	// synced, for opFsync records, is the file size the completed fsync
+	// made durable — the floor the flight-forensics invariant asserts.
+	synced int64
 }
 
 // recorder wraps a FileSystem, logging every state-changing call with
@@ -75,12 +89,32 @@ type recorder struct {
 	fs   vfs.FileSystem
 	dev  *nvmm.Device
 	keep bool
+	// flt, when set, appends one flight record per mutating op — the
+	// persisted black box the chaos invariants cross-check after a crash.
+	flt *flight.Recorder
 
 	mu   sync.Mutex
 	recs []opRecord
 }
 
 func (r *recorder) events() int64 { return r.dev.PersistEvents() }
+
+// flightNote appends the flight record for one completed op and returns
+// its (seq, persist-event) stamps. It runs in BOTH record and replay
+// runs: the record's WriteNT is a persist event, so skipping it in
+// replays would desynchronize the two schedules the explorer compares.
+func (r *recorder) flightNote(op uint8, ino uint64, off int64, n int) (uint64, int64) {
+	if r.flt == nil {
+		return 0, 0
+	}
+	seq := r.flt.Record(&flight.Record{Ino: ino, Off: off, Len: uint32(n), Op: op})
+	// The record's NT store is the LAST persist event Record fired — but
+	// not necessarily the only one: under a fence-elision scope
+	// (batchfence) the store first materializes any pending elided
+	// fence, so counting events()+1 up front would stamp the record one
+	// event early and break the durability line verifyFlight draws.
+	return seq, r.events()
+}
 
 func (r *recorder) add(rec opRecord) {
 	if !r.keep {
@@ -98,8 +132,11 @@ func (r *recorder) Create(path string) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.add(opRecord{kind: opCreate, path: path, startEv: start, ev: r.events()})
-	return &recFile{r: r, f: f, path: path}, nil
+	ino := inoOf(f)
+	seq, fev := r.flightNote(flight.OpCreate, ino, 0, 0)
+	r.add(opRecord{kind: opCreate, path: path, startEv: start, ev: r.events(),
+		flightSeq: seq, flightOp: flight.OpCreate, flightEv: fev})
+	return &recFile{r: r, f: f, path: path, ino: ino}, nil
 }
 
 // Open implements vfs.FileSystem. An OCreate open of a missing path is
@@ -116,12 +153,17 @@ func (r *recorder) Open(path string, flags int) (vfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
+	ino := inoOf(f)
 	if creating {
-		r.add(opRecord{kind: opCreate, path: path, startEv: start, ev: r.events()})
+		seq, fev := r.flightNote(flight.OpCreate, ino, 0, 0)
+		r.add(opRecord{kind: opCreate, path: path, startEv: start, ev: r.events(),
+			flightSeq: seq, flightOp: flight.OpCreate, flightEv: fev})
 	} else if flags&vfs.OTrunc != 0 {
-		r.add(opRecord{kind: opUntrack, path: path, startEv: start, ev: r.events()})
+		seq, fev := r.flightNote(flight.OpTruncate, ino, 0, 0)
+		r.add(opRecord{kind: opUntrack, path: path, startEv: start, ev: r.events(),
+			flightSeq: seq, flightOp: flight.OpTruncate, flightEv: fev})
 	}
-	return &recFile{r: r, f: f, path: path, app: flags&vfs.OAppend != 0}, nil
+	return &recFile{r: r, f: f, path: path, ino: ino, app: flags&vfs.OAppend != 0}, nil
 }
 
 // Mkdir implements vfs.FileSystem.
@@ -129,7 +171,9 @@ func (r *recorder) Mkdir(path string) error {
 	start := r.events()
 	err := r.fs.Mkdir(path)
 	if err == nil {
-		r.add(opRecord{kind: opMkdir, path: path, startEv: start, ev: r.events()})
+		seq, fev := r.flightNote(flight.OpMkdir, 0, 0, 0)
+		r.add(opRecord{kind: opMkdir, path: path, startEv: start, ev: r.events(),
+			flightSeq: seq, flightOp: flight.OpMkdir, flightEv: fev})
 	}
 	return err
 }
@@ -139,7 +183,9 @@ func (r *recorder) Rmdir(path string) error {
 	start := r.events()
 	err := r.fs.Rmdir(path)
 	if err == nil {
-		r.add(opRecord{kind: opRmdir, path: path, startEv: start, ev: r.events()})
+		seq, fev := r.flightNote(flight.OpRmdir, 0, 0, 0)
+		r.add(opRecord{kind: opRmdir, path: path, startEv: start, ev: r.events(),
+			flightSeq: seq, flightOp: flight.OpRmdir, flightEv: fev})
 	}
 	return err
 }
@@ -149,7 +195,9 @@ func (r *recorder) Unlink(path string) error {
 	start := r.events()
 	err := r.fs.Unlink(path)
 	if err == nil {
-		r.add(opRecord{kind: opUnlink, path: path, startEv: start, ev: r.events()})
+		seq, fev := r.flightNote(flight.OpUnlink, 0, 0, 0)
+		r.add(opRecord{kind: opUnlink, path: path, startEv: start, ev: r.events(),
+			flightSeq: seq, flightOp: flight.OpUnlink, flightEv: fev})
 	}
 	return err
 }
@@ -160,8 +208,10 @@ func (r *recorder) Rename(oldpath, newpath string) error {
 	start := r.events()
 	err := r.fs.Rename(oldpath, newpath)
 	if err == nil {
+		seq, fev := r.flightNote(flight.OpRename, 0, 0, 0)
 		ev := r.events()
-		r.add(opRecord{kind: opUntrack, path: oldpath, startEv: start, ev: ev})
+		r.add(opRecord{kind: opUntrack, path: oldpath, startEv: start, ev: ev,
+			flightSeq: seq, flightOp: flight.OpRename, flightEv: fev})
 		r.add(opRecord{kind: opUntrack, path: newpath, startEv: start, ev: ev})
 	}
 	return err
@@ -186,7 +236,16 @@ type recFile struct {
 	r    *recorder
 	f    vfs.File
 	path string
+	ino  uint64
 	app  bool
+}
+
+// inoOf probes a handle for its inode number (vfs.InodeNumberer).
+func inoOf(f vfs.File) uint64 {
+	if n, ok := vfs.FileAs[vfs.InodeNumberer](f); ok {
+		return n.InodeNumber()
+	}
+	return 0
 }
 
 // ReadAt implements vfs.File.
@@ -198,14 +257,18 @@ func (f *recFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p
 func (f *recFile) WriteAt(p []byte, off int64) (int, error) {
 	start := f.r.events()
 	n, err := f.f.WriteAt(p, off)
-	if n > 0 && f.r.keep {
+	if n > 0 {
 		at := off
 		if f.app {
 			at = f.f.Size() - int64(n)
 		}
-		data := make([]byte, n)
-		copy(data, p[:n])
-		f.r.add(opRecord{kind: opWrite, path: f.path, off: at, data: data, startEv: start, ev: f.r.events()})
+		seq, fev := f.r.flightNote(flight.OpWrite, f.ino, at, n)
+		if f.r.keep {
+			data := make([]byte, n)
+			copy(data, p[:n])
+			f.r.add(opRecord{kind: opWrite, path: f.path, off: at, data: data, startEv: start, ev: f.r.events(),
+				flightSeq: seq, flightOp: flight.OpWrite, flightEv: fev})
+		}
 	}
 	return n, err
 }
@@ -215,7 +278,9 @@ func (f *recFile) Fsync() error {
 	start := f.r.events()
 	err := f.f.Fsync()
 	if err == nil {
-		f.r.add(opRecord{kind: opFsync, path: f.path, startEv: start, ev: f.r.events()})
+		seq, fev := f.r.flightNote(flight.OpFsync, f.ino, 0, 0)
+		f.r.add(opRecord{kind: opFsync, path: f.path, startEv: start, ev: f.r.events(),
+			flightSeq: seq, flightOp: flight.OpFsync, flightEv: fev, synced: f.f.Size()})
 	}
 	return err
 }
@@ -225,7 +290,9 @@ func (f *recFile) Truncate(size int64) error {
 	start := f.r.events()
 	err := f.f.Truncate(size)
 	if err == nil {
-		f.r.add(opRecord{kind: opUntrack, path: f.path, startEv: start, ev: f.r.events()})
+		seq, fev := f.r.flightNote(flight.OpTruncate, f.ino, size, 0)
+		f.r.add(opRecord{kind: opUntrack, path: f.path, startEv: start, ev: f.r.events(),
+			flightSeq: seq, flightOp: flight.OpTruncate, flightEv: fev})
 	}
 	return err
 }

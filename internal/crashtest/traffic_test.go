@@ -1,0 +1,54 @@
+package crashtest
+
+import "testing"
+
+// TestExploreTrafficStock: the chaos-under-traffic leg — the wire server
+// under concurrent multi-tenant load, crashed at sampled persist events
+// — recovers with zero violations, and the flight ring's surviving
+// suffix joins the client op schedules completely.
+func TestExploreTrafficStock(t *testing.T) {
+	points := 8
+	if testing.Short() {
+		points = 3
+	}
+	rep, err := ExploreTraffic(TrafficConfig{Points: points, Perms: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if rep.Recovered != rep.Cases {
+		t.Fatalf("only %d of %d cases remounted", rep.Recovered, rep.Cases)
+	}
+	if len(rep.Violations) != 0 || rep.Suppressed != 0 {
+		for i, v := range rep.Violations {
+			if i == 10 {
+				break
+			}
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d violations under traffic (%s)", len(rep.Violations)+rep.Suppressed, rep.Summary())
+	}
+	if rep.RecordsDecoded == 0 {
+		t.Fatal("no flight records decoded from any crash image — recorder not wired")
+	}
+	if rep.RecordsJoined != rep.RecordsDecoded {
+		t.Fatalf("only %d of %d decoded records joined an issued op", rep.RecordsJoined, rep.RecordsDecoded)
+	}
+	for _, tn := range trafficTenants {
+		if d := rep.Tenants[tn.name]; d == nil || d.OpsIssued == 0 {
+			t.Fatalf("tenant %s issued no ops", tn.name)
+		}
+	}
+}
+
+// TestPatByteDeterministic: the content pattern is a pure function — the
+// whole verification scheme rides on writer and verifier agreeing.
+func TestPatByteDeterministic(t *testing.T) {
+	s := pathSalt("/tenants/gold/c1.log")
+	if s == pathSalt("/tenants/bronze/c3.log") {
+		t.Fatal("distinct paths share a salt")
+	}
+	if patByte(s, 0) != patByte(s, 0) || patByte(s, 1) == patByte(s, 0) && patByte(s, 2) == patByte(s, 0) {
+		t.Fatal("pattern degenerate")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race && !msan && !asan
+
+package goid
+
+// checkptrActive: no pointer-checking instrumentation in this build;
+// the init-time offset scan and the two-load fast path are safe to run.
+const checkptrActive = false

@@ -1,0 +1,11 @@
+//go:build race || msan || asan
+
+package goid
+
+// checkptrActive: this build carries the runtime's checkptr
+// instrumentation, which (correctly) rejects dereferencing raw g memory
+// — the g struct is not an ordinary Go-heap object, so the offset scan
+// in init would abort the process with "found bad pointer in Go heap".
+// The package keeps the portable runtime.Stack parse instead; sanitizer
+// builds trade speed for checking everywhere, this is no different.
+const checkptrActive = true

@@ -39,6 +39,9 @@ var goidOffset = -1
 const scanWords = 64
 
 func init() {
+	if checkptrActive {
+		return // sanitizer build: raw g derefs would trip checkptr
+	}
 	if getg() == nil {
 		return // no assembly shim for this architecture
 	}

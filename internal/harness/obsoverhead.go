@@ -3,22 +3,32 @@ package harness
 import (
 	"fmt"
 
+	"hinfs/internal/obs/flight"
 	"hinfs/internal/workload"
 )
 
 // obsOverheadBudget is the acceptable throughput cost of turning the
 // observability stack on: collector histograms at the VFS boundary,
 // decision-path histograms, device flush timing, and the goroutine-local
-// OpCtx lookups on the deep paths. FigureObsOverhead fails the run when
-// the measured overhead exceeds it, which is what makes the CI leg a
-// regression gate rather than a report.
+// OpCtx lookups on the deep paths. The same budget covers the NVMM
+// flight recorder stacked on top (one unfenced 128-byte NT append per
+// op). FigureObsOverhead fails the run when any measured leg exceeds
+// it, which is what makes the CI leg a regression gate rather than a
+// report.
 const obsOverheadBudget = 0.05
 
+// obsOverheadLegs are the measured configurations: baseline, collector
+// on, and collector plus the NVMM flight recorder (flight.WrapFS over
+// the instance FS — the library recording path; the server path has the
+// same per-op cost, one Recorder.Record call).
+var obsOverheadLegs = []string{"off", "on", "on+flight"}
+
 // FigureObsOverhead measures the cost of observability: the same fio
-// workload on HiNFS with the collector off and on, interleaved over
-// several rounds with best-of taken per leg (interleaving cancels
-// machine drift; best-of cancels one-off scheduling noise). The workload
-// is device-wait dominated, as real runs are, so the result reflects the
+// workload on HiNFS with the collector off, on, and on with the flight
+// recorder appending one NVMM record per op, interleaved over several
+// rounds with best-of taken per leg (interleaving cancels machine
+// drift; best-of cancels one-off scheduling noise). The workload is
+// device-wait dominated, as real runs are, so the result reflects the
 // instrumentation cost on the paths users actually run.
 func FigureObsOverhead(cfg Config, o Opts) (*Figure, error) {
 	cfg.Fill()
@@ -39,41 +49,64 @@ func FigureObsOverhead(cfg Config, o Opts) (*Figure, error) {
 	newWorkload := func() workload.Workload {
 		return &workload.Fio{IOSize: 4 << 10, FileSize: 4 << 20, ReadPercent: 50}
 	}
-	best := map[bool]float64{}
+	best := map[string]float64{}
 	for r := 0; r < rounds; r++ {
-		for _, observe := range []bool{false, true} {
+		for _, leg := range obsOverheadLegs {
 			c := cfg
-			c.Observe = observe
-			res, err := RunWorkload(HiNFS, c, newWorkload(), threads, ops)
+			c.Observe = leg != "off"
+			if leg == "on+flight" {
+				c.FlightBlocks = 32
+			}
+			inst, err := NewInstance(HiNFS, c)
 			if err != nil {
 				return nil, err
 			}
-			if res.OpsPerSec > best[observe] {
-				best[observe] = res.OpsPerSec
+			if leg == "on+flight" {
+				if inst.Flight == nil {
+					inst.Close()
+					return nil, fmt.Errorf("obsoverhead: FlightBlocks set but instance has no recorder")
+				}
+				inst.FS = flight.WrapFS(inst.FS, inst.Flight, "bench")
+			}
+			res, err := RunOn(inst, newWorkload(), threads, ops)
+			inst.Close()
+			if err != nil {
+				return nil, err
+			}
+			if res.OpsPerSec > best[leg] {
+				best[leg] = res.OpsPerSec
 			}
 		}
 	}
-	overhead := 0.0
-	if best[false] > 0 {
-		overhead = 1 - best[true]/best[false]
+	overhead := func(leg string) float64 {
+		if best["off"] <= 0 {
+			return 0
+		}
+		return 1 - best[leg]/best["off"]
 	}
 
 	fig := &Figure{Table: Table{
-		Title: "Observability overhead: identical fio load with the obs stack off vs on",
-		Note: fmt.Sprintf("HiNFS, 4KiB R/W 1:1, %d threads x %d ops, best of %d interleaved rounds; budget %.0f%%",
+		Title: "Observability overhead: identical fio load with the obs stack off, on, and on with the flight recorder",
+		Note: fmt.Sprintf("HiNFS, 4KiB R/W 1:1, %d threads x %d ops, best of %d interleaved rounds; budget %.0f%% per leg",
 			threads, ops, rounds, 100*obsOverheadBudget),
 		Header: []string{"obs", "ops/s", "overhead"},
 	}}
 	fig.Table.Rows = append(fig.Table.Rows,
-		[]string{"off", fmt.Sprintf("%.0f", best[false]), "-"},
-		[]string{"on", fmt.Sprintf("%.0f", best[true]), fmt.Sprintf("%.1f%%", 100*overhead)},
-	)
-	fig.put("off/opsps", best[false])
-	fig.put("on/opsps", best[true])
-	fig.put("overhead", overhead)
-	if overhead > obsOverheadBudget {
-		return fig, fmt.Errorf("obsoverhead: observability costs %.1f%% throughput, budget %.0f%%",
-			100*overhead, 100*obsOverheadBudget)
+		[]string{"off", fmt.Sprintf("%.0f", best["off"]), "-"})
+	for _, leg := range obsOverheadLegs[1:] {
+		fig.Table.Rows = append(fig.Table.Rows,
+			[]string{leg, fmt.Sprintf("%.0f", best[leg]), fmt.Sprintf("%.1f%%", 100*overhead(leg))})
+	}
+	fig.put("off/opsps", best["off"])
+	fig.put("on/opsps", best["on"])
+	fig.put("onflight/opsps", best["on+flight"])
+	fig.put("overhead", overhead("on"))
+	fig.put("overhead_flight", overhead("on+flight"))
+	for _, leg := range obsOverheadLegs[1:] {
+		if ov := overhead(leg); ov > obsOverheadBudget {
+			return fig, fmt.Errorf("obsoverhead: leg %q costs %.1f%% throughput, budget %.0f%%",
+				leg, 100*ov, 100*obsOverheadBudget)
+		}
 	}
 	return fig, nil
 }

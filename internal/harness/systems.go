@@ -15,6 +15,7 @@ import (
 	"hinfs/internal/extfs"
 	"hinfs/internal/nvmm"
 	"hinfs/internal/obs"
+	"hinfs/internal/obs/flight"
 	"hinfs/internal/pmfs"
 	"hinfs/internal/vfs"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// across goroutines even on machines with few cores; every figure
 	// reports ratios, which scaling preserves. Set 1 for real-time scale.
 	TimeScale float64
+	// FlightBlocks reserves an NVMM flight-recorder region of this many
+	// 4 KiB blocks at format time (0 = none). Applies to the HiNFS
+	// variants and PMFS; the recorder is exposed as Instance.Flight for
+	// wiring into a server front-end (server.Config.Flight).
+	FlightBlocks int64
 	// Observe attaches an obs.Collector to the instance: op-class
 	// latency histograms at the VFS boundary (all systems), decision-path
 	// histograms and spans inside HiNFS, and device flush latency. The
@@ -138,6 +144,9 @@ type Instance struct {
 	Ext *extfs.FS
 	// Obs is the instance's collector (nil unless Config.Observe).
 	Obs *obs.Collector
+	// Flight is the NVMM flight recorder (nil unless Config.FlightBlocks
+	// was set and the system persists one — HiNFS variants and PMFS).
+	Flight *flight.Recorder
 }
 
 // NewInstance formats a fresh emulated device and mounts the requested
@@ -170,7 +179,7 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 			DisableCLFW:         sys == HiNFSNCLFW,
 			DisableEagerChecker: sys == HiNFSWB,
 			Buffer:              buffer.Config{Shards: cfg.BufferShards},
-			PMFS:                pmfs.Options{MaxInodes: cfg.MaxInodes},
+			PMFS:                pmfs.Options{MaxInodes: cfg.MaxInodes, FlightBlocks: cfg.FlightBlocks},
 			Obs:                 inst.Obs,
 		})
 		if err != nil {
@@ -178,13 +187,15 @@ func NewInstance(sys System, cfg Config) (*Instance, error) {
 		}
 		inst.HiNFS = fs
 		inst.FS = fs
+		inst.Flight = fs.Flight()
 	case PMFS:
-		fs, err := pmfs.Mkfs(dev, pmfs.Options{MaxInodes: cfg.MaxInodes})
+		fs, err := pmfs.Mkfs(dev, pmfs.Options{MaxInodes: cfg.MaxInodes, FlightBlocks: cfg.FlightBlocks})
 		if err != nil {
 			return nil, err
 		}
 		fs.SetObs(inst.Obs)
 		inst.FS = fs
+		inst.Flight = fs.Flight()
 	case EXT4DAX, EXT2NVMMBD, EXT4NVMMBD:
 		fs, err := extfs.Mkfs(dev, extfs.Options{
 			Journal:     sys != EXT2NVMMBD,

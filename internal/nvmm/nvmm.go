@@ -239,6 +239,31 @@ func (d *Device) WriteNT(src []byte, off int64) {
 	d.persist(off, len(src))
 }
 
+// WriteNTPosted stores src at off with a non-temporal store that is
+// *posted*: durability semantics are identical to WriteNT (the lines
+// commit at this persist event, so a crash snapshot taken at it still
+// sees them pending/torn), but the issuing CPU never waits on the
+// media — the store drains from the write-combining buffer in the
+// background. This is the honest timing model for a caller that never
+// fences the store (the flight recorder): on real hardware an unfenced
+// movnti retires immediately; only a subsequent sfence pays the drain.
+// Stats count the flush bytes but no synchronous write time accrues.
+func (d *Device) WriteNTPosted(src []byte, off int64) {
+	d.check(off, len(src))
+	d.materializeFence()
+	copy(d.data[off:], src)
+	d.bytesWritten.Add(int64(len(src)))
+	if d.cfg.TrackPersistence {
+		d.markPending(off, len(src))
+	}
+	d.faultPoint(EvWriteNT)
+	d.flushes.Add(1)
+	d.bytesFlushed.Add(int64(cacheline.LineCount(off, len(src))) * cacheline.Size)
+	if d.cfg.TrackPersistence {
+		d.commitPending(off, len(src))
+	}
+}
+
 // Flush makes the byte range [off, off+n) durable, paying the write latency
 // for each covered cacheline (a clflush loop).
 func (d *Device) Flush(off int64, n int) {

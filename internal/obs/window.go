@@ -157,6 +157,21 @@ func (w *Windows) Merged(last int) HistSnapshot {
 	return m.Snapshot()
 }
 
+// Oldest returns the start time (nanoseconds on the ring's clock) of the
+// oldest retained window, and false when no window has been touched yet.
+// Quantiles read via Merged cover [Oldest, now] — readers display that
+// span ("last 8s") rather than implying all-time statistics.
+func (w *Windows) Oldest() (startNS int64, ok bool) {
+	if w == nil {
+		return 0, false
+	}
+	ws := w.Snapshot(0)
+	if len(ws) == 0 {
+		return 0, false
+	}
+	return ws[0].StartNS, true
+}
+
 // Width returns the window width.
 func (w *Windows) Width() time.Duration {
 	if w == nil {

@@ -223,3 +223,30 @@ func TestWindowsNilAndDefaults(t *testing.T) {
 		t.Fatalf("default ring count = %d", got)
 	}
 }
+
+func TestWindowsOldest(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewWindowsClock(time.Second, 4, clk.now)
+
+	if _, ok := w.Oldest(); ok {
+		t.Fatal("untouched ring reports an oldest window")
+	}
+	w.Observe(100)
+	if o, ok := w.Oldest(); !ok || o != 0 {
+		t.Fatalf("Oldest = %d,%v; want 0,true", o, ok)
+	}
+	// Advance past the ring: epoch 0 is recycled, oldest retained is the
+	// first epoch still inside the 4-window ring.
+	for e := 1; e <= 6; e++ {
+		clk.advance(int64(time.Second))
+		w.Observe(int64(e))
+	}
+	o, ok := w.Oldest()
+	if want := int64(3 * time.Second); !ok || o != want {
+		t.Fatalf("Oldest = %d,%v; want %d,true", o, ok, want)
+	}
+	var nilW *Windows
+	if _, ok := nilW.Oldest(); ok {
+		t.Fatal("nil Windows reports an oldest window")
+	}
+}

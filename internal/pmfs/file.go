@@ -40,6 +40,9 @@ type WritePlan struct {
 // Ino returns the file's inode number.
 func (f *File) Ino() Ino { return f.ino }
 
+// InodeNumber implements vfs.InodeNumberer.
+func (f *File) InodeNumber() uint64 { return uint64(f.ino) }
+
 // Flags returns the open flags.
 func (f *File) Flags() int { return f.flags }
 

@@ -10,6 +10,7 @@ import (
 	"hinfs/internal/journal"
 	"hinfs/internal/nvmm"
 	"hinfs/internal/obs"
+	"hinfs/internal/obs/flight"
 	"hinfs/internal/vfs"
 )
 
@@ -59,6 +60,10 @@ type FS struct {
 
 	zero [BlockSize]byte
 
+	// flt is the NVMM flight recorder over the layout's flight region,
+	// nil when the image was formatted without one.
+	flt *flight.Recorder
+
 	unmounted atomic.Bool
 }
 
@@ -82,6 +87,14 @@ func Mkfs(dev *nvmm.Device, opts Options) (*FS, error) {
 		return nil, err
 	}
 	fs.initFreeInos()
+	if l.flightSize > 0 {
+		if err := flight.Format(dev, l.flightStart, l.flightSize); err != nil {
+			return nil, err
+		}
+		if fs.flt, err = flight.Attach(dev, l.flightStart, l.flightSize); err != nil {
+			return nil, err
+		}
+	}
 	// Create the root directory.
 	tx := fs.jnl.Begin()
 	fs.storeInode(tx, RootIno, inodeRec{Type: typeDir, Links: 2, Mtime: fs.clk.Now().UnixNano()})
@@ -131,8 +144,26 @@ func MountRecoverOpts(dev *nvmm.Device, opts Options) (*FS, int, error) {
 	}
 	fs.recoverRebuild()
 	fs.initFreeInos()
+	if l.flightSize > 0 {
+		// Attach resumes the sequence counter past every record that
+		// survived the crash; the pre-crash suffix stays decodable (and
+		// is what MountRecover-time forensics reads) until new records
+		// lap it.
+		if fs.flt, err = flight.Attach(dev, l.flightStart, l.flightSize); err != nil {
+			return nil, 0, err
+		}
+	}
 	return fs, rolled, nil
 }
+
+// Flight returns the NVMM flight recorder, or nil when the image was
+// formatted without a flight region (Options.FlightBlocks == 0).
+func (fs *FS) Flight() *flight.Recorder { return fs.flt }
+
+// FlightRegion returns the byte offset and size of the on-device flight
+// region, or (0, 0) when absent. Forensic tools decode the region
+// directly from a crash image with flight.Decode without mounting.
+func (fs *FS) FlightRegion() (off, size int64) { return fs.l.flightStart, fs.l.flightSize }
 
 // SetClock replaces the time source (tests and the HiNFS layer).
 func (fs *FS) SetClock(c clock.Clock) { fs.clk = c }

@@ -13,7 +13,8 @@
 //	blocks 1..J            metadata undo journal (internal/journal)
 //	blocks J+1..I          inode table (128 B inodes)
 //	blocks I+1..B          block allocation bitmap (1 bit per device block)
-//	blocks B+1..end        data blocks
+//	blocks B+1..F          flight-recorder ring, optional (internal/obs/flight)
+//	blocks F+1..end        data blocks
 //
 // File data is indexed by a per-inode B-tree of 512-ary index blocks,
 // exactly PMFS's scheme: height 0 means the root pointer is the single
@@ -73,7 +74,9 @@ const (
 	sbDataStart    = 64 // first data block number
 	sbTotalBlocks  = 72
 	sbCleanUnmount = 80 // 1 if cleanly unmounted
-	sbHeaderEnd    = 88
+	sbFlightStart  = 88 // byte offset of flight-recorder region (0 = none)
+	sbFlightSize   = 96 // bytes
+	sbHeaderEnd    = 104
 )
 
 // Inode record field offsets.
@@ -115,6 +118,11 @@ type Options struct {
 	// RWMutex, recreating the pre-sharding metadata path. It exists as the
 	// measured baseline for the metascale figure — never set it otherwise.
 	SerialNamespace bool
+	// FlightBlocks reserves a flight-recorder region of this many blocks
+	// between the bitmap and the data area (internal/obs/flight). 0 means
+	// no region: images formatted before the recorder existed read back
+	// with zeroed flight fields and mount exactly as before.
+	FlightBlocks int64
 }
 
 func (o *Options) fill() {
@@ -135,6 +143,8 @@ type layout struct {
 	maxInodes    int64
 	bitmapStart  int64
 	bitmapBlocks int64
+	flightStart  int64 // byte offset of flight region (0 = none)
+	flightSize   int64 // bytes
 	dataStart    int64 // first data block number
 	totalBlocks  int64
 }
@@ -153,7 +163,11 @@ func computeLayout(size int64, opts Options) (layout, error) {
 	l.bitmapStart = l.inodeStart + inodeBlocks*BlockSize
 	bitmapBytes := (totalBlocks + 7) / 8
 	l.bitmapBlocks = (bitmapBytes + BlockSize - 1) / BlockSize
-	l.dataStart = l.bitmapStart/BlockSize + l.bitmapBlocks
+	if opts.FlightBlocks > 0 {
+		l.flightStart = l.bitmapStart + l.bitmapBlocks*BlockSize
+		l.flightSize = opts.FlightBlocks * BlockSize
+	}
+	l.dataStart = l.bitmapStart/BlockSize + l.bitmapBlocks + opts.FlightBlocks
 	if l.dataStart >= totalBlocks {
 		return l, fmt.Errorf("pmfs: device too small (%d bytes) for metadata", size)
 	}
@@ -173,6 +187,8 @@ func (l layout) writeSuper(dev *nvmm.Device) {
 	put(b[sbBitmapBlocks:], uint64(l.bitmapBlocks))
 	put(b[sbDataStart:], uint64(l.dataStart))
 	put(b[sbTotalBlocks:], uint64(l.totalBlocks))
+	put(b[sbFlightStart:], uint64(l.flightStart))
+	put(b[sbFlightSize:], uint64(l.flightSize))
 	dev.Write(b[:], 0)
 	dev.Flush(0, BlockSize)
 	dev.Fence()
@@ -195,6 +211,8 @@ func readLayout(dev *nvmm.Device) (layout, error) {
 		bitmapBlocks: int64(get(b[sbBitmapBlocks:])),
 		dataStart:    int64(get(b[sbDataStart:])),
 		totalBlocks:  int64(get(b[sbTotalBlocks:])),
+		flightStart:  int64(get(b[sbFlightStart:])),
+		flightSize:   int64(get(b[sbFlightSize:])),
 	}
 	if l.size != dev.Size() {
 		return layout{}, fmt.Errorf("pmfs: superblock size %d != device size %d", l.size, dev.Size())

@@ -49,6 +49,12 @@ func (c *Client) SetSlowOpLog(l *obs.SlowLog) { c.slow.Store(l) }
 // nextTrace returns a fresh trace ID for one request.
 func (c *Client) nextTrace() uint64 { return c.trace.Add(1) }
 
+// SetTraceBase reseeds the request-ID generator so the next request is
+// stamped base+1, the one after base+2, and so on. Harnesses use it to
+// make every wire trace predictable, so an externally kept op schedule
+// joins server-side records (flight ring, slow-op logs) by trace alone.
+func (c *Client) SetTraceBase(base uint64) { c.trace.Store(base) }
+
 // Dial connects to addr and attaches to tenant.
 func Dial(addr, tenant string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hinfs/internal/obs"
+	"hinfs/internal/obs/flight"
 	"hinfs/internal/vfs"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	// one ordering point (wire it to nvmm's Device.EnterFenceScope).
 	// Replies are released only after the scope closes.
 	BatchFences func() PersistScope
+	// Flight, when set, receives one persisted record per dispatched
+	// request: trace, tenant, op, ino, offset, length, stage breakdown
+	// and result code, NT-stored into the NVMM flight ring with no fence
+	// (internal/obs/flight). Wire it to the backing FS's Flight()
+	// recorder; nil disables recording.
+	Flight *flight.Recorder
 }
 
 // defaultSessionWindow is the per-session in-flight bound when the
@@ -67,6 +74,7 @@ type Server struct {
 	order   []string
 	sched   *sched
 	slow    *obs.SlowLog
+	flight  *flight.Recorder
 	window  int
 
 	mu     sync.Mutex
@@ -89,6 +97,7 @@ func New(cfg Config) (*Server, error) {
 		fs:      cfg.FS,
 		tenants: make(map[string]*tenant),
 		conns:   make(map[net.Conn]struct{}),
+		flight:  cfg.Flight,
 		window:  cfg.SessionWindow,
 	}
 	if s.window <= 0 {
@@ -305,14 +314,37 @@ func (s *Server) WriteProm(w io.Writer) {
 	}
 	p.Header("hinfs_slow_ops_total", "Slow-op log records written by the server.", "counter")
 	p.Metric("hinfs_slow_ops_total", float64(s.slow.Logged()))
+	p.Header("hinfs_window_coverage_ns", "Age of the oldest retained metrics window — the span the recent-window quantiles actually cover.", "gauge")
+	now := time.Now().UnixNano()
+	var cov int64
+	for _, name := range s.order {
+		for _, win := range s.tenants[name].win {
+			if o, ok := win.Oldest(); ok {
+				if age := now - o; age > cov {
+					cov = age
+				}
+			}
+		}
+	}
+	p.Metric("hinfs_window_coverage_ns", float64(cov))
+	if s.flight != nil {
+		p.Header("hinfs_flight_seq", "Highest flight-recorder sequence number issued.", "counter")
+		p.Metric("hinfs_flight_seq", float64(s.flight.Seq()))
+		p.Header("hinfs_flight_slots", "Flight ring capacity in records.", "gauge")
+		p.Metric("hinfs_flight_slots", float64(s.flight.Slots()))
+	}
 }
 
 // --- session ---
 
-// handle is one open file in a session's handle table.
+// handle is one open file in a session's handle table. ino is resolved
+// once at registration (vfs.InodeNumberer probe) so stamping it into
+// flight records costs nothing per I/O; 0 when the backend has no
+// stable inode numbers.
 type handle struct {
 	f     vfs.File
 	flags int
+	ino   uint64
 }
 
 // session is one connection's server-side state. The reader goroutine
@@ -365,6 +397,7 @@ type request struct {
 	n     int
 	off   int64
 	size  int64
+	ino   uint64 // resolved handle inode, for the flight record
 	path  string
 	path2 string
 	data  []byte // aliases buf; valid until the request is pooled
@@ -392,6 +425,7 @@ func putReq(r *request) {
 	r.data = nil
 	r.path, r.path2 = "", ""
 	r.ran = false
+	r.ino = 0
 	reqPool.Put(r)
 }
 
@@ -564,7 +598,9 @@ func (sess *session) writeLoop() {
 }
 
 // complete records one executed request's accounting, returns it to the
-// pool and releases its window slot.
+// pool and releases its window slot. It runs on the session's writer
+// goroutine, which never has an obs.OpCtx attached — so the flight
+// record's NT store cannot be charged to any request's StageFlush.
 func (sess *session) complete(req *request) {
 	if req.ran {
 		t := sess.ten
@@ -580,9 +616,70 @@ func (sess *session) complete(req *request) {
 				Stages:  obs.StageMap(req.opctx.Breakdown()),
 			})
 		}
+		if fr := sess.srv.flight; fr != nil {
+			var n int
+			switch req.op {
+			case opRead:
+				n = req.n
+			case opWrite:
+				n = len(req.data)
+			}
+			result := uint8(255)
+			if len(req.out.b) >= 9 {
+				result = req.out.b[8]
+			}
+			rec := flight.Record{
+				Trace:  req.trace,
+				Ino:    req.ino,
+				Off:    req.off,
+				Start:  req.start.UnixNano(),
+				Len:    uint32(n),
+				Op:     flightOp(req.op),
+				Result: result,
+				Tenant: t.name,
+				Stages: req.opctx.Breakdown(),
+			}
+			fr.Record(&rec)
+		}
 	}
 	putReq(req)
 	<-sess.slots
+}
+
+// flightOp maps a wire opcode to the flight recorder's canonical op
+// vocabulary.
+func flightOp(op byte) uint8 {
+	switch op {
+	case opOpen:
+		return flight.OpOpen
+	case opCreate:
+		return flight.OpCreate
+	case opClose:
+		return flight.OpClose
+	case opRead:
+		return flight.OpRead
+	case opWrite:
+		return flight.OpWrite
+	case opFsync:
+		return flight.OpFsync
+	case opTruncate:
+		return flight.OpTruncate
+	case opMkdir:
+		return flight.OpMkdir
+	case opRmdir:
+		return flight.OpRmdir
+	case opUnlink:
+		return flight.OpUnlink
+	case opRename:
+		return flight.OpRename
+	case opStat, opSize:
+		return flight.OpStat
+	case opReadDir:
+		return flight.OpReadDir
+	case opSync:
+		return flight.OpSync
+	}
+	return flight.OpUnknown
 }
 
 // finish implements task: the scheduler hands the request to the writer
@@ -668,22 +765,27 @@ func (req *request) exec() {
 			req.fail(err)
 			return
 		}
+		id, ino := sess.put(f, req.flags)
+		req.ino = ino
 		out.u8(stOK)
-		out.u32(sess.put(f, req.flags))
+		out.u32(id)
 	case opCreate:
 		f, err := view.Create(req.path)
 		if err != nil {
 			req.fail(err)
 			return
 		}
+		id, ino := sess.put(f, vfs.ORdwr)
+		req.ino = ino
 		out.u8(stOK)
-		out.u32(sess.put(f, vfs.ORdwr))
+		out.u32(id)
 	case opClose:
 		h, ok := sess.take(req.id)
 		if !ok {
 			req.fail(ErrBadHandle)
 			return
 		}
+		req.ino = h.ino
 		if err := h.f.Close(); err != nil {
 			req.fail(err)
 			return
@@ -695,6 +797,7 @@ func (req *request) exec() {
 			req.fail(ErrBadHandle)
 			return
 		}
+		req.ino = h.ino
 		// Read directly into the response buffer: status and length are
 		// placeholders until the read lands, so the hot path stages no
 		// scratch copy and allocates nothing at steady state.
@@ -721,6 +824,7 @@ func (req *request) exec() {
 			req.fail(ErrBadHandle)
 			return
 		}
+		req.ino = h.ino
 		// Quota: admit the estimated growth before writing, settle to
 		// the actual size delta after.
 		oldSize := h.f.Size()
@@ -754,6 +858,7 @@ func (req *request) exec() {
 			req.fail(ErrBadHandle)
 			return
 		}
+		req.ino = h.ino
 		if err := h.f.Fsync(); err != nil {
 			req.fail(err)
 			return
@@ -765,6 +870,7 @@ func (req *request) exec() {
 			req.fail(ErrBadHandle)
 			return
 		}
+		req.ino = h.ino
 		oldSize := h.f.Size()
 		qt := time.Now()
 		cerr := t.chargeGrow(req.size - oldSize)
@@ -790,6 +896,7 @@ func (req *request) exec() {
 			req.fail(ErrBadHandle)
 			return
 		}
+		req.ino = h.ino
 		out.u8(stOK)
 		out.u64(uint64(h.f.Size()))
 	case opMkdir, opRmdir, opUnlink:
@@ -869,13 +976,17 @@ func (req *request) exec() {
 
 // put registers a handle and returns its session-local ID. IDs are never
 // reused within a session, so a stale client ID cannot alias a newer file.
-func (sess *session) put(f vfs.File, flags int) uint32 {
+func (sess *session) put(f vfs.File, flags int) (uint32, uint64) {
+	var ino uint64
+	if n, ok := vfs.FileAs[vfs.InodeNumberer](f); ok {
+		ino = n.InodeNumber()
+	}
 	sess.hmu.Lock()
 	defer sess.hmu.Unlock()
 	id := sess.nextID
 	sess.nextID++
-	sess.handles[id] = handle{f: f, flags: flags}
-	return id
+	sess.handles[id] = handle{f: f, flags: flags, ino: ino}
+	return id, ino
 }
 
 // get looks up a handle.

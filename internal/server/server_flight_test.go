@@ -1,0 +1,157 @@
+package server
+
+import (
+	"testing"
+
+	"hinfs/internal/nvmm"
+	"hinfs/internal/obs/flight"
+	"hinfs/internal/pmfs"
+)
+
+// testFlightFS builds a pmfs with an NVMM flight region, returning the
+// fs, its recorder, and the device (for decoding the ring back).
+func testFlightFS(t testing.TB) (*pmfs.FS, *flight.Recorder, *nvmm.Device) {
+	t.Helper()
+	dev, err := nvmm.New(nvmm.Config{Size: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := pmfs.Mkfs(dev, pmfs.Options{MaxInodes: 8192, FlightBlocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := fs.Flight()
+	if rec == nil {
+		t.Fatal("pmfs formatted with FlightBlocks has no recorder")
+	}
+	return fs, rec, dev
+}
+
+// TestServerFlightEndToEnd drives requests through the full wire stack
+// and decodes the NVMM ring back: every dispatched request must appear
+// exactly once with the trace the client predicted, the right tenant,
+// the right canonical op, and a success result.
+func TestServerFlightEndToEnd(t *testing.T) {
+	fs, rec, dev := testFlightFS(t)
+	srv, err := New(Config{FS: fs, Tenants: twoTenants(), Workers: 2, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := pipeClient(t, srv, "alpha")
+	const base = uint64(7) << 32
+	c.SetTraceBase(base)
+
+	f, err := c.Create("/a") // trace base+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if _, err := f.WriteAt(buf, 0); err != nil { // base+2
+		t.Fatal(err)
+	}
+	if err := f.Fsync(); err != nil { // base+3
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil { // base+4
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // base+5
+		t.Fatal(err)
+	}
+	// Records land on the session's writer goroutine after each reply;
+	// closing the server drains every writer, so the decode below cannot
+	// race an in-flight append.
+	c.Unmount()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Seq(); got < 5 {
+		t.Fatalf("recorder at seq %d after drain, want >= 5", got)
+	}
+
+	off, size := fs.FlightRegion()
+	log, err := flight.Decode(dev, off, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		trace uint64
+		op    uint8
+	}{
+		{base + 1, flight.OpCreate},
+		{base + 2, flight.OpWrite},
+		{base + 3, flight.OpFsync},
+		{base + 4, flight.OpRead},
+		{base + 5, flight.OpClose},
+	}
+	byTrace := map[uint64]*flight.Record{}
+	for i := range log.Records {
+		byTrace[log.Records[i].Trace] = &log.Records[i]
+	}
+	for _, w := range want {
+		r := byTrace[w.trace]
+		if r == nil {
+			t.Fatalf("trace %#x missing from the decoded ring (%d records)", w.trace, len(log.Records))
+		}
+		if r.Op != w.op {
+			t.Errorf("trace %#x: op %s, want %s", w.trace, flight.OpName(r.Op), flight.OpName(w.op))
+		}
+		if r.Tenant != "alpha" {
+			t.Errorf("trace %#x: tenant %q, want alpha", w.trace, r.Tenant)
+		}
+		if r.Result != 0 {
+			t.Errorf("trace %#x: result %d, want 0", w.trace, r.Result)
+		}
+	}
+	wr := byTrace[base+2]
+	if wr.Len != 512 || wr.Off != 0 {
+		t.Errorf("write record: len %d off %d, want 512/0", wr.Len, wr.Off)
+	}
+	if wr.Ino == 0 {
+		t.Errorf("write record: ino 0, want the file's inode number")
+	}
+	if byTrace[base+4].Len != 512 {
+		t.Errorf("read record: len %d, want 512", byTrace[base+4].Len)
+	}
+}
+
+// TestServerFlightSteadyStateAllocs repeats the end-to-end allocation
+// bound with the recorder on: recording must add nothing to the per-op
+// allocation budget (Record encodes into a stack buffer and issues one
+// posted NT store).
+func TestServerFlightSteadyStateAllocs(t *testing.T) {
+	fs, rec, _ := testFlightFS(t)
+	srv, err := New(Config{FS: fs, Tenants: twoTenants(), Workers: 4, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := pipeClient(t, srv, "alpha")
+	f, err := c.Create("/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ { // warm pools on both sides
+		f.ReadAt(buf, 0)
+		f.WriteAt(buf, 0)
+	}
+	n := testing.AllocsPerRun(500, func() {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Same budget as the recorder-off steady-state test: flight on must
+	// not move it.
+	if n > 30 {
+		t.Fatalf("read+write round trip with flight on allocates %.1f objects, want <= 30", n)
+	}
+}

@@ -161,6 +161,10 @@ func TestSlowOpTraceMatch(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// Server-side slow-op records land on the writer goroutine after each
+	// reply; drain before parsing the log.
+	c.Unmount()
+	srv.Close()
 
 	parse := func(buf *bytes.Buffer) map[string]obs.SlowOp {
 		out := map[string]obs.SlowOp{}
@@ -264,6 +268,11 @@ func TestWriteProm(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// Per-op accounting lands on the session's writer goroutine after the
+	// reply is on the wire; shut the server down (idempotent — the cleanup
+	// calls it again) so the scrape below sees all three ops.
+	c.Unmount()
+	srv.Close()
 
 	var buf bytes.Buffer
 	srv.WriteProm(&buf)
@@ -322,6 +331,10 @@ func TestTraceNonzeroOnWire(t *testing.T) {
 	if err := c.Mkdir("/d"); err != nil {
 		t.Fatal(err)
 	}
+	// The slow-op record is emitted by the writer goroutine after the
+	// reply; drain it before reading the log buffer.
+	c.Unmount()
+	srv.Close()
 	var op obs.SlowOp
 	if err := json.Unmarshal(log.Bytes(), &op); err != nil {
 		t.Fatalf("no slow-op record: %v", err)

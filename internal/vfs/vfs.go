@@ -165,6 +165,15 @@ type BlockMmapper interface {
 	Munmap() error
 }
 
+// InodeNumberer is the optional per-handle capability exposing the
+// backing inode number. The flight recorder stamps it into persisted
+// records so post-crash forensics can name the object an op touched even
+// when the path is gone. Discover it with FileAs; handles of systems
+// without stable inode numbers simply do not implement it.
+type InodeNumberer interface {
+	InodeNumber() uint64
+}
+
 // FileUnwrapper is implemented by decorating file handles (latency
 // instrumentation, modelled syscall overhead) so optional capabilities of
 // the underlying handle stay discoverable through the decoration.
